@@ -1,0 +1,33 @@
+//! Criterion microbench: HER matching (blocking + vicinity scoring), full
+//! vs localized index construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gsj_datagen::{collections, Scale};
+use gsj_her::{her_match, her_match_local};
+
+fn bench_her(c: &mut Criterion) {
+    let col = collections::build("Movie", Scale(60), 3).unwrap();
+    let cfg = col.her_config();
+    c.bench_function("her_match_full", |b| {
+        b.iter(|| {
+            std::hint::black_box(her_match(&col.graph, col.entity_relation(), &cfg).unwrap())
+        })
+    });
+    // Localized index over the entity vertices only (~10% of the graph).
+    c.bench_function("her_match_local_entities", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                her_match_local(
+                    &col.graph,
+                    col.entity_relation(),
+                    &cfg,
+                    col.entity_vertices.iter().copied(),
+                )
+                .unwrap(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_her);
+criterion_main!(benches);

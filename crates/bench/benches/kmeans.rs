@@ -1,0 +1,51 @@
+//! Criterion microbench: K-means clustering (the KMC step of pattern
+//! discovery), serial vs parallel assignment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gsj_cluster::{kmeans, KmeansConfig};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+fn points(n: usize, dim: usize) -> Vec<Vec<f32>> {
+    let mut rng = SmallRng::seed_from_u64(7);
+    (0..n)
+        .map(|_| (0..dim).map(|_| rng.random_range(-1.0..1.0)).collect())
+        .collect()
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmeans");
+    for &n in &[500usize, 2000] {
+        let data = points(n, 200);
+        group.bench_with_input(BenchmarkId::new("serial_h30", n), &data, |b, d| {
+            b.iter(|| {
+                kmeans(
+                    d,
+                    &KmeansConfig {
+                        k: 30,
+                        max_iters: 10,
+                        threads: 1,
+                        ..KmeansConfig::default()
+                    },
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("parallel_h30", n), &data, |b, d| {
+            b.iter(|| {
+                kmeans(
+                    d,
+                    &KmeansConfig {
+                        k: 30,
+                        max_iters: 10,
+                        threads: 0,
+                        ..KmeansConfig::default()
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kmeans);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion microbench: LSTM language model — one prediction step, one
+//! sequence embedding, and one training epoch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gsj_common::SymbolTable;
+use gsj_nn::{LanguageModel, LmConfig};
+
+fn corpus(table: &SymbolTable) -> Vec<Vec<gsj_common::Symbol>> {
+    let toks: Vec<_> = (0..40)
+        .map(|i| {
+            table.intern(&format!(
+                "{}{}",
+                (b'a' + (i / 26) as u8) as char,
+                (b'a' + (i % 26) as u8) as char
+            ))
+        })
+        .collect();
+    (0..400)
+        .map(|i| (0..8).map(|j| toks[(i * 7 + j * 3) % toks.len()]).collect())
+        .collect()
+}
+
+fn bench_lstm(c: &mut Criterion) {
+    let table = SymbolTable::new();
+    let data = corpus(&table);
+    let cfg = LmConfig {
+        epochs: 1,
+        ..LmConfig::default()
+    };
+    let model = LanguageModel::train(&data, &table, cfg.clone());
+    let sample: Vec<_> = data[0].clone();
+
+    c.bench_function("lm_session_feed", |b| {
+        b.iter(|| {
+            let mut s = model.session();
+            for &t in &sample {
+                std::hint::black_box(s.feed(t));
+            }
+        })
+    });
+    c.bench_function("lm_embed_sequence", |b| {
+        b.iter(|| std::hint::black_box(model.embed_sequence(&sample)))
+    });
+    c.bench_function("lm_train_epoch_400x8", |b| {
+        b.iter(|| {
+            let mut m = LanguageModel::untrained(&data, &table, cfg.clone());
+            m.fit(&data);
+            std::hint::black_box(&m);
+        })
+    });
+}
+
+criterion_group!(benches, bench_lstm);
+criterion_main!(benches);

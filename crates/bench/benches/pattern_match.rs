@@ -1,0 +1,40 @@
+//! Criterion microbench: path-pattern matching `M(ρ, p)` — the inner loop
+//! of Algorithm 1.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gsj_common::SymbolTable;
+use gsj_graph::{Path, PathPattern, VertexId};
+
+fn bench_pattern_match(c: &mut Criterion) {
+    let t = SymbolTable::new();
+    let labels: Vec<_> = (0..10).map(|i| t.intern(&format!("edge{i}"))).collect();
+    // 10k paths of length 1..=3.
+    let paths: Vec<Path> = (0..10_000u32)
+        .map(|i| {
+            let mut p = Path::new(VertexId(i));
+            for j in 0..=(i % 3) {
+                p.push(labels[((i + j) % 10) as usize], VertexId(100_000 + i * 4 + j));
+            }
+            p
+        })
+        .collect();
+    let pattern = PathPattern(vec![labels[1], labels[2]]);
+
+    c.bench_function("pattern_match_10k_paths", |b| {
+        b.iter(|| {
+            let hits = paths.iter().filter(|p| p.matches(&pattern)).count();
+            std::hint::black_box(hits)
+        })
+    });
+
+    c.bench_function("pattern_of_1k_paths", |b| {
+        b.iter(|| {
+            for p in &paths[..1000] {
+                std::hint::black_box(p.pattern());
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_pattern_match);
+criterion_main!(benches);

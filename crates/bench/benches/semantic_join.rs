@@ -1,0 +1,47 @@
+//! Criterion microbench: the end-to-end optimized enrichment join
+//! (`S ⋈ f(D,G) ⋈ h(D,G)`) and a full gSQL query — the online fast path of
+//! Section IV-A.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gsj_bench::engine_for;
+use gsj_core::config::RExtConfig;
+use gsj_core::gsql::exec::Strategy;
+use gsj_core::join::enrichment_join_precomputed;
+use gsj_datagen::{collections, Scale};
+
+fn bench_semantic_join(c: &mut Criterion) {
+    let col = collections::build("Drugs", Scale(60), 3).unwrap();
+    let (engine, _) = engine_for(&col, RExtConfig::standard());
+    let profile = engine.profile("G").unwrap();
+    let ex = profile.extraction(&col.spec.rel_name).unwrap();
+
+    c.bench_function("enrichment_join_precomputed", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                enrichment_join_precomputed(
+                    col.entity_relation(),
+                    &col.spec.id_attr,
+                    &ex.matches,
+                    &ex.dg,
+                    None,
+                )
+                .unwrap(),
+            )
+        })
+    });
+
+    let q1 = format!(
+        "select {id}, efficacy from drug e-join G <efficacy, symptom> as T where T.{id} = {some}",
+        id = col.spec.id_attr,
+        some = col.id_of(0)
+    );
+    c.bench_function("gsql_q1_optimized", |b| {
+        b.iter(|| std::hint::black_box(engine.run(&q1, Strategy::Optimized).unwrap()))
+    });
+    c.bench_function("gsql_q1_heuristic", |b| {
+        b.iter(|| std::hint::black_box(engine.run(&q1, Strategy::Heuristic).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_semantic_join);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion microbench: k-hop BFS and bidirectional connectivity — the
+//! link-join primitives.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gsj_graph::traversal::{k_hop_set, within_k_hops};
+use gsj_graph::{LabeledGraph, VertexId};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+fn random_graph(n: usize, avg_deg: usize) -> (LabeledGraph, Vec<VertexId>) {
+    let mut g = LabeledGraph::new();
+    let vs: Vec<_> = (0..n).map(|i| g.add_vertex(&format!("v{i}"))).collect();
+    let mut rng = SmallRng::seed_from_u64(3);
+    for _ in 0..n * avg_deg / 2 {
+        let a = vs[rng.random_range(0..n)];
+        let b = vs[rng.random_range(0..n)];
+        if a != b {
+            g.add_edge(a, "e", b);
+        }
+    }
+    (g, vs)
+}
+
+fn bench_traversal(c: &mut Criterion) {
+    let (g, vs) = random_graph(20_000, 6);
+    c.bench_function("k_hop_set_k3", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 37) % vs.len();
+            std::hint::black_box(k_hop_set(&g, vs[i], 3))
+        })
+    });
+    c.bench_function("within_k_hops_bidirectional_k3", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 41) % (vs.len() - 1);
+            std::hint::black_box(within_k_hops(&g, vs[i], vs[i + 1], 3))
+        })
+    });
+}
+
+criterion_group!(benches, bench_traversal);
+criterion_main!(benches);

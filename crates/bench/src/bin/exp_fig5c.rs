@@ -1,0 +1,36 @@
+//! **Fig 5(c)**: RExt quality vs the path length bound `k ∈ {1..4}` on the
+//! MovKB collection, all six variants.
+//!
+//! Paper's shape: F increases with `k` (longer paths reach more candidate
+//! attributes, 0.91 → 0.96 on MovKB) and plateaus from k=3 to 4.
+
+use gsj_bench::report::{banner, f3, Table};
+use gsj_bench::{prepared, recover_f_measure, scale_from_env, variants, ExpConfig};
+use gsj_datagen::collections;
+
+fn main() {
+    let scale = scale_from_env(100);
+    banner("Fig 5(c) — RExt quality: vary k (MovKB)", "Fig 5(c)");
+    println!("scale = {}\n", scale.0);
+    let col = collections::build("MovKB", scale, 5).unwrap();
+    let ks = [1usize, 2, 3, 4];
+
+    let mut t = Table::new(&["variant", "k=1", "k=2", "k=3", "k=4"]);
+    for (name, mut cfg) in variants() {
+        // Train with the largest k so the walk corpus covers every sweep
+        // point.
+        cfg.k = *ks.last().unwrap();
+        let mut prep = prepared(&col, cfg);
+        let base = prep.rext.clone();
+        let mut cells = vec![name.to_string()];
+        for &k in &ks {
+            prep.rext = base.with_k(k);
+            let out = recover_f_measure(&col, &prep, &ExpConfig::standard());
+            cells.push(f3(out.f.f1));
+        }
+        t.row(cells);
+        eprintln!("  {name} done");
+    }
+    println!("{}", t.render());
+    println!("paper shape: rises with k, plateaus by k=3 (0.91 → 0.96 on MovKB).");
+}

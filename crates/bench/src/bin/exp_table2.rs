@@ -1,0 +1,56 @@
+//! **Table II**: dataset collections — relation tuple counts and graph
+//! vertex/edge counts, plus the 36-query workload composition the paper
+//! describes alongside it.
+//!
+//! Usage: `cargo run -p gsj-bench --bin exp_table2 --release [-- scale]`
+//! (or set `GSJ_SCALE`).
+
+use gsj_bench::report::{banner, Table};
+use gsj_bench::scale_from_env;
+use gsj_datagen::collections;
+use gsj_datagen::queries::{composition, workload};
+use gsj_graph::stats::graph_stats;
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .map(gsj_datagen::Scale)
+        .unwrap_or_else(|| scale_from_env(300));
+    banner("Table II — dataset collections", "Table II of the paper");
+    println!("scale = {} (synthetic stand-ins; see DESIGN.md §2)\n", scale.0);
+
+    let cols = collections::build_all(scale, 1);
+    let mut t = Table::new(&[
+        "Data coll.",
+        "Relations",
+        "Tuples",
+        "Graph vertices",
+        "Graph edges",
+        "Avg degree",
+    ]);
+    for c in &cols {
+        let s = graph_stats(&c.graph);
+        let mut names = c.db.names();
+        names.sort();
+        t.row(vec![
+            c.name.clone(),
+            names.join("/"),
+            c.db.total_tuples().to_string(),
+            s.vertices.to_string(),
+            s.edges.to_string(),
+            format!("{:.1}", s.avg_degree),
+        ]);
+    }
+    println!("{}", t.render());
+
+    let all: Vec<_> = cols.iter().flat_map(workload).collect();
+    let comp = composition(&all);
+    println!(
+        "workload: {} queries — {} enrichment, {} link, {} dynamic, {} multi-join, {} negation, {} aggregation",
+        comp.total, comp.enrichment, comp.link, comp.dynamic, comp.multi_join, comp.negation, comp.aggregation
+    );
+    println!(
+        "(paper: 36 queries — 32 enrichment, 4 link, 4 dynamic, 10 multi-join, 17 negation, 4 aggregation)"
+    );
+}

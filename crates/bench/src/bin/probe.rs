@@ -1,0 +1,32 @@
+//! Quick pipeline probe (developer tool, not a paper experiment): run the
+//! recover protocol on every collection at tiny scale and print F1.
+
+use gsj_bench::{prepared, recover_f_measure, ExpConfig};
+use gsj_datagen::{collections, Scale};
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .map(Scale)
+        .unwrap_or(Scale::tiny());
+    for col in collections::build_all(scale, 1) {
+        let t0 = std::time::Instant::now();
+        let prep = prepared(&col, ExpConfig::standard().rext);
+        let out = recover_f_measure(&col, &prep, &ExpConfig::standard());
+        println!(
+            "{:<10} entities={:<6} edges={:<7} matched={:<6} P={:.3} R={:.3} F1={:.3}  (prep {:.1}s, disc {:.1}s, extr {:.1}s, total {:.1}s)",
+            col.name,
+            col.entity_relation().len(),
+            col.graph.edge_count(),
+            out.matched,
+            out.f.precision,
+            out.f.recall,
+            out.f.f1,
+            prep.prep_time.as_secs_f64(),
+            out.discover_time.as_secs_f64(),
+            out.extract_time.as_secs_f64(),
+            t0.elapsed().as_secs_f64(),
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! Run every experiment of the evaluation (Section V) at a reduced default
+//! scale, in paper order. Equivalent to running the `exp_*` binaries one
+//! after another; see DESIGN.md §3 for the experiment index.
+//!
+//! Usage: `cargo run -p gsj-bench --bin run_all --release`
+//! (`GSJ_SCALE` scales every experiment.)
+
+use std::process::Command;
+
+fn main() {
+    let exps = [
+        ("exp_table2", "Table II — dataset collections"),
+        ("exp_fig5a", "Fig 5(a) quality vs H"),
+        ("exp_fig5b", "Fig 5(b) quality vs m"),
+        ("exp_fig5c", "Fig 5(c) quality vs k"),
+        ("exp_fig5d", "Fig 5(d) efficiency vs H"),
+        ("exp_fig5e", "Fig 5(e) efficiency vs k"),
+        ("exp_fig5f", "Fig 5(f) clustering noise"),
+        ("exp_fig5g", "Fig 5(g) cascading HER error"),
+        ("exp_table3", "Table III heuristic-join accuracy"),
+        ("exp_offline", "Exp-3(I) offline preprocessing"),
+        ("exp_e2e", "Exp-3(II) end-to-end queries"),
+        ("exp_fig5h", "Fig 5(h) / Exp-4 IncExt"),
+    ];
+    let self_path = std::env::current_exe().expect("own path");
+    let bin_dir = self_path.parent().expect("bin dir");
+    for (bin, label) in exps {
+        eprintln!("\n##### running {bin} ({label}) #####");
+        let status = Command::new(bin_dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            eprintln!("{bin} exited with {status}");
+        }
+    }
+    eprintln!("\nall experiments complete.");
+}

@@ -1,0 +1,184 @@
+//! Shared experiment machinery: the drop-and-recover protocol of Exp-2 and
+//! timing helpers.
+
+use gsj_core::config::RExtConfig;
+use gsj_core::join::enrichment_join_precomputed;
+use gsj_core::quality::{f_measure, FMeasure};
+use gsj_core::rext::Rext;
+use gsj_datagen::Collection;
+use gsj_her::noise::inject_mismatches;
+use gsj_her::{her_match, MatchRelation};
+use std::time::{Duration, Instant};
+
+/// Knobs of one recover run.
+#[derive(Debug, Clone)]
+pub struct ExpConfig {
+    /// The RExt variant under test.
+    pub rext: RExtConfig,
+    /// How many of the collection's keywords to recover (`m` in Exp-2);
+    /// `0` = all.
+    pub m: usize,
+    /// Extra user keywords appended to `A` (the `|A|` sweep pads with
+    /// sampled attribute *values*, per the paper).
+    pub extra_keywords: Vec<String>,
+    /// Fraction of clustering noise to inject (Fig 5(f)).
+    pub cluster_noise: f64,
+    /// Fraction of HER mismatches to inject (Fig 5(g)).
+    pub her_eta: f64,
+    /// Seed for the noise injections.
+    pub noise_seed: u64,
+}
+
+impl ExpConfig {
+    /// Standard RExt, all keywords, no noise.
+    pub fn standard() -> Self {
+        ExpConfig {
+            rext: RExtConfig::standard(),
+            m: 0,
+            extra_keywords: Vec::new(),
+            cluster_noise: 0.0,
+            her_eta: 0.0,
+            noise_seed: 7,
+        }
+    }
+}
+
+/// Reusable per-collection state: the trained scheme and HER matches
+/// (training is offline; sweeps over `H`/`m`/`k` that do not retrain can
+/// share it).
+pub struct Prepared {
+    /// The trained extraction scheme.
+    pub rext: Rext,
+    /// `f(S,G)` for the entity relation.
+    pub matches: MatchRelation,
+    /// Model training + matching wall time.
+    pub prep_time: Duration,
+}
+
+/// Train RExt and run HER for a collection.
+pub fn prepared(col: &Collection, rext_cfg: RExtConfig) -> Prepared {
+    let t0 = Instant::now();
+    let rext = Rext::train(&col.graph, rext_cfg).expect("valid config");
+    let matches = her_match(&col.graph, col.entity_relation(), &col.her_config())
+        .expect("id attr exists");
+    Prepared {
+        rext,
+        matches,
+        prep_time: t0.elapsed(),
+    }
+}
+
+/// The outcome of a drop-and-recover run.
+#[derive(Debug, Clone)]
+pub struct RecoverOutcome {
+    /// Extraction quality against the generator's ground truth.
+    pub f: FMeasure,
+    /// Pattern-discovery wall time.
+    pub discover_time: Duration,
+    /// Algorithm-1 extraction wall time.
+    pub extract_time: Duration,
+    /// HER match count.
+    pub matched: usize,
+}
+
+/// Run the Exp-2 protocol on a prepared collection: discover patterns for
+/// the first `m` keywords (plus any extra), extract, join, and score
+/// against ground truth.
+pub fn recover_f_measure(col: &Collection, prep: &Prepared, exp: &ExpConfig) -> RecoverOutcome {
+    let all_kws = col.spec.reference_keywords();
+    let m = if exp.m == 0 { all_kws.len() } else { exp.m.min(all_kws.len()) };
+    let mut keywords: Vec<String> = all_kws[..m].to_vec();
+    keywords.extend(exp.extra_keywords.iter().cloned());
+    // The attribute budget follows the number of dropped columns under
+    // recovery (the paper sets m to the number of dropped attributes).
+    let rext = prep.rext.with_m(m);
+
+    let matches = if exp.her_eta > 0.0 {
+        inject_mismatches(&prep.matches, &col.graph, exp.her_eta, exp.noise_seed)
+    } else {
+        prep.matches.clone()
+    };
+    let s = col.entity_relation();
+    let id = &col.spec.id_attr;
+
+    let t0 = Instant::now();
+    let noise = if exp.cluster_noise > 0.0 {
+        Some((exp.cluster_noise, exp.noise_seed))
+    } else {
+        None
+    };
+    let discovery = rext
+        .discover_with_noise(
+            &col.graph,
+            &matches,
+            Some((s, id)),
+            &keywords,
+            &format!("h_{}", col.spec.rel_name),
+            noise,
+        )
+        .expect("discovery");
+    let discover_time = t0.elapsed();
+
+    let t1 = Instant::now();
+    let dg = rext.extract(&col.graph, &matches, &discovery).expect("extract");
+    let extract_time = t1.elapsed();
+
+    let predicted = enrichment_join_precomputed(s, id, &matches, &dg, None).expect("join");
+    let pairs: Vec<(String, String)> = all_kws[..m]
+        .iter()
+        .filter(|k| predicted.schema().contains(k.as_str()))
+        .map(|k| (k.clone(), k.clone()))
+        .collect();
+    let f = if pairs.is_empty() {
+        // Nothing extracted at all: zero quality over the requested cells.
+        FMeasure {
+            precision: 0.0,
+            recall: 0.0,
+            f1: 0.0,
+            correct: 0,
+            predicted: 0,
+            expected: col.truth.len() * m,
+        }
+    } else {
+        let mut f = f_measure(&predicted, &col.truth, id, &pairs).expect("measure");
+        if pairs.len() < m {
+            // Penalize silently-missing attributes: their truth cells
+            // count as missed.
+            let missing: usize = all_kws[..m]
+                .iter()
+                .filter(|k| !predicted.schema().contains(k.as_str()))
+                .map(|k| {
+                    col.truth
+                        .column(k)
+                        .map(|col| col.iter().filter(|v| !v.is_null()).count())
+                        .unwrap_or(0)
+                })
+                .sum();
+            let expected = f.expected + missing;
+            let recall = if expected == 0 {
+                0.0
+            } else {
+                f.correct as f64 / expected as f64
+            };
+            let f1 = if f.precision + recall == 0.0 {
+                0.0
+            } else {
+                2.0 * f.precision * recall / (f.precision + recall)
+            };
+            f = FMeasure {
+                recall,
+                f1,
+                expected,
+                ..f
+            };
+        }
+        f
+    };
+
+    RecoverOutcome {
+        f,
+        discover_time,
+        extract_time,
+        matched: matches.len(),
+    }
+}

@@ -1,0 +1,12 @@
+//! # gsj-bench
+//!
+//! The experiment harness: shared measurement machinery ([`harness`]) plus
+//! one binary per table/figure of the paper's Section V (see DESIGN.md §3
+//! for the experiment index) and criterion microbenches.
+
+pub mod exps;
+pub mod harness;
+pub mod report;
+
+pub use exps::{engine_for, result_f1, scale_from_env, timed, variants};
+pub use harness::{prepared, recover_f_measure, ExpConfig, Prepared, RecoverOutcome};

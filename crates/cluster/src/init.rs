@@ -1,0 +1,98 @@
+//! k-means++ centroid seeding.
+
+use gsj_nn::vector::sq_dist;
+use rand::rngs::SmallRng;
+use rand::RngExt;
+
+/// Choose `k` initial centroids with the k-means++ D² weighting:
+/// the first uniformly, each next with probability proportional to the
+/// squared distance to the nearest already-chosen centroid.
+///
+/// Returns fewer than `k` centroids only if `points.len() < k`.
+pub fn kmeanspp(points: &[Vec<f32>], k: usize, rng: &mut SmallRng) -> Vec<Vec<f32>> {
+    if points.is_empty() || k == 0 {
+        return Vec::new();
+    }
+    let k = k.min(points.len());
+    let mut centroids: Vec<Vec<f32>> = Vec::with_capacity(k);
+    centroids.push(points[rng.random_range(0..points.len())].clone());
+    let mut d2: Vec<f32> = points
+        .iter()
+        .map(|p| sq_dist(p, &centroids[0]))
+        .collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().map(|&d| d as f64).sum();
+        let next = if total <= 0.0 {
+            // All points coincide with existing centroids; fall back to
+            // uniform choice so we still return k centroids.
+            rng.random_range(0..points.len())
+        } else {
+            let mut target = rng.random_range(0.0..total);
+            let mut chosen = points.len() - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                target -= d as f64;
+                if target <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        centroids.push(points[next].clone());
+        let newest = centroids.last().expect("just pushed");
+        for (i, p) in points.iter().enumerate() {
+            d2[i] = d2[i].min(sq_dist(p, newest));
+        }
+    }
+    centroids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn returns_k_centroids() {
+        let points: Vec<Vec<f32>> = (0..20).map(|i| vec![i as f32, 0.0]).collect();
+        let c = kmeanspp(&points, 4, &mut rng());
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn caps_at_point_count() {
+        let points = vec![vec![0.0], vec![1.0]];
+        assert_eq!(kmeanspp(&points, 10, &mut rng()).len(), 2);
+    }
+
+    #[test]
+    fn spreads_over_separated_blobs() {
+        // Two far-apart blobs: with D² weighting the two centroids all but
+        // surely land in different blobs.
+        let mut points = Vec::new();
+        for i in 0..50 {
+            points.push(vec![i as f32 * 0.01, 0.0]);
+            points.push(vec![1000.0 + i as f32 * 0.01, 0.0]);
+        }
+        let c = kmeanspp(&points, 2, &mut rng());
+        let near_zero = c.iter().filter(|v| v[0] < 500.0).count();
+        assert_eq!(near_zero, 1, "centroids: {c:?}");
+    }
+
+    #[test]
+    fn degenerate_identical_points() {
+        let points = vec![vec![5.0, 5.0]; 8];
+        let c = kmeanspp(&points, 3, &mut rng());
+        assert_eq!(c.len(), 3);
+        assert!(c.iter().all(|v| v == &vec![5.0, 5.0]));
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(kmeanspp(&[], 3, &mut rng()).is_empty());
+    }
+}

@@ -1,0 +1,312 @@
+//! Lloyd's algorithm with parallel assignment.
+
+use crate::init::kmeanspp;
+use gsj_nn::vector::sq_dist;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// K-means parameters. The paper runs KMC "with limited iterations"
+/// (Section III-A), hence the explicit `max_iters`.
+#[derive(Debug, Clone)]
+pub struct KmeansConfig {
+    /// Number of clusters `H`.
+    pub k: usize,
+    /// Iteration cap.
+    pub max_iters: usize,
+    /// Convergence tolerance on relative inertia improvement.
+    pub tol: f64,
+    /// Worker threads for the assignment step; `0` = available
+    /// parallelism.
+    pub threads: usize,
+    /// Seed for k-means++ initialization.
+    pub seed: u64,
+}
+
+impl Default for KmeansConfig {
+    fn default() -> Self {
+        KmeansConfig {
+            k: 8,
+            max_iters: 20,
+            tol: 1e-4,
+            threads: 0,
+            seed: 0xc1_05_7e,
+        }
+    }
+}
+
+/// The result of a K-means run.
+#[derive(Debug, Clone)]
+pub struct Clustering {
+    /// `assignments[i]` = cluster of point `i`.
+    pub assignments: Vec<usize>,
+    /// Final centroids (≤ `k`, exactly `k` when enough distinct points).
+    pub centroids: Vec<Vec<f32>>,
+    /// Final sum of squared distances to assigned centroids.
+    pub inertia: f64,
+    /// Iterations actually run.
+    pub iterations: usize,
+}
+
+impl Clustering {
+    /// Group point indices per cluster.
+    pub fn groups(&self) -> Vec<Vec<usize>> {
+        let mut groups = vec![Vec::new(); self.centroids.len()];
+        for (i, &c) in self.assignments.iter().enumerate() {
+            groups[c].push(i);
+        }
+        groups
+    }
+}
+
+fn assign_chunk(points: &[Vec<f32>], centroids: &[Vec<f32>], out: &mut [usize]) -> f64 {
+    let mut inertia = 0.0f64;
+    for (p, slot) in points.iter().zip(out.iter_mut()) {
+        let mut best = 0usize;
+        let mut best_d = f32::INFINITY;
+        for (c, centroid) in centroids.iter().enumerate() {
+            let d = sq_dist(p, centroid);
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        *slot = best;
+        inertia += best_d as f64;
+    }
+    inertia
+}
+
+/// Run K-means over `points`.
+///
+/// Deterministic for a fixed `cfg.seed` regardless of thread count: the
+/// assignment step is embarrassingly parallel and the reduction order does
+/// not affect assignments.
+pub fn kmeans(points: &[Vec<f32>], cfg: &KmeansConfig) -> Clustering {
+    if points.is_empty() || cfg.k == 0 {
+        return Clustering {
+            assignments: Vec::new(),
+            centroids: Vec::new(),
+            inertia: 0.0,
+            iterations: 0,
+        };
+    }
+    let dim = points[0].len();
+    debug_assert!(points.iter().all(|p| p.len() == dim));
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut centroids = kmeanspp(points, cfg.k, &mut rng);
+    let mut assignments = vec![0usize; points.len()];
+    let threads = if cfg.threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        cfg.threads
+    };
+    let mut prev_inertia = f64::INFINITY;
+    let mut iterations = 0usize;
+    let mut inertia = 0.0f64;
+
+    for iter in 0..cfg.max_iters {
+        iterations = iter + 1;
+        // Assignment step (parallel).
+        inertia = if threads > 1 && points.len() >= 4 * threads {
+            let chunk = points.len().div_ceil(threads);
+            let point_chunks: Vec<&[Vec<f32>]> = points.chunks(chunk).collect();
+            let mut assign_chunks: Vec<&mut [usize]> =
+                assignments.chunks_mut(chunk).collect();
+            let centroids_ref = &centroids;
+            crossbeam::thread::scope(|s| {
+                let mut handles = Vec::new();
+                for (pts, asg) in point_chunks.into_iter().zip(assign_chunks.drain(..)) {
+                    handles.push(
+                        s.spawn(move |_| assign_chunk(pts, centroids_ref, asg)),
+                    );
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("kmeans worker panicked"))
+                    .sum()
+            })
+            .expect("kmeans scope panicked")
+        } else {
+            assign_chunk(points, &centroids, &mut assignments)
+        };
+
+        // Update step.
+        let mut sums = vec![vec![0.0f32; dim]; centroids.len()];
+        let mut counts = vec![0usize; centroids.len()];
+        for (p, &a) in points.iter().zip(&assignments) {
+            gsj_nn::vector::add_assign(&mut sums[a], p);
+            counts[a] += 1;
+        }
+        for (c, (sum, &count)) in sums.iter_mut().zip(&counts).enumerate() {
+            if count > 0 {
+                gsj_nn::vector::scale(sum, 1.0 / count as f32);
+                centroids[c] = sum.clone();
+            }
+            // Empty clusters keep their old centroid; they may re-acquire
+            // points in a later iteration.
+        }
+
+        if prev_inertia.is_finite() {
+            let improvement = (prev_inertia - inertia) / prev_inertia.max(1e-12);
+            if improvement >= 0.0 && improvement < cfg.tol {
+                break;
+            }
+        }
+        prev_inertia = inertia;
+    }
+
+    Clustering {
+        assignments,
+        centroids,
+        inertia,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Vec<Vec<f32>> {
+        let mut points = Vec::new();
+        for i in 0..30 {
+            let jitter = (i % 5) as f32 * 0.01;
+            points.push(vec![0.0 + jitter, 0.0]);
+            points.push(vec![10.0 + jitter, 10.0]);
+            points.push(vec![-10.0 - jitter, 10.0]);
+        }
+        points
+    }
+
+    #[test]
+    fn separates_clear_blobs() {
+        let points = blobs();
+        let c = kmeans(
+            &points,
+            &KmeansConfig {
+                k: 3,
+                ..KmeansConfig::default()
+            },
+        );
+        // Points generated in stride-3 order: all of stride class 0 must
+        // share a cluster, etc.
+        for class in 0..3 {
+            let first = c.assignments[class];
+            for i in (class..points.len()).step_by(3) {
+                assert_eq!(c.assignments[i], first, "point {i}");
+            }
+        }
+        // And the three classes land in three distinct clusters.
+        let mut distinct: Vec<usize> = c.assignments[0..3].to_vec();
+        distinct.dedup();
+        assert_eq!(
+            {
+                let mut d = c.assignments[0..3].to_vec();
+                d.sort();
+                d.dedup();
+                d.len()
+            },
+            3
+        );
+        let _ = distinct;
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let points = blobs();
+        let base = KmeansConfig {
+            k: 3,
+            ..KmeansConfig::default()
+        };
+        let serial = kmeans(
+            &points,
+            &KmeansConfig {
+                threads: 1,
+                ..base.clone()
+            },
+        );
+        let parallel = kmeans(
+            &points,
+            &KmeansConfig {
+                threads: 4,
+                ..base
+            },
+        );
+        assert_eq!(serial.assignments, parallel.assignments);
+        assert!((serial.inertia - parallel.inertia).abs() < 1e-6);
+    }
+
+    #[test]
+    fn inertia_is_monotone_nonincreasing_with_iterations() {
+        let points = blobs();
+        let one = kmeans(
+            &points,
+            &KmeansConfig {
+                k: 3,
+                max_iters: 1,
+                tol: 0.0,
+                ..KmeansConfig::default()
+            },
+        );
+        let many = kmeans(
+            &points,
+            &KmeansConfig {
+                k: 3,
+                max_iters: 15,
+                tol: 0.0,
+                ..KmeansConfig::default()
+            },
+        );
+        assert!(many.inertia <= one.inertia + 1e-9);
+    }
+
+    #[test]
+    fn respects_iteration_cap() {
+        let points = blobs();
+        let c = kmeans(
+            &points,
+            &KmeansConfig {
+                k: 3,
+                max_iters: 2,
+                tol: 0.0,
+                ..KmeansConfig::default()
+            },
+        );
+        assert!(c.iterations <= 2);
+    }
+
+    #[test]
+    fn k_larger_than_points_is_safe() {
+        let points = vec![vec![1.0], vec![2.0]];
+        let c = kmeans(
+            &points,
+            &KmeansConfig {
+                k: 9,
+                ..KmeansConfig::default()
+            },
+        );
+        assert_eq!(c.centroids.len(), 2);
+        assert_eq!(c.assignments.len(), 2);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_clustering() {
+        let c = kmeans(&[], &KmeansConfig::default());
+        assert!(c.assignments.is_empty() && c.centroids.is_empty());
+    }
+
+    #[test]
+    fn groups_partition_the_points() {
+        let points = blobs();
+        let c = kmeans(
+            &points,
+            &KmeansConfig {
+                k: 3,
+                ..KmeansConfig::default()
+            },
+        );
+        let groups = c.groups();
+        let total: usize = groups.iter().map(|g| g.len()).sum();
+        assert_eq!(total, points.len());
+    }
+}

@@ -1,0 +1,61 @@
+//! Clustering quality metrics (used by tests and the Fig 5(f) noise
+//! experiment).
+
+use gsj_common::FxHashMap;
+
+/// Cluster purity against ground-truth labels: the fraction of points whose
+/// cluster's majority ground-truth class matches their own. 1.0 = perfect.
+pub fn purity(assignments: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(assignments.len(), truth.len());
+    if assignments.is_empty() {
+        return 1.0;
+    }
+    let mut per_cluster: FxHashMap<usize, FxHashMap<usize, usize>> = FxHashMap::default();
+    for (&a, &t) in assignments.iter().zip(truth) {
+        *per_cluster.entry(a).or_default().entry(t).or_insert(0) += 1;
+    }
+    let majority_total: usize = per_cluster
+        .values()
+        .map(|counts| counts.values().copied().max().unwrap_or(0))
+        .sum();
+    majority_total as f64 / assignments.len() as f64
+}
+
+/// Sum of squared distances of each point to its assigned centroid.
+pub fn inertia(points: &[Vec<f32>], centroids: &[Vec<f32>], assignments: &[usize]) -> f64 {
+    points
+        .iter()
+        .zip(assignments)
+        .map(|(p, &a)| gsj_nn::vector::sq_dist(p, &centroids[a]) as f64)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_clustering_has_purity_one() {
+        assert_eq!(purity(&[0, 0, 1, 1], &[5, 5, 9, 9]), 1.0);
+    }
+
+    #[test]
+    fn mixed_cluster_reduces_purity() {
+        // Cluster 0 holds classes {a, a, b}: majority 2 of 3.
+        let p = purity(&[0, 0, 0, 1], &[0, 0, 1, 1]);
+        assert!((p - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_is_perfect() {
+        assert_eq!(purity(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn inertia_matches_manual() {
+        let points = vec![vec![0.0], vec![2.0]];
+        let centroids = vec![vec![1.0]];
+        let i = inertia(&points, &centroids, &[0, 0]);
+        assert!((i - 2.0).abs() < 1e-9);
+    }
+}

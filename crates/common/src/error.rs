@@ -1,0 +1,69 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, GsjError>;
+
+/// Errors produced anywhere in the `gsj` workspace.
+///
+/// A single enum keeps cross-crate plumbing simple: the relational engine,
+/// the gSQL front end and the extraction pipeline all surface through the
+/// same type, and integration code can match on the variant it cares about.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GsjError {
+    /// A schema was malformed or two schemas were incompatible
+    /// (duplicate attribute, arity mismatch, unknown attribute, ...).
+    Schema(String),
+    /// A query referenced a relation, graph or attribute that does not
+    /// exist in the catalog.
+    NotFound(String),
+    /// The gSQL text failed to lex or parse.
+    Parse(String),
+    /// A gSQL query type-checked but cannot be executed under the requested
+    /// strategy (e.g. a static rewrite was requested for a non-well-behaved
+    /// join).
+    Unsupported(String),
+    /// A runtime evaluation error (type mismatch in an expression,
+    /// division by zero, ...).
+    Eval(String),
+    /// Invalid configuration (zero clusters, zero path bound, ...).
+    Config(String),
+}
+
+impl fmt::Display for GsjError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GsjError::Schema(m) => write!(f, "schema error: {m}"),
+            GsjError::NotFound(m) => write!(f, "not found: {m}"),
+            GsjError::Parse(m) => write!(f, "parse error: {m}"),
+            GsjError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            GsjError::Eval(m) => write!(f, "evaluation error: {m}"),
+            GsjError::Config(m) => write!(f, "configuration error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for GsjError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_category_and_message() {
+        let e = GsjError::Parse("unexpected token".into());
+        assert_eq!(e.to_string(), "parse error: unexpected token");
+        let e = GsjError::NotFound("relation `product`".into());
+        assert_eq!(e.to_string(), "not found: relation `product`");
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            GsjError::Schema("x".into()),
+            GsjError::Schema("x".into())
+        );
+        assert_ne!(GsjError::Schema("x".into()), GsjError::Eval("x".into()));
+    }
+}

@@ -1,0 +1,26 @@
+//! # gsj-common
+//!
+//! Shared kernel for the `gsj` workspace — the Rust reproduction of
+//! *"Extracting Graphs Properties with Semantic Joins"* (ICDE 2023).
+//!
+//! This crate carries the building blocks every other crate depends on:
+//!
+//! - [`Value`]: the dynamically-typed scalar used by both relational tuples
+//!   and graph labels (`Null`, `Int`, `Float`, `Str`, `Bool`).
+//! - [`Symbol`] / [`SymbolTable`]: cheap interned strings for graph vertex
+//!   and edge labels, so hot traversal code compares `u32`s instead of
+//!   strings.
+//! - [`FxHashMap`] / [`FxHashSet`]: hash containers using the Firefox/rustc
+//!   `FxHash` function — dramatically faster than SipHash for the small
+//!   integer keys (vertex ids, symbols) that dominate this workload.
+//! - [`GsjError`]: the workspace error type.
+
+pub mod error;
+pub mod fxhash;
+pub mod symbol;
+pub mod value;
+
+pub use error::{GsjError, Result};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use symbol::{Symbol, SymbolTable};
+pub use value::Value;

@@ -1,0 +1,163 @@
+//! String interning for graph labels.
+//!
+//! Vertex and edge labels are compared, hashed and cloned constantly during
+//! path selection and pattern matching. Interning turns each distinct label
+//! into a [`Symbol`] (a `u32`), making those operations branch-free integer
+//! work. The [`SymbolTable`] is internally synchronized so a graph and the
+//! extraction pipeline can share one table across threads.
+
+use crate::fxhash::FxHashMap;
+use parking_lot::RwLock;
+use std::fmt;
+use std::sync::Arc;
+
+/// An interned string; cheap to copy, compare and hash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// The raw index into the owning [`SymbolTable`].
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym#{}", self.0)
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    map: FxHashMap<Arc<str>, Symbol>,
+    strings: Vec<Arc<str>>,
+}
+
+/// A thread-safe string interner.
+///
+/// Cloning a `SymbolTable` clones the handle, not the contents, so a graph
+/// and all pipeline stages observe the same interning.
+#[derive(Clone, Default)]
+pub struct SymbolTable {
+    inner: Arc<RwLock<Inner>>,
+}
+
+impl SymbolTable {
+    /// Create an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `s`, returning its symbol (allocating one if new).
+    pub fn intern(&self, s: &str) -> Symbol {
+        // Fast path: read lock only.
+        if let Some(&sym) = self.inner.read().map.get(s) {
+            return sym;
+        }
+        let mut inner = self.inner.write();
+        if let Some(&sym) = inner.map.get(s) {
+            return sym;
+        }
+        let arc: Arc<str> = Arc::from(s);
+        let sym = Symbol(inner.strings.len() as u32);
+        inner.strings.push(Arc::clone(&arc));
+        inner.map.insert(arc, sym);
+        sym
+    }
+
+    /// Look up a symbol without interning. Returns `None` if `s` was never
+    /// interned.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.inner.read().map.get(s).copied()
+    }
+
+    /// Resolve a symbol back to its string.
+    ///
+    /// # Panics
+    /// Panics if `sym` did not come from this table.
+    pub fn resolve(&self, sym: Symbol) -> Arc<str> {
+        Arc::clone(&self.inner.read().strings[sym.index()])
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.inner.read().strings.len()
+    }
+
+    /// True when nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of all interned strings, indexed by symbol.
+    pub fn all(&self) -> Vec<Arc<str>> {
+        self.inner.read().strings.clone()
+    }
+}
+
+impl fmt::Debug for SymbolTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SymbolTable")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let t = SymbolTable::new();
+        let a = t.intern("issue");
+        let b = t.intern("issue");
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        let t = SymbolTable::new();
+        let a = t.intern("based_on");
+        let b = t.intern("regloc");
+        assert_ne!(a, b);
+        assert_eq!(&*t.resolve(a), "based_on");
+        assert_eq!(&*t.resolve(b), "regloc");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let t = SymbolTable::new();
+        assert_eq!(t.get("missing"), None);
+        assert!(t.is_empty());
+        let s = t.intern("x");
+        assert_eq!(t.get("x"), Some(s));
+    }
+
+    #[test]
+    fn shared_handle_sees_same_symbols() {
+        let t = SymbolTable::new();
+        let t2 = t.clone();
+        let a = t.intern("type");
+        assert_eq!(t2.get("type"), Some(a));
+    }
+
+    #[test]
+    fn concurrent_interning_is_consistent() {
+        let t = SymbolTable::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let t = t.clone();
+                s.spawn(move || {
+                    for i in 0..100 {
+                        t.intern(&format!("label-{}", i % 10));
+                    }
+                });
+            }
+        });
+        assert_eq!(t.len(), 10);
+    }
+}

@@ -1,0 +1,95 @@
+//! Vertex-path pair vectorization (Section III-A step 2).
+//!
+//! Each selected path `ρij` ending at vertex `vij` becomes one feature
+//! vector `x_ij = [ x_{L(vij)} ; x_ρij ]`: the word embedding of the end
+//! vertex's label concatenated with the sequence embedding of the path's
+//! edge labels, each half L2-normalized first (the paper performs "L2
+//! normalization before vector concatenation"). With the default models
+//! this is the paper's 200-dimensional vertex-path representation.
+
+use gsj_graph::{LabeledGraph, Path};
+use gsj_nn::lm::SequenceEmbedder;
+use gsj_nn::WordEmbedder;
+
+/// Embed one path's end-label + label-sequence pair.
+pub fn embed_pair(
+    g: &LabeledGraph,
+    path: &Path,
+    word: &dyn WordEmbedder,
+    seq: &dyn SequenceEmbedder,
+) -> Vec<f32> {
+    let end_label = g.vertex_label_str(path.end());
+    let mut x_label = word.embed(&end_label);
+    gsj_nn::vector::l2_normalize(&mut x_label);
+    let mut x_path = seq.embed_symbols(path.labels());
+    gsj_nn::vector::l2_normalize(&mut x_path);
+    gsj_nn::vector::concat(&x_label, &x_path)
+}
+
+/// Embed a batch of paths, one feature vector per path, preserving order.
+pub fn embed_pairs(
+    g: &LabeledGraph,
+    paths: &[Path],
+    word: &dyn WordEmbedder,
+    seq: &dyn SequenceEmbedder,
+) -> Vec<Vec<f32>> {
+    paths
+        .iter()
+        .map(|p| embed_pair(g, p, word, seq))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsj_nn::{HashEmbedder, LanguageModel, LmConfig};
+
+    fn setting() -> (LabeledGraph, Vec<Path>, LanguageModel) {
+        let mut g = LabeledGraph::new();
+        let a = g.add_vertex("pid1");
+        let b = g.add_vertex("company1");
+        let c = g.add_vertex("UK");
+        g.add_edge(a, "issue", b);
+        g.add_edge(b, "regloc", c);
+        let corpus = gsj_graph::random_walk::build_corpus(&g, &Default::default());
+        let lm = LanguageModel::untrained(
+            &corpus,
+            g.symbols(),
+            LmConfig {
+                embed_dim: 4,
+                hidden: 8,
+                ..LmConfig::default()
+            },
+        );
+        let paths = crate::path_select::select_paths_random(&g, a, 2, 1);
+        (g, paths, lm)
+    }
+
+    #[test]
+    fn dimension_is_word_plus_seq() {
+        let (g, paths, lm) = setting();
+        let word = HashEmbedder::new(10);
+        let x = embed_pair(&g, &paths[0], &word, &lm);
+        assert_eq!(x.len(), 10 + 8);
+    }
+
+    #[test]
+    fn halves_are_normalized() {
+        let (g, paths, lm) = setting();
+        let word = HashEmbedder::new(10);
+        let x = embed_pair(&g, &paths[0], &word, &lm);
+        let n1 = gsj_nn::vector::l2_norm(&x[..10]);
+        let n2 = gsj_nn::vector::l2_norm(&x[10..]);
+        assert!((n1 - 1.0).abs() < 1e-4, "label half norm {n1}");
+        assert!((n2 - 1.0).abs() < 1e-4, "path half norm {n2}");
+    }
+
+    #[test]
+    fn different_end_labels_give_different_vectors() {
+        let (g, paths, lm) = setting();
+        assert!(paths.len() >= 2, "need a 1-hop and a 2-hop path");
+        let word = HashEmbedder::new(10);
+        let xs = embed_pairs(&g, &paths, &word, &lm);
+        assert_ne!(xs[0], xs[1]);
+    }
+}

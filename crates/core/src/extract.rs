@@ -1,0 +1,253 @@
+//! Algorithm 1: attribute extraction via pattern matching (Section III-A,
+//! phase II).
+//!
+//! For each match `(t_i, v_i) ∈ f(S,G)`: select paths `Π` from `v_i`
+//! (reusing the ones cached during discovery when available), and for each
+//! selected pattern cluster `P_j` pick the conforming path whose end label
+//! maximizes the value-ranking function `cos(x_{L(ρ.v_l)}, x_{A_j})`; its
+//! end label becomes `θ_j`, or NULL when no path conforms.
+
+use crate::discover::Discovery;
+use gsj_common::{FxHashMap, FxHashSet, Result, Value};
+use gsj_graph::{LabeledGraph, Path, VertexId};
+use gsj_nn::vector::cosine;
+use gsj_nn::WordEmbedder;
+use gsj_relational::Relation;
+
+/// A memo of end-label embeddings so repeated labels (countries, genres,
+/// types...) are embedded once.
+#[derive(Default)]
+pub struct LabelEmbCache {
+    map: FxHashMap<String, Vec<f32>>,
+}
+
+impl LabelEmbCache {
+    /// Embed through the cache.
+    pub fn embed(&mut self, word: &dyn WordEmbedder, label: &str) -> &[f32] {
+        self.map
+            .entry(label.to_string())
+            .or_insert_with(|| word.embed(label))
+    }
+}
+
+/// Extract the attribute values `(θ_1, ..., θ_m)` for one vertex from its
+/// selected paths (the `Extract` function of Algorithm 1).
+pub fn extract_values(
+    g: &LabeledGraph,
+    paths: &[Path],
+    discovery: &Discovery,
+    word: &dyn WordEmbedder,
+    cache: &mut LabelEmbCache,
+) -> Vec<Value> {
+    discovery
+        .clusters
+        .iter()
+        .map(|cluster| {
+            let pattern_set: std::collections::HashSet<&gsj_graph::PathPattern> =
+                cluster.patterns.iter().collect();
+            // (similarity, path length, label): maximize similarity; on
+            // ties prefer the *shorter* path — the entity's own property
+            // over the same-shaped property of a neighbor reached through
+            // an extra hop — then break lexicographically.
+            let mut best: Option<(f32, usize, String)> = None;
+            for p in paths {
+                if !pattern_set.contains(&p.pattern()) {
+                    continue;
+                }
+                let label = g.vertex_label_str(p.end()).to_string();
+                let emb = cache.embed(word, &label);
+                let sim = cosine(emb, &cluster.attr_emb);
+                let better = match &best {
+                    None => true,
+                    Some((bs, bl, blabel)) => {
+                        sim > *bs
+                            || (sim == *bs && p.len() < *bl)
+                            || (sim == *bs && p.len() == *bl && label < *blabel)
+                    }
+                };
+                if better {
+                    best = Some((sim, p.len(), label));
+                }
+            }
+            match best {
+                Some((_, _, label)) => Value::str(label),
+                None => Value::Null,
+            }
+        })
+        .collect()
+}
+
+/// Run Algorithm 1 over a set of matches, producing the extracted relation
+/// `D_G` of schema `R_G(vid, A_1, ..., A_m)`. One row per distinct matched
+/// vertex (extraction is a function of the vertex alone).
+///
+/// `fresh_paths` supplies paths for vertices absent from the discovery
+/// cache (IncExt's newly matched vertices); it is handed the vertex id.
+pub fn extract_relation<F>(
+    g: &LabeledGraph,
+    matched_vertices: impl IntoIterator<Item = VertexId>,
+    discovery: &Discovery,
+    word: &dyn WordEmbedder,
+    mut fresh_paths: F,
+) -> Result<Relation>
+where
+    F: FnMut(VertexId) -> Vec<Path>,
+{
+    let mut rel = Relation::empty(discovery.schema.clone());
+    let mut cache = LabelEmbCache::default();
+    let mut seen: FxHashSet<VertexId> = FxHashSet::default();
+    for v in matched_vertices {
+        if !seen.insert(v) || !g.is_live(v) {
+            continue;
+        }
+        let owned;
+        let paths: &[Path] = match discovery.paths.get(&v) {
+            Some(cached) => cached,
+            None => {
+                owned = fresh_paths(v);
+                &owned
+            }
+        };
+        let mut row = Vec::with_capacity(1 + discovery.clusters.len());
+        row.push(Value::Int(v.0 as i64));
+        row.extend(extract_values(g, paths, discovery, word, &mut cache));
+        rel.push_values(row)?;
+    }
+    Ok(rel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discover::PatternCluster;
+    use gsj_nn::HashEmbedder;
+    use gsj_relational::Schema;
+
+    /// Hand-built discovery over the Example-1 fragment: cluster "loc"
+    /// matches the 2-hop issue→regloc pattern; cluster "company" the 1-hop
+    /// issue pattern.
+    fn setting() -> (LabeledGraph, VertexId, Discovery, HashEmbedder) {
+        let mut g = LabeledGraph::new();
+        let pid1 = g.add_vertex("pid1");
+        let company = g.add_vertex("company1");
+        let country = g.add_vertex("UK");
+        g.add_edge(pid1, "issue", company);
+        g.add_edge(company, "regloc", country);
+        let issue = g.symbols().get("issue").unwrap();
+        let regloc = g.symbols().get("regloc").unwrap();
+
+        let word = HashEmbedder::new(32);
+        let mut paths_map: FxHashMap<VertexId, Vec<Path>> = FxHashMap::default();
+        let mut p1 = Path::new(pid1);
+        p1.push(issue, company);
+        let mut p2 = p1.clone();
+        p2.push(regloc, country);
+        paths_map.insert(pid1, vec![p1, p2]);
+
+        let clusters = vec![
+            PatternCluster {
+                patterns: vec![gsj_graph::PathPattern(vec![issue, regloc])],
+                attr: "loc".into(),
+                attr_emb: word.embed("loc"),
+                score: 1.0,
+            },
+            PatternCluster {
+                patterns: vec![gsj_graph::PathPattern(vec![issue])],
+                attr: "company".into(),
+                attr_emb: word.embed("company"),
+                score: 0.9,
+            },
+        ];
+        let discovery = Discovery {
+            clusters,
+            schema: Schema::of("h_product", &["vid", "loc", "company"]),
+            refined: Vec::new(),
+            paths: paths_map,
+            keyword_embs: Vec::new(),
+            total_paths: 2,
+            word_dim: 32,
+        };
+        (g, pid1, discovery, word)
+    }
+
+    #[test]
+    fn extracts_values_per_cluster() {
+        let (g, pid1, disc, word) = setting();
+        let rel = extract_relation(&g, [pid1], &disc, &word, |_| Vec::new()).unwrap();
+        assert_eq!(rel.len(), 1);
+        let row = &rel.tuples()[0];
+        assert_eq!(row.get(0), &Value::Int(pid1.0 as i64));
+        assert_eq!(row.get(1), &Value::str("UK"));
+        assert_eq!(row.get(2), &Value::str("company1"));
+    }
+
+    #[test]
+    fn missing_pattern_yields_null() {
+        let (g, pid1, mut disc, word) = setting();
+        // Remove the cached 2-hop path: "loc" has no conforming path.
+        disc.paths.get_mut(&pid1).unwrap().truncate(1);
+        let rel = extract_relation(&g, [pid1], &disc, &word, |_| Vec::new()).unwrap();
+        assert!(rel.tuples()[0].get(1).is_null());
+        assert_eq!(rel.tuples()[0].get(2), &Value::str("company1"));
+    }
+
+    #[test]
+    fn duplicate_vertices_extract_once() {
+        let (g, pid1, disc, word) = setting();
+        let rel = extract_relation(&g, [pid1, pid1, pid1], &disc, &word, |_| Vec::new()).unwrap();
+        assert_eq!(rel.len(), 1);
+    }
+
+    #[test]
+    fn fresh_paths_used_for_uncached_vertices() {
+        let (g, pid1, mut disc, word) = setting();
+        let cached = disc.paths.remove(&pid1).unwrap();
+        let rel =
+            extract_relation(&g, [pid1], &disc, &word, move |_| cached.clone()).unwrap();
+        assert_eq!(rel.tuples()[0].get(1), &Value::str("UK"));
+    }
+
+    #[test]
+    fn dead_vertices_are_skipped() {
+        let (mut g, pid1, disc, word) = setting();
+        g.remove_vertex(pid1);
+        let rel = extract_relation(&g, [pid1], &disc, &word, |_| Vec::new()).unwrap();
+        assert!(rel.is_empty());
+    }
+
+    #[test]
+    fn value_ranking_picks_keyword_closest_end_label() {
+        // Two 1-hop paths with different end labels conforming to the same
+        // pattern: the one semantically closer to the keyword wins.
+        let mut g = LabeledGraph::new();
+        let e = g.add_vertex("entity");
+        let good = g.add_vertex("location value");
+        let bad = g.add_vertex("irrelevant junk");
+        g.add_edge(e, "prop", good);
+        g.add_edge(e, "prop", bad);
+        let prop = g.symbols().get("prop").unwrap();
+        let word = HashEmbedder::new(64);
+        let mut pg = Path::new(e);
+        pg.push(prop, good);
+        let mut pb = Path::new(e);
+        pb.push(prop, bad);
+        let mut paths_map: FxHashMap<VertexId, Vec<Path>> = FxHashMap::default();
+        paths_map.insert(e, vec![pb, pg]);
+        let disc = Discovery {
+            clusters: vec![PatternCluster {
+                patterns: vec![gsj_graph::PathPattern(vec![prop])],
+                attr: "location".into(),
+                attr_emb: word.embed("location"),
+                score: 1.0,
+            }],
+            schema: Schema::of("h_x", &["vid", "location"]),
+            refined: Vec::new(),
+            paths: paths_map,
+            keyword_embs: Vec::new(),
+            total_paths: 2,
+            word_dim: 64,
+        };
+        let rel = extract_relation(&g, [e], &disc, &word, |_| Vec::new()).unwrap();
+        assert_eq!(rel.tuples()[0].get(1), &Value::str("location value"));
+    }
+}

@@ -1,0 +1,279 @@
+//! Well-behaved query analysis (Section IV-A).
+//!
+//! An enrichment join `Q ⋈_A G` is *well-behaved* iff (1) `A ⊆ A_R` for
+//! the traced base relation, and (2) the output schema of `Q` carries
+//! exactly one base-relation tuple id, or only attributes of one base
+//! relation. A link join is well-behaved iff both sides are; a gSQL query
+//! is well-behaved iff every semantic join in it is. The check is a
+//! bottom-up scan of the query AST, linear in its size.
+
+use super::ast::{FromItem, Projection, Query, Source};
+use crate::profile::GraphProfile;
+use gsj_common::FxHashMap;
+use gsj_relational::Schema;
+
+/// Provenance of a query's output schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Origin {
+    /// Every output attribute comes from this base relation.
+    SingleBase(String),
+    /// The output contains exactly one tuple-id attribute, of this base
+    /// relation.
+    IdOf(String),
+    /// Anything else.
+    Mixed,
+}
+
+impl Origin {
+    /// The base relation this origin pins down, if any.
+    pub fn base(&self) -> Option<&str> {
+        match self {
+            Origin::SingleBase(b) | Origin::IdOf(b) => Some(b),
+            Origin::Mixed => None,
+        }
+    }
+}
+
+/// Trace the base relation behind an `e-join` source.
+pub fn source_base(source: &Source, id_attrs: &FxHashMap<String, String>) -> Option<String> {
+    match source {
+        Source::Base(name) => Some(name.clone()),
+        Source::Sub(q) => query_origin(q, id_attrs).base().map(str::to_string),
+    }
+}
+
+/// Compute the output-schema provenance of a query.
+pub fn query_origin(q: &Query, id_attrs: &FxHashMap<String, String>) -> Origin {
+    // alias → base relation (None = untraceable).
+    let mut aliases: Vec<(String, Option<String>)> = Vec::new();
+    for item in &q.from {
+        match item {
+            FromItem::Plain { source, alias } => {
+                let base = source_base(source, id_attrs);
+                let name = alias.clone().or_else(|| base.clone()).unwrap_or_default();
+                aliases.push((name, base));
+            }
+            FromItem::EJoin { source, alias, .. } => {
+                // The join extends the base's tuples; its attributes count
+                // as that base's for provenance purposes.
+                let base = source_base(source, id_attrs);
+                let name = alias.clone().or_else(|| base.clone()).unwrap_or_default();
+                aliases.push((name, base));
+            }
+            FromItem::LJoin {
+                left,
+                right,
+                right_alias,
+                ..
+            } => {
+                let lbase = source_base(left, id_attrs);
+                let lname = lbase.clone().unwrap_or_default();
+                aliases.push((lname, lbase));
+                let rbase = source_base(right, id_attrs);
+                let rname = right_alias.clone().or_else(|| rbase.clone()).unwrap_or_default();
+                aliases.push((rname, rbase));
+            }
+        }
+    }
+
+    let distinct_bases: Vec<&String> = {
+        let mut bs: Vec<&String> = aliases.iter().filter_map(|(_, b)| b.as_ref()).collect();
+        bs.sort();
+        bs.dedup();
+        bs
+    };
+    let all_traced = aliases.iter().all(|(_, b)| b.is_some());
+
+    if q.projections == vec![Projection::Star] {
+        return if all_traced && distinct_bases.len() == 1 {
+            Origin::SingleBase(distinct_bases[0].clone())
+        } else {
+            Origin::Mixed
+        };
+    }
+
+    // Resolve each projected column to a base.
+    let owner_of = |name: &str| -> Option<String> {
+        if let Some((prefix, _)) = name.split_once('.') {
+            aliases
+                .iter()
+                .find(|(a, _)| a == prefix)
+                .and_then(|(_, b)| b.clone())
+        } else if all_traced && distinct_bases.len() == 1 {
+            Some(distinct_bases[0].clone())
+        } else {
+            None
+        }
+    };
+
+    let mut col_bases: Vec<Option<String>> = Vec::new();
+    let mut id_cols: Vec<String> = Vec::new();
+    let mut has_agg = false;
+    for p in &q.projections {
+        match p {
+            Projection::Star => return Origin::Mixed, // mixed with cols
+            Projection::Agg { .. } => has_agg = true,
+            Projection::Col { name, .. } => {
+                let base = owner_of(name);
+                if let Some(b) = &base {
+                    if id_attrs.get(b).map(String::as_str) == Some(Schema::base_name(name)) {
+                        id_cols.push(b.clone());
+                    }
+                }
+                col_bases.push(base);
+            }
+        }
+    }
+
+    let bases: Vec<&String> = {
+        let mut bs: Vec<&String> = col_bases.iter().filter_map(|b| b.as_ref()).collect();
+        bs.sort();
+        bs.dedup();
+        bs
+    };
+    if !has_agg && col_bases.iter().all(|b| b.is_some()) && bases.len() == 1 {
+        return Origin::SingleBase(bases[0].clone());
+    }
+    if id_cols.len() == 1 {
+        return Origin::IdOf(id_cols[0].clone());
+    }
+    Origin::Mixed
+}
+
+/// Is one semantic-join item well-behaved?
+fn join_well_behaved(
+    item: &FromItem,
+    profiles: &FxHashMap<String, GraphProfile>,
+    id_attrs: &FxHashMap<String, String>,
+) -> bool {
+    match item {
+        FromItem::EJoin {
+            source,
+            graph,
+            keywords,
+            ..
+        } => {
+            let Some(base) = source_base(source, id_attrs) else {
+                return false;
+            };
+            let Some(profile) = profiles.get(graph) else {
+                return false;
+            };
+            if !profile.covers(&base, keywords) {
+                return false;
+            }
+            // Nested semantic joins inside the source must be well-behaved
+            // too.
+            if let Source::Sub(q) = source {
+                if !is_well_behaved(q, profiles, id_attrs) {
+                    return false;
+                }
+            }
+            true
+        }
+        FromItem::LJoin { left, right, .. } => {
+            let lb = source_base(left, id_attrs).is_some();
+            let rb = source_base(right, id_attrs).is_some();
+            if !(lb && rb) {
+                return false;
+            }
+            for s in [left, right] {
+                if let Source::Sub(q) = s {
+                    if !is_well_behaved(q, profiles, id_attrs) {
+                        return false;
+                    }
+                }
+            }
+            true
+        }
+        FromItem::Plain { .. } => true,
+    }
+}
+
+/// Is the whole query well-behaved? (Every semantic join in it is.)
+pub fn is_well_behaved(
+    q: &Query,
+    profiles: &FxHashMap<String, GraphProfile>,
+    id_attrs: &FxHashMap<String, String>,
+) -> bool {
+    for item in &q.from {
+        if !join_well_behaved(item, profiles, id_attrs) {
+            return false;
+        }
+        // Plain sub-queries may hide semantic joins.
+        if let FromItem::Plain {
+            source: Source::Sub(sub),
+            ..
+        } = item
+        {
+            if !is_well_behaved(sub, profiles, id_attrs) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gsql::parser::parse_query;
+
+    fn ids() -> FxHashMap<String, String> {
+        let mut m = FxHashMap::default();
+        m.insert("customer".to_string(), "cid".to_string());
+        m.insert("product".to_string(), "pid".to_string());
+        m
+    }
+
+    #[test]
+    fn base_scan_is_single_base() {
+        let q = parse_query("select cid, name from customer").unwrap();
+        assert_eq!(
+            query_origin(&q, &ids()),
+            Origin::SingleBase("customer".into())
+        );
+    }
+
+    #[test]
+    fn star_over_two_relations_is_mixed() {
+        let q = parse_query("select * from customer, product").unwrap();
+        assert_eq!(query_origin(&q, &ids()), Origin::Mixed);
+    }
+
+    #[test]
+    fn single_id_projection_is_traceable() {
+        let q = parse_query(
+            "select customer.cid from customer, product where customer.cid = product.pid",
+        )
+        .unwrap();
+        // The single projected column is both "attributes of one base
+        // relation only" and "exactly one tuple id" — either way it pins
+        // down `customer`.
+        assert_eq!(query_origin(&q, &ids()).base(), Some("customer"));
+    }
+
+    #[test]
+    fn id_plus_foreign_attr_is_id_of() {
+        let q = parse_query("select customer.cid, product.risk from customer, product")
+            .unwrap();
+        assert_eq!(query_origin(&q, &ids()), Origin::IdOf("customer".into()));
+    }
+
+    #[test]
+    fn two_ids_projected_is_mixed() {
+        // Example 10: Q' fetches the id attributes of both customer and
+        // product → not well-behaved.
+        let q = parse_query("select customer.cid, product.pid from customer, product").unwrap();
+        assert_eq!(query_origin(&q, &ids()), Origin::Mixed);
+    }
+
+    #[test]
+    fn subquery_origin_traces_through() {
+        let q = parse_query("select * from (select cid, name from customer) as c").unwrap();
+        assert_eq!(
+            query_origin(&q, &ids()),
+            Origin::SingleBase("customer".into())
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! The gSQL abstract syntax tree.
+
+use gsj_relational::{AggFunc, Expr};
+
+/// One entry of the select list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Projection {
+    /// `select *`
+    Star,
+    /// A (possibly qualified) column, optionally renamed.
+    Col {
+        /// Column name as written (`risk` or `T.loc`).
+        name: String,
+        /// `AS` alias.
+        alias: Option<String>,
+    },
+    /// An aggregate over a column (or `*` for `count(*)`).
+    Agg {
+        /// The function.
+        func: AggFunc,
+        /// Input column (`*` allowed for count).
+        col: String,
+        /// `AS` alias.
+        alias: Option<String>,
+    },
+}
+
+/// A relation-producing source: a base table or a parenthesized sub-query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Source {
+    /// Base relation by name.
+    Base(String),
+    /// `( query )`.
+    Sub(Box<Query>),
+}
+
+/// One item of the FROM clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FromItem {
+    /// A plain relation / sub-query, optionally aliased.
+    Plain {
+        /// The source.
+        source: Source,
+        /// `AS` alias.
+        alias: Option<String>,
+    },
+    /// `S e-join G<A1, ..., Am> [as T]` — an enrichment join.
+    EJoin {
+        /// The tuple source `S`.
+        source: Source,
+        /// Graph name `G`.
+        graph: String,
+        /// The keyword set `A`.
+        keywords: Vec<String>,
+        /// `AS` alias for the join result.
+        alias: Option<String>,
+    },
+    /// `T1 l-join <G> T2 [as T2']` — a link join. The alias renames the
+    /// right side, matching the paper's
+    /// `customer l-join <G'> customer as customer'`.
+    LJoin {
+        /// Left source.
+        left: Source,
+        /// Graph name.
+        graph: String,
+        /// Right source.
+        right: Source,
+        /// Alias for the right side.
+        right_alias: Option<String>,
+    },
+}
+
+/// A gSQL query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// The select list.
+    pub projections: Vec<Projection>,
+    /// FROM items, in order.
+    pub from: Vec<FromItem>,
+    /// WHERE condition (over [`gsj_relational::Expr`]; bare identifiers
+    /// that do not resolve to columns are read as string literals, per the
+    /// paper's `T.pid = fd1` style).
+    pub where_clause: Option<Expr>,
+    /// Explicit `GROUP BY` columns (empty = SQL-style implicit grouping
+    /// by the non-aggregate select columns).
+    pub group_by: Vec<String>,
+    /// `ORDER BY` columns with a global ascending/descending flag.
+    pub order_by: Vec<String>,
+    /// Descending order if true.
+    pub order_desc: bool,
+    /// `LIMIT n`.
+    pub limit: Option<usize>,
+}
+
+impl Query {
+    /// All `e-join` / `l-join` items in this query, including those in
+    /// sub-queries (used by the well-behaved analysis and by statistics).
+    pub fn semantic_joins(&self) -> Vec<&FromItem> {
+        let mut out = Vec::new();
+        self.collect_joins(&mut out);
+        out
+    }
+
+    fn collect_joins<'a>(&'a self, out: &mut Vec<&'a FromItem>) {
+        for item in &self.from {
+            match item {
+                FromItem::Plain { source, .. } => {
+                    if let Source::Sub(q) = source {
+                        q.collect_joins(out);
+                    }
+                }
+                FromItem::EJoin { source, .. } => {
+                    out.push(item);
+                    if let Source::Sub(q) = source {
+                        q.collect_joins(out);
+                    }
+                }
+                FromItem::LJoin { left, right, .. } => {
+                    out.push(item);
+                    if let Source::Sub(q) = left {
+                        q.collect_joins(out);
+                    }
+                    if let Source::Sub(q) = right {
+                        q.collect_joins(out);
+                    }
+                }
+            }
+        }
+    }
+
+    /// True if the query (or a sub-query) contains any semantic join.
+    pub fn has_semantic_joins(&self) -> bool {
+        !self.semantic_joins().is_empty()
+    }
+}

@@ -1,0 +1,1077 @@
+//! gSQL execution: rewriting queries into relational operations over the
+//! engine's catalog plus the semantic-join machinery, under three
+//! strategies (Section IV).
+//!
+//! - [`Strategy::Baseline`] — the conceptual-level method: every semantic
+//!   join calls HER and RExt online.
+//! - [`Strategy::Optimized`] — well-behaved joins are rewritten to
+//!   three-way natural joins over the materialized `f(D,G)` / `h(D,G)`
+//!   (static joins) or their sub-query variants (dynamic joins), with the
+//!   `g_L` connectivity cache for link joins; non-well-behaved joins fall
+//!   back to heuristic joins.
+//! - [`Strategy::Heuristic`] — heuristic joins are forced for *all*
+//!   semantic joins (the Exp-2(II) protocol).
+
+use super::analyze::{is_well_behaved, source_base};
+use super::ast::{FromItem, Projection, Query, Source};
+use super::parser::parse_query;
+use crate::join::{
+    connectivity_relation, enrichment_join, enrichment_join_precomputed, link_join,
+};
+use crate::profile::GraphProfile;
+use crate::rext::Rext;
+use gsj_common::{FxHashMap, FxHashSet, GsjError, Result, Value};
+use gsj_graph::{LabeledGraph, VertexId};
+use gsj_her::relation_er::ErConfig;
+use gsj_her::HerConfig;
+use gsj_relational::exec::theta_join;
+use gsj_relational::plan::AggSpec;
+use gsj_relational::{Database, Expr, LogicalPlan, Relation, Schema};
+use std::sync::Arc;
+
+/// Which implementation answers the semantic joins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Conceptual baseline: HER + RExt at query time.
+    Baseline,
+    /// Pre-extracted relations for well-behaved joins; heuristic joins
+    /// otherwise.
+    Optimized,
+    /// Heuristic joins for everything.
+    Heuristic,
+}
+
+/// The gSQL query engine: a relational catalog, registered graphs, and the
+/// per-graph extraction machinery.
+pub struct GsqlEngine {
+    /// The relational database `D`.
+    pub db: Database,
+    graphs: FxHashMap<String, LabeledGraph>,
+    id_attrs: FxHashMap<String, String>,
+    rexts: FxHashMap<String, Arc<Rext>>,
+    profiles: FxHashMap<String, GraphProfile>,
+    her_cfg: HerConfig,
+    er_cfg: ErConfig,
+    k: usize,
+}
+
+impl GsqlEngine {
+    /// New engine over a database.
+    pub fn new(db: Database) -> Self {
+        GsqlEngine {
+            db,
+            graphs: FxHashMap::default(),
+            id_attrs: FxHashMap::default(),
+            rexts: FxHashMap::default(),
+            profiles: FxHashMap::default(),
+            her_cfg: HerConfig::default(),
+            er_cfg: ErConfig::default(),
+            k: 3,
+        }
+    }
+
+    /// Register a graph under a name usable in `e-join G<...>`.
+    pub fn add_graph(&mut self, name: impl Into<String>, g: LabeledGraph) -> &mut Self {
+        self.graphs.insert(name.into(), g);
+        self
+    }
+
+    /// Declare a base relation's tuple-id attribute.
+    pub fn set_id_attr(&mut self, relation: &str, id_attr: &str) -> &mut Self {
+        self.id_attrs.insert(relation.into(), id_attr.into());
+        self
+    }
+
+    /// Attach a trained RExt scheme to a graph (needed for `Baseline`).
+    pub fn set_rext(&mut self, graph: &str, rext: Arc<Rext>) -> &mut Self {
+        self.rexts.insert(graph.into(), rext);
+        self
+    }
+
+    /// Attach an offline profile to a graph (needed for `Optimized` /
+    /// `Heuristic`).
+    pub fn set_profile(&mut self, graph: &str, profile: GraphProfile) -> &mut Self {
+        self.profiles.insert(graph.into(), profile);
+        self
+    }
+
+    /// Access a graph's profile.
+    pub fn profile(&self, graph: &str) -> Option<&GraphProfile> {
+        self.profiles.get(graph)
+    }
+
+    /// Mutable access (IncExt commits updated extractions through this).
+    pub fn profile_mut(&mut self, graph: &str) -> Option<&mut GraphProfile> {
+        self.profiles.get_mut(graph)
+    }
+
+    /// Access a registered graph.
+    pub fn graph(&self, name: &str) -> Option<&LabeledGraph> {
+        self.graphs.get(name)
+    }
+
+    /// Mutable access to a registered graph (for applying `ΔG`).
+    pub fn graph_mut(&mut self, name: &str) -> Option<&mut LabeledGraph> {
+        self.graphs.get_mut(name)
+    }
+
+    /// Set the link-join hop bound `k`.
+    pub fn set_k(&mut self, k: usize) -> &mut Self {
+        self.k = k;
+        self
+    }
+
+    /// Configure HER.
+    pub fn set_her_config(&mut self, cfg: HerConfig) -> &mut Self {
+        self.her_cfg = cfg;
+        self
+    }
+
+    /// Parse gSQL text.
+    pub fn parse(&self, text: &str) -> Result<Query> {
+        parse_query(text)
+    }
+
+    /// The linear-time well-behaved check of Section IV-A.
+    pub fn is_well_behaved(&self, q: &Query) -> bool {
+        is_well_behaved(q, &self.profiles, &self.id_attrs)
+    }
+
+    /// Parse and execute.
+    pub fn run(&self, text: &str, strategy: Strategy) -> Result<Relation> {
+        let q = self.parse(text)?;
+        self.run_query(&q, strategy)
+    }
+
+    /// Execute a parsed query.
+    pub fn run_query(&self, q: &Query, strategy: Strategy) -> Result<Relation> {
+        // 1. Evaluate FROM items.
+        let mut items: Vec<Relation> = Vec::with_capacity(q.from.len());
+        for (i, item) in q.from.iter().enumerate() {
+            items.push(self.eval_from_item(item, i, strategy)?);
+        }
+        if items.is_empty() {
+            return Err(GsjError::Parse("empty FROM clause".into()));
+        }
+
+        // 2. Bind WHERE conjuncts against the full combined schema: bare
+        //    identifiers that resolve nowhere become string literals (the
+        //    paper writes `T.pid = fd1`).
+        let mut all_attrs: Vec<String> = Vec::new();
+        for r in &items {
+            all_attrs.extend(r.schema().attrs().iter().cloned());
+        }
+        let full_schema = Schema::new("q".to_string(), all_attrs).map_err(|e| {
+            GsjError::Schema(format!(
+                "FROM items must have distinct attribute names (add aliases): {e}"
+            ))
+        })?;
+        let conjuncts: Vec<Expr> = match &q.where_clause {
+            None => Vec::new(),
+            Some(w) => split_conjuncts(w)
+                .into_iter()
+                .map(|c| bind_expr(c, &full_schema))
+                .collect::<Result<_>>()?,
+        };
+        let mut applied = vec![false; conjuncts.len()];
+
+        // 3. Fold the items left-to-right with predicate pushdown.
+        let mut acc = items.remove(0);
+        acc = apply_applicable(acc, &conjuncts, &mut applied)?;
+        for item in items {
+            let item = apply_applicable(item, &conjuncts, &mut applied)?;
+            // Conjuncts usable as the join predicate: resolvable on the
+            // combined schema, not yet applied.
+            let mut combined_attrs = acc.schema().attrs().to_vec();
+            combined_attrs.extend(item.schema().attrs().iter().cloned());
+            let combined = Schema::new("j".to_string(), combined_attrs)?;
+            let mut join_pred: Option<Expr> = None;
+            for (c, done) in conjuncts.iter().zip(applied.iter_mut()) {
+                if *done || !resolves(c, &combined) {
+                    continue;
+                }
+                *done = true;
+                join_pred = Some(match join_pred {
+                    None => c.clone(),
+                    Some(p) => p.and(c.clone()),
+                });
+            }
+            let pred = join_pred.unwrap_or_else(|| Expr::lit(true));
+            acc = theta_join(&acc, &item, &pred)?;
+        }
+
+        // 4. Any remaining conjunct must resolve now.
+        for (c, done) in conjuncts.iter().zip(applied.iter()) {
+            if !*done {
+                if !resolves(c, acc.schema()) {
+                    return Err(GsjError::NotFound(format!(
+                        "WHERE references unknown columns: {:?}",
+                        c.columns()
+                    )));
+                }
+                let plan = LogicalPlan::Values(acc).select(c.clone());
+                acc = gsj_relational::execute(&plan, &self.db)?;
+            }
+        }
+
+        // 5. Projection / aggregation, then ORDER BY / LIMIT.
+        let mut rel = self.project(q, acc)?;
+        if !q.order_by.is_empty() {
+            let plan = LogicalPlan::Sort {
+                input: Box::new(LogicalPlan::Values(rel)),
+                by: q.order_by.clone(),
+                desc: q.order_desc,
+            };
+            rel = gsj_relational::execute(&plan, &self.db)?;
+        }
+        if let Some(n) = q.limit {
+            let plan = LogicalPlan::Limit {
+                input: Box::new(LogicalPlan::Values(rel)),
+                n,
+            };
+            rel = gsj_relational::execute(&plan, &self.db)?;
+        }
+        Ok(rel)
+    }
+
+    /// An EXPLAIN-style description of how the query would be executed
+    /// under `strategy`: per semantic join, the traced base relation,
+    /// keyword coverage by `A_R`, and the implementation chosen
+    /// (static/dynamic rewrite over pre-extracted relations, heuristic
+    /// join, or online HER + RExt).
+    pub fn explain(&self, q: &Query, strategy: Strategy) -> String {
+        let mut out = String::new();
+        self.explain_query(q, strategy, 0, &mut out);
+        out
+    }
+
+    fn explain_query(&self, q: &Query, strategy: Strategy, depth: usize, out: &mut String) {
+        use std::fmt::Write as _;
+        let pad = "  ".repeat(depth);
+        for item in &q.from {
+            match item {
+                FromItem::Plain { source, alias } => match source {
+                    Source::Base(name) => {
+                        let _ = writeln!(
+                            out,
+                            "{pad}scan {name}{}",
+                            alias.as_deref().map(|a| format!(" as {a}")).unwrap_or_default()
+                        );
+                    }
+                    Source::Sub(sub) => {
+                        let _ = writeln!(out, "{pad}subquery:");
+                        self.explain_query(sub, strategy, depth + 1, out);
+                    }
+                },
+                FromItem::EJoin {
+                    source,
+                    graph,
+                    keywords,
+                    ..
+                } => {
+                    let base = source_base(source, &self.id_attrs);
+                    let covered = base
+                        .as_deref()
+                        .and_then(|b| self.profiles.get(graph).map(|p| p.covers(b, keywords)))
+                        .unwrap_or(false);
+                    let how = match strategy {
+                        Strategy::Baseline => "online HER + RExt (conceptual baseline)",
+                        Strategy::Heuristic => "heuristic join (schema match + ER)",
+                        Strategy::Optimized if covered => {
+                            if matches!(source, Source::Base(_)) {
+                                "static rewrite: S ⋈ f(D,G) ⋈ h(D,G)"
+                            } else {
+                                "dynamic rewrite: Q ⋈ f(D,G) ⋈ h(D,G)"
+                            }
+                        }
+                        Strategy::Optimized => "heuristic join (A ⊄ A_R → not well-behaved)",
+                    };
+                    let _ = writeln!(
+                        out,
+                        "{pad}e-join {graph}<{}> over {} — {how}",
+                        keywords.join(", "),
+                        base.as_deref().unwrap_or("<untraceable>"),
+                    );
+                    if let Source::Sub(sub) = source {
+                        self.explain_query(sub, strategy, depth + 1, out);
+                    }
+                }
+                FromItem::LJoin { left, graph, right, .. } => {
+                    let lbase = source_base(left, &self.id_attrs);
+                    let rbase = source_base(right, &self.id_attrs);
+                    let how = match strategy {
+                        Strategy::Baseline => "online HER + bidirectional BFS",
+                        Strategy::Heuristic => "heuristic: ER to gτ(G) + connectivity",
+                        Strategy::Optimized => "pre-matched f(D,G) + g_L connectivity cache",
+                    };
+                    let _ = writeln!(
+                        out,
+                        "{pad}l-join <{graph}> {} × {} (k = {}) — {how}",
+                        lbase.as_deref().unwrap_or("<untraceable>"),
+                        rbase.as_deref().unwrap_or("<untraceable>"),
+                        self.k,
+                    );
+                }
+            }
+        }
+        let pad2 = "  ".repeat(depth);
+        let _ = writeln!(
+            out,
+            "{pad2}well-behaved: {}",
+            is_well_behaved(q, &self.profiles, &self.id_attrs)
+        );
+    }
+
+    fn project(&self, q: &Query, input: Relation) -> Result<Relation> {
+        if q.projections == vec![Projection::Star] {
+            return Ok(input);
+        }
+        let has_agg = q
+            .projections
+            .iter()
+            .any(|p| matches!(p, Projection::Agg { .. }));
+        if has_agg {
+            // Explicit GROUP BY wins; otherwise SQL-style implicit
+            // grouping: non-aggregate select columns become the group
+            // keys.
+            let explicit: Vec<String> = q
+                .group_by
+                .iter()
+                .map(|c| {
+                    Expr::resolve_column(input.schema(), c)
+                        .map(|pos| input.schema().attrs()[pos].clone())
+                })
+                .collect::<Result<_>>()?;
+            let mut group_by = Vec::new();
+            let mut aggs = Vec::new();
+            let mut out_names = Vec::new();
+            for p in &q.projections {
+                match p {
+                    Projection::Col { name, alias } => {
+                        let pos = Expr::resolve_column(input.schema(), name)?;
+                        let resolved = input.schema().attrs()[pos].clone();
+                        if !explicit.is_empty() && !explicit.contains(&resolved) {
+                            return Err(GsjError::Schema(format!(
+                                "column `{name}` must appear in GROUP BY"
+                            )));
+                        }
+                        group_by.push(resolved);
+                        out_names.push(alias.clone().unwrap_or_else(|| name.clone()));
+                    }
+                    Projection::Agg { func, col, alias } => {
+                        let resolved = if col == "*" {
+                            "*".to_string()
+                        } else {
+                            let pos = Expr::resolve_column(input.schema(), col)?;
+                            input.schema().attrs()[pos].clone()
+                        };
+                        let default_name = format!("{func}_{}", Schema::base_name(&resolved));
+                        let name = alias.clone().unwrap_or(default_name);
+                        aggs.push(AggSpec::new(*func, resolved, name.clone()));
+                        out_names.push(name);
+                    }
+                    Projection::Star => {
+                        return Err(GsjError::Unsupported(
+                            "cannot mix * with aggregates".into(),
+                        ))
+                    }
+                }
+            }
+            let plan = LogicalPlan::Aggregate {
+                input: Box::new(LogicalPlan::Values(input)),
+                group_by,
+                aggs,
+            };
+            let rel = gsj_relational::execute(&plan, &self.db)?;
+            return rename_attrs(rel, &out_names);
+        }
+        // Plain projection with optional renaming.
+        let mut positions = Vec::new();
+        let mut names = Vec::new();
+        for p in &q.projections {
+            if let Projection::Col { name, alias } = p {
+                positions.push(Expr::resolve_column(input.schema(), name)?);
+                names.push(alias.clone().unwrap_or_else(|| name.clone()));
+            }
+        }
+        let schema = Schema::new(input.schema().name().to_string(), names)?;
+        let mut out = Relation::empty(schema);
+        for t in input.tuples() {
+            out.push(t.project(&positions))?;
+        }
+        Ok(out)
+    }
+
+    fn eval_source(&self, source: &Source, strategy: Strategy) -> Result<Relation> {
+        match source {
+            Source::Base(name) => Ok(self.db.get(name)?.clone()),
+            Source::Sub(q) => self.run_query(q, strategy),
+        }
+    }
+
+    /// The id attribute *as present in* a source's output schema.
+    fn actual_id_attr(&self, rel: &Relation, base: &str) -> Result<String> {
+        let id = self.id_attrs.get(base).ok_or_else(|| {
+            GsjError::Config(format!("no id attribute registered for `{base}`"))
+        })?;
+        rel.schema()
+            .attrs()
+            .iter()
+            .find(|a| Schema::base_name(a) == id)
+            .cloned()
+            .ok_or_else(|| {
+                GsjError::Schema(format!(
+                    "source schema lacks the id attribute `{id}` of `{base}`"
+                ))
+            })
+    }
+
+    fn the_graph(&self, name: &str) -> Result<&LabeledGraph> {
+        self.graphs
+            .get(name)
+            .ok_or_else(|| GsjError::NotFound(format!("graph `{name}`")))
+    }
+
+    fn eval_from_item(
+        &self,
+        item: &FromItem,
+        index: usize,
+        strategy: Strategy,
+    ) -> Result<Relation> {
+        match item {
+            FromItem::Plain { source, alias } => {
+                let rel = self.eval_source(source, strategy)?;
+                let name = alias.clone().unwrap_or_else(|| match source {
+                    Source::Base(b) => b.clone(),
+                    Source::Sub(_) => format!("sub{index}"),
+                });
+                Ok(rel.qualified(&name))
+            }
+            FromItem::EJoin {
+                source,
+                graph,
+                keywords,
+                alias,
+            } => {
+                let rel = self.eval_source(source, strategy)?;
+                let base = source_base(source, &self.id_attrs).ok_or_else(|| {
+                    GsjError::Unsupported(
+                        "e-join source is not traceable to a base relation".into(),
+                    )
+                })?;
+                let joined = self.eval_ejoin(&rel, &base, graph, keywords, strategy)?;
+                Ok(match alias {
+                    Some(a) => joined.qualified(a),
+                    None => joined,
+                })
+            }
+            FromItem::LJoin {
+                left,
+                graph,
+                right,
+                right_alias,
+            } => self.eval_ljoin(left, graph, right, right_alias.as_deref(), strategy),
+        }
+    }
+
+    fn eval_ejoin(
+        &self,
+        rel: &Relation,
+        base: &str,
+        graph: &str,
+        keywords: &[String],
+        strategy: Strategy,
+    ) -> Result<Relation> {
+        let id_attr = self.actual_id_attr(rel, base)?;
+        let g = self.the_graph(graph)?;
+        match strategy {
+            Strategy::Baseline => {
+                let rext = self.rexts.get(graph).ok_or_else(|| {
+                    GsjError::Config(format!("no RExt registered for graph `{graph}`"))
+                })?;
+                let (joined, _state) =
+                    enrichment_join(rel, &id_attr, g, keywords, rext, &self.her_cfg)?;
+                Ok(joined)
+            }
+            Strategy::Optimized => {
+                let profile = self.profiles.get(graph).ok_or_else(|| {
+                    GsjError::Config(format!("no profile for graph `{graph}`"))
+                })?;
+                if profile.covers(base, keywords) {
+                    let ex = profile.extraction(base)?;
+                    enrichment_join_precomputed(
+                        rel,
+                        &id_attr,
+                        &ex.matches,
+                        &ex.dg,
+                        Some(keywords),
+                    )
+                } else {
+                    // Not well-behaved → heuristic (Section IV-B).
+                    crate::heuristic::heuristic_enrichment(
+                        rel,
+                        Some(&id_attr),
+                        keywords,
+                        &profile.typed,
+                        &self.er_cfg,
+                    )
+                }
+            }
+            Strategy::Heuristic => {
+                let profile = self.profiles.get(graph).ok_or_else(|| {
+                    GsjError::Config(format!("no profile for graph `{graph}`"))
+                })?;
+                crate::heuristic::heuristic_enrichment(
+                    rel,
+                    Some(&id_attr),
+                    keywords,
+                    &profile.typed,
+                    &self.er_cfg,
+                )
+            }
+        }
+    }
+
+    fn eval_ljoin(
+        &self,
+        left: &Source,
+        graph: &str,
+        right: &Source,
+        right_alias: Option<&str>,
+        strategy: Strategy,
+    ) -> Result<Relation> {
+        let lbase = source_base(left, &self.id_attrs).ok_or_else(|| {
+            GsjError::Unsupported("l-join left source not traceable".into())
+        })?;
+        let rbase = source_base(right, &self.id_attrs).ok_or_else(|| {
+            GsjError::Unsupported("l-join right source not traceable".into())
+        })?;
+        let lalias = lbase.clone();
+        let ralias = match right_alias {
+            Some(a) => a.to_string(),
+            None if rbase != lbase => rbase.clone(),
+            None => {
+                return Err(GsjError::Parse(
+                    "self l-join requires an alias for the right side".into(),
+                ))
+            }
+        };
+        let lrel = self.eval_source(left, strategy)?.qualified(&lalias);
+        let rrel = self.eval_source(right, strategy)?.qualified(&ralias);
+        let lid = self.actual_id_attr(&lrel, &lbase)?;
+        let rid = self.actual_id_attr(&rrel, &rbase)?;
+        let g = self.the_graph(graph)?;
+        match strategy {
+            Strategy::Baseline => {
+                link_join(&lrel, &lid, &rrel, &rid, g, self.k, &self.her_cfg)
+            }
+            Strategy::Optimized => {
+                let profile = self.profiles.get(graph).ok_or_else(|| {
+                    GsjError::Config(format!("no profile for graph `{graph}`"))
+                })?;
+                let m1 = &profile.extraction(&lbase)?.matches;
+                let m2 = &profile.extraction(&rbase)?.matches;
+                // Distinct matched vertices actually present in each side.
+                let lpos = lrel.schema().require(&lid)?;
+                let rpos = rrel.schema().require(&rid)?;
+                let mut lv: Vec<VertexId> = lrel
+                    .tuples()
+                    .iter()
+                    .filter_map(|t| m1.vertex_of(t.get(lpos)))
+                    .collect();
+                lv.sort();
+                lv.dedup();
+                let mut rv: Vec<VertexId> = rrel
+                    .tuples()
+                    .iter()
+                    .filter_map(|t| m2.vertex_of(t.get(rpos)))
+                    .collect();
+                rv.sort();
+                rv.dedup();
+                let signature = link_signature(graph, &lbase, &rbase, self.k, &lv, &rv);
+                let gl = match profile.cached_link(&signature) {
+                    Some(rel) => rel,
+                    None => {
+                        let rel = connectivity_relation(g, &lv, &rv, self.k, "g_l");
+                        profile.cache_link(signature, rel.clone());
+                        rel
+                    }
+                };
+                let pairs: FxHashSet<(i64, i64)> = gl
+                    .tuples()
+                    .iter()
+                    .filter_map(|t| Some((t.get(0).as_int()?, t.get(1).as_int()?)))
+                    .collect();
+                // Emit tuple pairs whose matched vertices are connected.
+                let mut attrs = lrel.schema().attrs().to_vec();
+                attrs.extend(rrel.schema().attrs().iter().cloned());
+                let schema = Schema::new(format!("{lalias}_lj_{ralias}"), attrs)?;
+                let mut out = Relation::empty(schema);
+                for t1 in lrel.tuples() {
+                    let Some(v1) = m1.vertex_of(t1.get(lpos)) else { continue };
+                    for t2 in rrel.tuples() {
+                        let Some(v2) = m2.vertex_of(t2.get(rpos)) else { continue };
+                        if pairs.contains(&(v1.0 as i64, v2.0 as i64)) {
+                            out.push(t1.concat(t2))?;
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            Strategy::Heuristic => {
+                let profile = self.profiles.get(graph).ok_or_else(|| {
+                    GsjError::Config(format!("no profile for graph `{graph}`"))
+                })?;
+                crate::heuristic::heuristic_link(
+                    &lrel,
+                    Some(&lid),
+                    &rrel,
+                    Some(&rid),
+                    &profile.typed,
+                    g,
+                    self.k,
+                    &self.er_cfg,
+                )
+            }
+        }
+    }
+}
+
+/// `g_L` cache key: graph, bases, k, and the participating vertex sets.
+fn link_signature(
+    graph: &str,
+    lbase: &str,
+    rbase: &str,
+    k: usize,
+    lv: &[VertexId],
+    rv: &[VertexId],
+) -> String {
+    use std::hash::{Hash, Hasher};
+    let mut h = gsj_common::FxHasher::default();
+    lv.hash(&mut h);
+    rv.hash(&mut h);
+    format!("{graph}|{lbase}|{rbase}|{k}|{:x}", h.finish())
+}
+
+/// Split a predicate into top-level conjuncts.
+fn split_conjuncts(e: &Expr) -> Vec<Expr> {
+    match e {
+        Expr::And(a, b) => {
+            let mut out = split_conjuncts(a);
+            out.extend(split_conjuncts(b));
+            out
+        }
+        other => vec![other.clone()],
+    }
+}
+
+/// Do all column references of `e` resolve in `schema`?
+fn resolves(e: &Expr, schema: &Schema) -> bool {
+    e.columns()
+        .iter()
+        .all(|c| Expr::resolve_column(schema, c).is_ok())
+}
+
+/// Rewrite unresolvable *bare* identifiers into string literals; error on
+/// unresolvable qualified names.
+fn bind_expr(e: Expr, schema: &Schema) -> Result<Expr> {
+    Ok(match e {
+        Expr::Col(name) => {
+            if Expr::resolve_column(schema, &name).is_ok() {
+                Expr::Col(name)
+            } else if !name.contains('.') {
+                Expr::Lit(Value::str(name))
+            } else {
+                return Err(GsjError::NotFound(format!("column `{name}`")));
+            }
+        }
+        Expr::Lit(v) => Expr::Lit(v),
+        Expr::Cmp(op, l, r) => Expr::Cmp(
+            op,
+            Box::new(bind_expr(*l, schema)?),
+            Box::new(bind_expr(*r, schema)?),
+        ),
+        Expr::Bin(op, l, r) => Expr::Bin(
+            op,
+            Box::new(bind_expr(*l, schema)?),
+            Box::new(bind_expr(*r, schema)?),
+        ),
+        Expr::And(l, r) => Expr::And(
+            Box::new(bind_expr(*l, schema)?),
+            Box::new(bind_expr(*r, schema)?),
+        ),
+        Expr::Or(l, r) => Expr::Or(
+            Box::new(bind_expr(*l, schema)?),
+            Box::new(bind_expr(*r, schema)?),
+        ),
+        Expr::Not(x) => Expr::Not(Box::new(bind_expr(*x, schema)?)),
+        Expr::IsNull(x) => Expr::IsNull(Box::new(bind_expr(*x, schema)?)),
+    })
+}
+
+/// Apply every not-yet-applied conjunct that fully resolves on `rel`.
+fn apply_applicable(
+    rel: Relation,
+    conjuncts: &[Expr],
+    applied: &mut [bool],
+) -> Result<Relation> {
+    let mut rel = rel;
+    for (c, done) in conjuncts.iter().zip(applied.iter_mut()) {
+        if *done || !resolves(c, rel.schema()) {
+            continue;
+        }
+        *done = true;
+        let plan = LogicalPlan::Values(rel).select(c.clone());
+        rel = gsj_relational::execute(&plan, &Database::new())?;
+    }
+    Ok(rel)
+}
+
+/// Rename a relation's attributes positionally.
+fn rename_attrs(rel: Relation, names: &[String]) -> Result<Relation> {
+    let (schema, tuples) = rel.into_parts();
+    let new = Schema::new(schema.name().to_string(), names.to_vec())?;
+    Relation::new(new, tuples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{PathKind, RExtConfig};
+    use crate::profile::RelationSpec;
+    use crate::typed::TypedConfig;
+
+    /// The Fig.-1 setting, small enough for unit tests: customers and
+    /// products in D; a product knowledge graph and a social graph.
+    fn engine() -> GsqlEngine {
+        let mut db = Database::new();
+        let mut customer = Relation::empty(Schema::of(
+            "customer",
+            &["cid", "name", "credit", "bal"],
+        ));
+        for (cid, name, credit, bal) in [
+            ("cid01", "Bob Jones", "fair", 500_000),
+            ("cid02", "Bob Brown", "good", 110_000),
+            ("cid03", "Guy Ritchie", "good", 50_000),
+            ("cid04", "Ada King", "fair", 100_000),
+        ] {
+            customer
+                .push_values(vec![
+                    Value::str(cid),
+                    Value::str(name),
+                    Value::str(credit),
+                    Value::Int(bal),
+                ])
+                .unwrap();
+        }
+        db.insert(customer);
+        let mut product =
+            Relation::empty(Schema::of("product", &["pid", "pname", "ptype", "risk"]));
+        for (pid, pname, ptype, risk) in [
+            ("fd1", "GL ESG", "Funds", "medium"),
+            ("fd2", "Beta", "Stocks", "high"),
+            ("fd3", "GL100", "Funds", "low"),
+            ("fd4", "RainForest", "Stocks", "medium"),
+        ] {
+            product
+                .push_values(vec![
+                    Value::str(pid),
+                    Value::str(pname),
+                    Value::str(ptype),
+                    Value::str(risk),
+                ])
+                .unwrap();
+        }
+        db.insert(product);
+
+        // Product knowledge graph.
+        let mut g = LabeledGraph::new();
+        let prod_ty = g.add_vertex("ProductEntity");
+        let companies = ["company1", "company1", "company2", "company2"];
+        let locs = ["UK", "UK", "US", "US"];
+        let names = ["GL ESG", "Beta", "GL100", "RainForest"];
+        let types = ["Funds", "Stocks", "Funds", "Stocks"];
+        for i in 0..4 {
+            let p = g.add_vertex(&format!("pid{}", i + 1));
+            g.add_edge(p, "type", prod_ty);
+            let n = g.add_vertex(names[i]);
+            g.add_edge(p, "name", n);
+            let t = g.add_vertex(types[i]);
+            g.add_edge(p, "kind", t);
+            let c = g.add_vertex(companies[i]);
+            g.add_edge(p, "issue", c);
+            let l = g.add_vertex(locs[i]);
+            g.add_edge(c, "regloc", l);
+        }
+
+        // Social graph for link joins.
+        let mut gs = LabeledGraph::new();
+        let people = ["Bob Jones", "Bob Brown", "Guy Ritchie", "Ada King"];
+        let mut ids = Vec::new();
+        for (i, name) in people.iter().enumerate() {
+            let v = gs.add_vertex(&format!("person{i}"));
+            let n = gs.add_vertex(name);
+            gs.add_edge(v, "name", n);
+            ids.push(v);
+        }
+        // Bob Brown - Ada King - Guy Ritchie chain.
+        gs.add_edge(ids[1], "knows", ids[3]);
+        gs.add_edge(ids[3], "knows", ids[2]);
+
+        let rext_cfg = RExtConfig {
+            k: 3,
+            h: 10,
+            m: 2,
+            path: PathKind::Random,
+            threads: 1,
+            seed: 21,
+            ..RExtConfig::default()
+        };
+        let rext = Arc::new(Rext::train(&g, rext_cfg.clone()).unwrap());
+        let rext_s = Arc::new(Rext::train(&gs, rext_cfg).unwrap());
+
+        let mut engine = GsqlEngine::new(db);
+        engine.set_id_attr("customer", "cid");
+        engine.set_id_attr("product", "pid");
+        // The social graph only carries a name property per person, so a
+        // third of the customer attributes can match: relax the threshold
+        // (the paper configures JedAI per collection the same way).
+        let her = HerConfig {
+            min_score: 0.3,
+            ..HerConfig::default()
+        };
+        engine.set_her_config(her.clone());
+
+        let profile = GraphProfile::build(
+            &g,
+            &engine.db,
+            vec![RelationSpec::new("product", "pid", &["company", "loc"])],
+            &rext,
+            &her,
+            Some(&TypedConfig {
+                default_keywords: vec!["name".into(), "company".into(), "loc".into()],
+                ..TypedConfig::default()
+            }),
+        )
+        .unwrap();
+        let profile_s = GraphProfile::build(
+            &gs,
+            &engine.db,
+            vec![RelationSpec::new("customer", "cid", &["name"])],
+            &rext_s,
+            &her,
+            None,
+        )
+        .unwrap();
+        engine.add_graph("G", g).add_graph("Gs", gs);
+        engine.set_rext("G", rext).set_rext("Gs", rext_s);
+        engine.set_profile("G", profile).set_profile("Gs", profile_s);
+        engine.set_k(2);
+        engine
+    }
+
+    #[test]
+    fn q1_static_enrichment_optimized() {
+        let e = engine();
+        let q = "select risk, company from product e-join G <company, loc> as T \
+                 where T.pid = fd1 and T.loc = UK";
+        let parsed = e.parse(q).unwrap();
+        assert!(e.is_well_behaved(&parsed));
+        let r = e.run(q, Strategy::Optimized).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.tuples()[0].get(0), &Value::str("medium"));
+        assert_eq!(r.tuples()[0].get(1), &Value::str("company1"));
+    }
+
+    #[test]
+    fn q1_baseline_agrees_with_optimized() {
+        let e = engine();
+        let q = "select risk, company from product e-join G <company, loc> as T \
+                 where T.pid = fd1";
+        let opt = e.run(q, Strategy::Optimized).unwrap();
+        let base = e.run(q, Strategy::Baseline).unwrap();
+        assert_eq!(opt.len(), 1);
+        assert_eq!(base.len(), 1);
+        assert_eq!(opt.tuples()[0].get(0), base.tuples()[0].get(0));
+    }
+
+    #[test]
+    fn q2_join_on_extracted_attribute() {
+        let e = engine();
+        // fd1 and fd2 share company1 via the graph.
+        let q = "select T1.pid, T2.pid from \
+                 product e-join G <company> as T1, product e-join G <company> as T2 \
+                 where T1.pid = fd1 and T1.company = T2.company and T2.pid <> fd1";
+        let r = e.run(q, Strategy::Optimized).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.tuples()[0].get(1), &Value::str("fd2"));
+    }
+
+    #[test]
+    fn q3_link_join_finds_connected_customers() {
+        let e = engine();
+        let q = "select * from customer l-join <Gs> customer as customerB \
+                 where customer.cid = cid02 and customerB.credit = good";
+        let r = e.run(q, Strategy::Optimized).unwrap();
+        // Within k=2 of Bob Brown: Ada (fair), Guy (good) → only Guy kept
+        // ... plus Bob Brown himself (good, distance 0).
+        let names: Vec<String> = r
+            .column("customerB.name")
+            .unwrap()
+            .iter()
+            .map(|v| v.to_string())
+            .collect();
+        assert!(names.contains(&"Guy Ritchie".to_string()), "{names:?}");
+        assert!(!names.contains(&"Ada King".to_string()));
+        // And the baseline strategy agrees.
+        let rb = e.run(q, Strategy::Baseline).unwrap();
+        assert_eq!(r.len(), rb.len());
+    }
+
+    #[test]
+    fn link_join_cache_is_populated() {
+        let e = engine();
+        let q = "select * from customer l-join <Gs> customer as customerB \
+                 where customer.cid = cid02";
+        assert_eq!(e.profile("Gs").unwrap().link_cache_len(), 0);
+        e.run(q, Strategy::Optimized).unwrap();
+        assert_eq!(e.profile("Gs").unwrap().link_cache_len(), 1);
+        // Second run hits the cache (observable: len stays 1).
+        e.run(q, Strategy::Optimized).unwrap();
+        assert_eq!(e.profile("Gs").unwrap().link_cache_len(), 1);
+    }
+
+    #[test]
+    fn heuristic_strategy_answers_without_her_rext() {
+        let e = engine();
+        let q = "select pname, company from product e-join G <company> as T \
+                 where T.risk = medium";
+        let r = e.run(q, Strategy::Heuristic).unwrap();
+        assert!(!r.is_empty());
+        assert!(r.schema().contains("company"));
+    }
+
+    #[test]
+    fn non_well_behaved_keywords_fall_back() {
+        let e = engine();
+        // `issuer` ∉ A_R = {company, loc} → not well-behaved.
+        let q = "select * from product e-join G <issuer> as T";
+        let parsed = e.parse(q).unwrap();
+        assert!(!e.is_well_behaved(&parsed));
+        // Optimized still answers it (via heuristic fallback).
+        let r = e.run(q, Strategy::Optimized);
+        assert!(r.is_ok());
+    }
+
+    #[test]
+    fn aggregates_and_negation() {
+        let e = engine();
+        let q = "select credit, count(*) as n from customer \
+                 where not credit = fair";
+        let r = e.run(q, Strategy::Optimized).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.schema().attrs(), &["credit".to_string(), "n".to_string()]);
+        assert_eq!(r.tuples()[0].get(1), &Value::Int(2));
+    }
+
+    #[test]
+    fn dynamic_join_over_subquery() {
+        let e = engine();
+        let q = "select pid, company from \
+                 (select pid, pname, ptype, risk from product where risk = medium) \
+                 e-join G <company, loc> as T";
+        let parsed = e.parse(q).unwrap();
+        assert!(e.is_well_behaved(&parsed), "sub-query projects one base");
+        let r = e.run(q, Strategy::Optimized).unwrap();
+        // fd1 and fd4 are medium-risk.
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn plain_sql_still_works() {
+        let e = engine();
+        let r = e
+            .run(
+                "select name from customer where bal >= 100000 and credit = good",
+                Strategy::Optimized,
+            )
+            .unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.tuples()[0].get(0), &Value::str("Bob Brown"));
+    }
+
+    #[test]
+    fn string_literals_and_bare_idents_agree() {
+        let e = engine();
+        let bare = e
+            .run("select * from customer where credit = good", Strategy::Optimized)
+            .unwrap();
+        let quoted = e
+            .run("select * from customer where credit = 'good'", Strategy::Optimized)
+            .unwrap();
+        assert_eq!(bare.len(), quoted.len());
+    }
+
+    #[test]
+    fn order_by_and_limit() {
+        let e = engine();
+        let r = e
+            .run(
+                "select cid, bal from customer order by bal desc limit 2",
+                Strategy::Optimized,
+            )
+            .unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.tuples()[0].get(1), &Value::Int(500_000));
+        assert_eq!(r.tuples()[1].get(1), &Value::Int(110_000));
+        let asc = e
+            .run("select cid from customer order by cid limit 1", Strategy::Optimized)
+            .unwrap();
+        assert_eq!(asc.tuples()[0].get(0), &Value::str("cid01"));
+    }
+
+    #[test]
+    fn explicit_group_by() {
+        let e = engine();
+        let r = e
+            .run(
+                "select credit, count(*) as n from customer group by credit order by n desc",
+                Strategy::Optimized,
+            )
+            .unwrap();
+        assert_eq!(r.len(), 2);
+        assert!(r.tuples()[0].get(1).as_int() >= r.tuples()[1].get(1).as_int());
+        // A selected column outside GROUP BY is rejected.
+        let bad = e.run(
+            "select name, count(*) as n from customer group by credit",
+            Strategy::Optimized,
+        );
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn explain_names_the_rewrite() {
+        let e = engine();
+        let q = e
+            .parse("select risk from product e-join G <company, loc> as T")
+            .unwrap();
+        let plan = e.explain(&q, Strategy::Optimized);
+        assert!(plan.contains("static rewrite"), "{plan}");
+        assert!(plan.contains("well-behaved: true"), "{plan}");
+        let q2 = e.parse("select * from product e-join G <issuer> as T").unwrap();
+        let plan2 = e.explain(&q2, Strategy::Optimized);
+        assert!(plan2.contains("heuristic"), "{plan2}");
+        let q3 = e
+            .parse("select * from customer l-join <Gs> customer as b")
+            .unwrap();
+        let plan3 = e.explain(&q3, Strategy::Optimized);
+        assert!(plan3.contains("g_L"), "{plan3}");
+    }
+
+    #[test]
+    fn unknown_graph_is_an_error() {
+        let e = engine();
+        let r = e.run("select * from product e-join NoSuch <x> as T", Strategy::Baseline);
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,240 @@
+//! The gSQL lexer.
+
+use gsj_common::{GsjError, Result};
+
+/// gSQL tokens.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword (lower-cased): select, from, where, as, and, or, not, is,
+    /// null, true, false.
+    Kw(String),
+    /// `e-join`.
+    EJoin,
+    /// `l-join`.
+    LJoin,
+    /// Identifier (may be quoted with double quotes to allow exotic
+    /// characters, e.g. `"customer'"`).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal.
+    Str(String),
+    /// Punctuation / operators: `, ( ) < > <= >= = != <> . * + - /`.
+    Sym(&'static str),
+}
+
+const KEYWORDS: &[&str] = &[
+    "select", "from", "where", "as", "and", "or", "not", "is", "null", "true", "false",
+    "count", "sum", "avg", "min", "max", "order", "by", "limit", "asc", "desc", "group",
+];
+
+/// Tokenize gSQL text. Angle brackets `<...>` double as the keyword-list
+/// delimiters of `e-join`/`l-join`; the parser disambiguates by context.
+pub fn lex(input: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Identifiers / keywords / e-join / l-join.
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            let word: String = chars[start..i].iter().collect();
+            // e-join / l-join: a one-letter ident followed by "-join".
+            if (word == "e" || word == "l")
+                && chars.get(i) == Some(&'-')
+                && chars.get(i + 1..i + 5).map(|s| s.iter().collect::<String>())
+                    == Some("join".to_string())
+            {
+                i += 5;
+                tokens.push(if word == "e" { Token::EJoin } else { Token::LJoin });
+                continue;
+            }
+            let lower = word.to_lowercase();
+            if KEYWORDS.contains(&lower.as_str()) {
+                tokens.push(Token::Kw(lower));
+            } else {
+                tokens.push(Token::Ident(word));
+            }
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut is_float = false;
+            while i < chars.len()
+                && (chars[i].is_ascii_digit()
+                    || (chars[i] == '.'
+                        && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit())
+                        && !is_float))
+            {
+                if chars[i] == '.' {
+                    is_float = true;
+                }
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            if is_float {
+                tokens.push(Token::Float(text.parse().map_err(|_| {
+                    GsjError::Parse(format!("bad float literal `{text}`"))
+                })?));
+            } else {
+                tokens.push(Token::Int(text.parse().map_err(|_| {
+                    GsjError::Parse(format!("bad int literal `{text}`"))
+                })?));
+            }
+            continue;
+        }
+        // String literals.
+        if c == '\'' {
+            let start = i + 1;
+            let mut j = start;
+            while j < chars.len() && chars[j] != '\'' {
+                j += 1;
+            }
+            if j >= chars.len() {
+                return Err(GsjError::Parse("unterminated string literal".into()));
+            }
+            tokens.push(Token::Str(chars[start..j].iter().collect()));
+            i = j + 1;
+            continue;
+        }
+        // Quoted identifiers.
+        if c == '"' {
+            let start = i + 1;
+            let mut j = start;
+            while j < chars.len() && chars[j] != '"' {
+                j += 1;
+            }
+            if j >= chars.len() {
+                return Err(GsjError::Parse("unterminated quoted identifier".into()));
+            }
+            tokens.push(Token::Ident(chars[start..j].iter().collect()));
+            i = j + 1;
+            continue;
+        }
+        // Multi-char operators first.
+        let two: String = chars[i..(i + 2).min(chars.len())].iter().collect();
+        let sym = match two.as_str() {
+            "<=" => Some("<="),
+            ">=" => Some(">="),
+            "!=" => Some("!="),
+            "<>" => Some("<>"),
+            _ => None,
+        };
+        if let Some(s) = sym {
+            tokens.push(Token::Sym(s));
+            i += 2;
+            continue;
+        }
+        let single = match c {
+            ',' => ",",
+            '(' => "(",
+            ')' => ")",
+            '<' => "<",
+            '>' => ">",
+            '=' => "=",
+            '.' => ".",
+            '*' => "*",
+            '+' => "+",
+            '-' => "-",
+            '/' => "/",
+            // The paper's typography: accept unicode angle brackets too.
+            '⟨' => "<",
+            '⟩' => ">",
+            _ => {
+                return Err(GsjError::Parse(format!(
+                    "unexpected character `{c}` at offset {i}"
+                )))
+            }
+        };
+        tokens.push(Token::Sym(single));
+        i += 1;
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_q1_from_the_paper() {
+        let toks = lex(
+            "select risk, company from product e-join G <company, loc> as T \
+             where T.pid = fd1 and T.loc = UK",
+        )
+        .unwrap();
+        assert!(toks.contains(&Token::EJoin));
+        assert!(toks.contains(&Token::Kw("select".into())));
+        assert!(toks.contains(&Token::Ident("G".into())));
+        assert!(toks.contains(&Token::Sym("<")));
+    }
+
+    #[test]
+    fn ejoin_vs_subtraction() {
+        // `e-join` only triggers on the bare identifiers e/l.
+        let toks = lex("price - join").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("price".into()),
+                Token::Sym("-"),
+                Token::Ident("join".into())
+            ]
+        );
+        assert_eq!(lex("l-join").unwrap(), vec![Token::LJoin]);
+    }
+
+    #[test]
+    fn literals_and_operators() {
+        let toks = lex("where bal >= 1000 * 2.5 and name = 'G&L ESG' or x <> 1").unwrap();
+        assert!(toks.contains(&Token::Int(1000)));
+        assert!(toks.contains(&Token::Float(2.5)));
+        assert!(toks.contains(&Token::Str("G&L ESG".into())));
+        assert!(toks.contains(&Token::Sym(">=")));
+        assert!(toks.contains(&Token::Sym("<>")));
+    }
+
+    #[test]
+    fn quoted_identifiers_allow_primes() {
+        let toks = lex("customer as \"customer'\"").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("customer".into()),
+                Token::Kw("as".into()),
+                Token::Ident("customer'".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn unicode_angle_brackets() {
+        let toks = lex("e-join G ⟨loc⟩").unwrap();
+        assert_eq!(toks[2], Token::Sym("<"));
+        assert_eq!(toks[4], Token::Sym(">"));
+    }
+
+    #[test]
+    fn errors_on_junk() {
+        assert!(lex("select ;").is_err());
+        assert!(lex("'unterminated").is_err());
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let toks = lex("SELECT * FROM t").unwrap();
+        assert_eq!(toks[0], Token::Kw("select".into()));
+        assert_eq!(toks[2], Token::Kw("from".into()));
+    }
+}

@@ -1,0 +1,25 @@
+//! gSQL: SQL extended with `e-join` / `l-join` syntactic sugar for
+//! semantic joins (Section II-C).
+//!
+//! ```text
+//! select A1, ..., Ah
+//! from   R1, ..., Rn,
+//!        S1 e-join G1<A1> as T1, ...,
+//!        Ta l-join <G> Tb as Tb', ...
+//! where  CONDITION-1 and/or ... CONDITION-P
+//! ```
+//!
+//! A gSQL query returns a relation and "can be rewritten into an SQL query"
+//! — [`exec`] performs that rewriting against the relational engine, under
+//! one of three strategies (conceptual baseline, optimized joins over
+//! pre-extracted relations for well-behaved queries, heuristic joins).
+
+pub mod analyze;
+pub mod ast;
+pub mod exec;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{FromItem, Projection, Query, Source};
+pub use exec::{GsqlEngine, Strategy};
+pub use parser::parse_query;

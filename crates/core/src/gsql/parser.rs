@@ -1,0 +1,510 @@
+//! Recursive-descent parser for gSQL.
+
+use super::ast::{FromItem, Projection, Query, Source};
+use super::lexer::{lex, Token};
+use gsj_common::{GsjError, Result, Value};
+use gsj_relational::{AggFunc, BinOp, CmpOp, Expr};
+
+/// Parse a gSQL query from text.
+pub fn parse_query(input: &str) -> Result<Query> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    if p.pos != p.tokens.len() {
+        return Err(GsjError::Parse(format!(
+            "trailing tokens after query: {:?}",
+            &p.tokens[p.pos..]
+        )));
+    }
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Kw(k)) if k == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(GsjError::Parse(format!(
+                "expected `{kw}`, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn eat_sym(&mut self, s: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Sym(x)) if *x == s) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, s: &str) -> Result<()> {
+        if self.eat_sym(s) {
+            Ok(())
+        } else {
+            Err(GsjError::Parse(format!(
+                "expected `{s}`, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(GsjError::Parse(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    /// `ident ( '.' ident )?`
+    fn column_name(&mut self) -> Result<String> {
+        let first = self.ident()?;
+        if self.eat_sym(".") {
+            let second = self.ident()?;
+            Ok(format!("{first}.{second}"))
+        } else {
+            Ok(first)
+        }
+    }
+
+    fn query(&mut self) -> Result<Query> {
+        self.expect_kw("select")?;
+        let projections = self.select_list()?;
+        self.expect_kw("from")?;
+        let mut from = vec![self.from_item()?];
+        while self.eat_sym(",") {
+            from.push(self.from_item()?);
+        }
+        let where_clause = if self.eat_kw("where") {
+            Some(self.or_expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            group_by.push(self.column_name()?);
+            while self.eat_sym(",") {
+                group_by.push(self.column_name()?);
+            }
+        }
+        let mut order_by = Vec::new();
+        let mut order_desc = false;
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            order_by.push(self.column_name()?);
+            while self.eat_sym(",") {
+                order_by.push(self.column_name()?);
+            }
+            if self.eat_kw("desc") {
+                order_desc = true;
+            } else {
+                let _ = self.eat_kw("asc");
+            }
+        }
+        let limit = if self.eat_kw("limit") {
+            match self.next() {
+                Some(Token::Int(n)) if n >= 0 => Some(n as usize),
+                other => {
+                    return Err(GsjError::Parse(format!(
+                        "expected row count after LIMIT, found {other:?}"
+                    )))
+                }
+            }
+        } else {
+            None
+        };
+        Ok(Query {
+            projections,
+            from,
+            where_clause,
+            group_by,
+            order_by,
+            order_desc,
+            limit,
+        })
+    }
+
+    fn select_list(&mut self) -> Result<Vec<Projection>> {
+        if self.eat_sym("*") {
+            return Ok(vec![Projection::Star]);
+        }
+        let mut out = vec![self.projection()?];
+        while self.eat_sym(",") {
+            out.push(self.projection()?);
+        }
+        Ok(out)
+    }
+
+    fn agg_func(kw: &str) -> Option<AggFunc> {
+        Some(match kw {
+            "count" => AggFunc::Count,
+            "sum" => AggFunc::Sum,
+            "avg" => AggFunc::Avg,
+            "min" => AggFunc::Min,
+            "max" => AggFunc::Max,
+            _ => return None,
+        })
+    }
+
+    fn projection(&mut self) -> Result<Projection> {
+        if let Some(Token::Kw(kw)) = self.peek() {
+            if let Some(func) = Self::agg_func(kw) {
+                self.pos += 1;
+                self.expect_sym("(")?;
+                let col = if self.eat_sym("*") {
+                    "*".to_string()
+                } else {
+                    self.column_name()?
+                };
+                self.expect_sym(")")?;
+                let alias = if self.eat_kw("as") { Some(self.ident()?) } else { None };
+                return Ok(Projection::Agg { func, col, alias });
+            }
+        }
+        let name = self.column_name()?;
+        let alias = if self.eat_kw("as") { Some(self.ident()?) } else { None };
+        Ok(Projection::Col { name, alias })
+    }
+
+    fn source(&mut self) -> Result<Source> {
+        if self.eat_sym("(") {
+            let q = self.query()?;
+            self.expect_sym(")")?;
+            Ok(Source::Sub(Box::new(q)))
+        } else {
+            Ok(Source::Base(self.ident()?))
+        }
+    }
+
+    #[allow(clippy::wrong_self_convention)] // parses a FROM item, not a conversion
+    fn from_item(&mut self) -> Result<FromItem> {
+        // `l-join <G> right` may also start with `<G>`-less left source.
+        let source = self.source()?;
+        match self.peek() {
+            Some(Token::EJoin) => {
+                self.pos += 1;
+                let graph = self.ident()?;
+                self.expect_sym("<")?;
+                let mut keywords = vec![self.ident()?];
+                while self.eat_sym(",") {
+                    keywords.push(self.ident()?);
+                }
+                self.expect_sym(">")?;
+                let alias = if self.eat_kw("as") { Some(self.ident()?) } else { None };
+                Ok(FromItem::EJoin {
+                    source,
+                    graph,
+                    keywords,
+                    alias,
+                })
+            }
+            Some(Token::LJoin) => {
+                self.pos += 1;
+                self.expect_sym("<")?;
+                let graph = self.ident()?;
+                self.expect_sym(">")?;
+                let right = self.source()?;
+                let right_alias = if self.eat_kw("as") { Some(self.ident()?) } else { None };
+                Ok(FromItem::LJoin {
+                    left: source,
+                    graph,
+                    right,
+                    right_alias,
+                })
+            }
+            _ => {
+                let alias = if self.eat_kw("as") { Some(self.ident()?) } else { None };
+                Ok(FromItem::Plain { source, alias })
+            }
+        }
+    }
+
+    // ---- conditions -----------------------------------------------------
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("or") {
+            let right = self.and_expr()?;
+            left = left.or(right);
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw("and") {
+            let right = self.not_expr()?;
+            left = left.and(right);
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_kw("not") {
+            let inner = self.not_expr()?;
+            return Ok(Expr::Not(Box::new(inner)));
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr> {
+        // Parenthesized boolean expression? Look ahead: `(` followed by
+        // something that eventually contains a boolean op — we settle it
+        // by attempting an operand parse first and falling back.
+        let save = self.pos;
+        if self.eat_sym("(") {
+            // Try boolean grouping.
+            if let Ok(inner) = self.or_expr() {
+                if self.eat_sym(")") {
+                    // Could still be part of an arithmetic expression, but
+                    // gSQL conditions never compare parenthesized booleans
+                    // arithmetically, so accept.
+                    return Ok(inner);
+                }
+            }
+            self.pos = save;
+        }
+        let left = self.operand()?;
+        if self.eat_kw("is") {
+            let negated = self.eat_kw("not");
+            self.expect_kw("null")?;
+            let isnull = Expr::IsNull(Box::new(left));
+            return Ok(if negated {
+                Expr::Not(Box::new(isnull))
+            } else {
+                isnull
+            });
+        }
+        let op = match self.next() {
+            Some(Token::Sym("=")) => CmpOp::Eq,
+            Some(Token::Sym("!=")) | Some(Token::Sym("<>")) => CmpOp::Ne,
+            Some(Token::Sym("<")) => CmpOp::Lt,
+            Some(Token::Sym("<=")) => CmpOp::Le,
+            Some(Token::Sym(">")) => CmpOp::Gt,
+            Some(Token::Sym(">=")) => CmpOp::Ge,
+            other => {
+                return Err(GsjError::Parse(format!(
+                    "expected comparison operator, found {other:?}"
+                )))
+            }
+        };
+        let right = self.operand()?;
+        Ok(Expr::cmp(op, left, right))
+    }
+
+    fn operand(&mut self) -> Result<Expr> {
+        let mut left = self.term()?;
+        loop {
+            if self.eat_sym("+") {
+                left = Expr::Bin(BinOp::Add, Box::new(left), Box::new(self.term()?));
+            } else if matches!(self.peek(), Some(Token::Sym("-"))) {
+                self.pos += 1;
+                left = Expr::Bin(BinOp::Sub, Box::new(left), Box::new(self.term()?));
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<Expr> {
+        let mut left = self.factor()?;
+        loop {
+            if self.eat_sym("*") {
+                left = Expr::Bin(BinOp::Mul, Box::new(left), Box::new(self.factor()?));
+            } else if self.eat_sym("/") {
+                left = Expr::Bin(BinOp::Div, Box::new(left), Box::new(self.factor()?));
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn factor(&mut self) -> Result<Expr> {
+        match self.next() {
+            Some(Token::Int(i)) => Ok(Expr::lit(i)),
+            Some(Token::Float(f)) => Ok(Expr::lit(f)),
+            Some(Token::Str(s)) => Ok(Expr::lit(Value::str(s))),
+            Some(Token::Kw(k)) if k == "null" => Ok(Expr::Lit(Value::Null)),
+            Some(Token::Kw(k)) if k == "true" => Ok(Expr::lit(true)),
+            Some(Token::Kw(k)) if k == "false" => Ok(Expr::lit(false)),
+            Some(Token::Sym("(")) => {
+                let e = self.operand()?;
+                self.expect_sym(")")?;
+                Ok(e)
+            }
+            Some(Token::Sym("-")) => {
+                let e = self.factor()?;
+                Ok(Expr::Bin(BinOp::Sub, Box::new(Expr::lit(0i64)), Box::new(e)))
+            }
+            Some(Token::Ident(first)) => {
+                if self.eat_sym(".") {
+                    let second = self.ident()?;
+                    Ok(Expr::col(format!("{first}.{second}")))
+                } else {
+                    Ok(Expr::col(first))
+                }
+            }
+            other => Err(GsjError::Parse(format!(
+                "expected operand, found {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_q1() {
+        let q = parse_query(
+            "select risk, company from product e-join G <company, loc> as T \
+             where T.pid = fd1 and T.loc = UK",
+        )
+        .unwrap();
+        assert_eq!(q.projections.len(), 2);
+        assert_eq!(q.from.len(), 1);
+        match &q.from[0] {
+            FromItem::EJoin {
+                source,
+                graph,
+                keywords,
+                alias,
+            } => {
+                assert_eq!(source, &Source::Base("product".into()));
+                assert_eq!(graph, "G");
+                assert_eq!(keywords, &["company".to_string(), "loc".to_string()]);
+                assert_eq!(alias.as_deref(), Some("T"));
+            }
+            other => panic!("expected e-join, got {other:?}"),
+        }
+        assert!(q.where_clause.is_some());
+    }
+
+    #[test]
+    fn parses_q2_double_ejoin() {
+        let q = parse_query(
+            "select * from customer e-join G <stock, company> as T1, \
+             customer e-join G <stock, company> as T2 \
+             where T1.cid = cid04 and T2.cid = cid02 and T2.credit = good \
+             and T1.company = T2.company",
+        )
+        .unwrap();
+        assert_eq!(q.from.len(), 2);
+        assert_eq!(q.semantic_joins().len(), 2);
+        assert_eq!(q.projections, vec![Projection::Star]);
+    }
+
+    #[test]
+    fn parses_q3_link_join() {
+        let q = parse_query(
+            "select * from customer l-join <Gs> customer as customerB \
+             where customer.cid = cid02 and customerB.credit = good",
+        )
+        .unwrap();
+        match &q.from[0] {
+            FromItem::LJoin {
+                left,
+                graph,
+                right,
+                right_alias,
+            } => {
+                assert_eq!(left, &Source::Base("customer".into()));
+                assert_eq!(graph, "Gs");
+                assert_eq!(right, &Source::Base("customer".into()));
+                assert_eq!(right_alias.as_deref(), Some("customerB"));
+            }
+            other => panic!("expected l-join, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_subquery_ejoin_q4() {
+        // Example 10's dynamic join: a sub-query source.
+        let q = parse_query(
+            "select * from (select * from customer, product \
+             where customer.cid = cid02 and product.risk = medium \
+             and customer.bal >= 1000 * product.price) e-join G <company> as T",
+        )
+        .unwrap();
+        match &q.from[0] {
+            FromItem::EJoin { source, .. } => {
+                assert!(matches!(source, Source::Sub(_)));
+            }
+            other => panic!("expected e-join, got {other:?}"),
+        }
+        assert!(q.has_semantic_joins());
+    }
+
+    #[test]
+    fn parses_aggregates_and_negation() {
+        let q = parse_query(
+            "select credit, count(*) as n, max(bal) as biggest from customer \
+             where not credit = bad and bal >= 100",
+        )
+        .unwrap();
+        assert_eq!(q.projections.len(), 3);
+        assert!(matches!(
+            q.projections[1],
+            Projection::Agg {
+                func: AggFunc::Count,
+                ..
+            }
+        ));
+        let w = q.where_clause.unwrap();
+        assert!(matches!(w, Expr::And(_, _)));
+    }
+
+    #[test]
+    fn parses_is_null_and_parens() {
+        let q = parse_query(
+            "select * from t where (a = 1 or b = 2) and c is not null",
+        )
+        .unwrap();
+        assert!(q.where_clause.is_some());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse_query("select * from t extra").is_err());
+        assert!(parse_query("select from t").is_err());
+    }
+
+    #[test]
+    fn plain_alias() {
+        let q = parse_query("select * from customer as c").unwrap();
+        assert!(matches!(
+            &q.from[0],
+            FromItem::Plain { alias: Some(a), .. } if a == "c"
+        ));
+    }
+}

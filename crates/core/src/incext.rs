@@ -1,0 +1,379 @@
+//! IncExt: incremental maintenance of extracted relations (Section III-B).
+//!
+//! Two update classes are handled:
+//!
+//! - **Data updates** `ΔG` ([`inc_update_graph`]): collect the affected
+//!   vertex set `V_Δ` — (a) vertices newly matched by HER because of `ΔG`,
+//!   and (b) previously matched vertices within `k` hops of any vertex
+//!   touched by `ΔG` — and re-run only Algorithm 1's lines 3–4 for them.
+//!   Pattern discovery is *not* redone, and the result is provably
+//!   identical to running RExt from scratch over the updated graph (the
+//!   paper's "no accuracy loss" claim; asserted by our integration tests).
+//! - **Keyword updates** ([`inc_update_keywords`]): when the user's
+//!   interest `A` shifts, only step (4) of pattern discovery (ranking /
+//!   selection) is redone against the retained refined clusters, and only
+//!   values of genuinely new attributes are extracted.
+
+use crate::discover::{select_attributes, Discovery};
+use crate::extract::{extract_values, LabelEmbCache};
+use crate::rext::Rext;
+use gsj_common::{FxHashMap, FxHashSet, Result, Value};
+use gsj_graph::update::UpdateReport;
+use gsj_graph::{LabeledGraph, VertexId};
+use gsj_her::{her_match_local, HerConfig, MatchRelation};
+use gsj_relational::{Relation, Schema};
+use std::collections::VecDeque;
+
+/// The maintained state: discovery, HER matches and the extracted `D_G`.
+#[derive(Debug, Clone)]
+pub struct Extraction {
+    /// Pattern discovery output (schema + clusters + caches).
+    pub discovery: Discovery,
+    /// The current `f(S,G)`.
+    pub matches: MatchRelation,
+    /// The current `D_G` of schema `R_G(vid, A...)`.
+    pub dg: Relation,
+}
+
+/// Multi-source undirected BFS ball: all vertices within `k` hops of any
+/// seed.
+pub fn multi_source_khop(
+    g: &LabeledGraph,
+    seeds: impl IntoIterator<Item = VertexId>,
+    k: usize,
+) -> FxHashSet<VertexId> {
+    multi_source_khop_excluding(g, seeds, k, &[])
+}
+
+/// [`multi_source_khop`] that refuses to traverse the given edge labels.
+///
+/// IncExt excludes *typing* edges here: selected pattern clusters never
+/// traverse them (they classify entities rather than carry properties, and
+/// discovery filters them out), yet a type vertex is a super-hub that
+/// would otherwise put the entire graph within `k` hops of any update.
+pub fn multi_source_khop_excluding(
+    g: &LabeledGraph,
+    seeds: impl IntoIterator<Item = VertexId>,
+    k: usize,
+    excluded_labels: &[gsj_common::Symbol],
+) -> FxHashSet<VertexId> {
+    let mut seen: FxHashSet<VertexId> = FxHashSet::default();
+    let mut frontier = VecDeque::new();
+    for s in seeds {
+        // Dead seeds (removed vertices) still anchor the ball at distance
+        // 0 so their former neighbors' balls are computed from `touched`.
+        if seen.insert(s) && g.is_live(s) {
+            frontier.push_back((s, 0usize));
+        }
+    }
+    while let Some((v, d)) = frontier.pop_front() {
+        if d == k {
+            continue;
+        }
+        for (e, _) in g.incident(v) {
+            if excluded_labels.contains(&e.label) {
+                continue;
+            }
+            if seen.insert(e.to) {
+                frontier.push_back((e.to, d + 1));
+            }
+        }
+    }
+    seen
+}
+
+/// The extraction-affected vertex set, computed by *label-constrained
+/// reverse reachability*: a matched vertex's extracted row can only change
+/// if some path conforming to a **selected pattern** from it passes
+/// through a touched vertex. So, for every selected pattern
+/// `(l1, ..., lm)` and every position `i` a touched vertex could occupy on
+/// such a path, walk backwards from the touched set over the reversed
+/// label prefix `(li, ..., l1)` (orientation-blind — conforming paths are
+/// undirected). This is sound and far tighter than the paper's plain
+/// k-hop ball, which in dense graphs reaches everything through shared
+/// value hubs (see DESIGN.md §7).
+pub fn pattern_affected_zone(
+    g: &LabeledGraph,
+    touched: &FxHashSet<VertexId>,
+    discovery: &Discovery,
+) -> FxHashSet<VertexId> {
+    let mut out: FxHashSet<VertexId> = touched.clone(); // position 0: v itself
+    for cluster in &discovery.clusters {
+        for pattern in &cluster.patterns {
+            let labels = pattern.labels();
+            for i in 1..=labels.len() {
+                // Touched vertex at position i → reverse over labels
+                // l_i, l_{i-1}, ..., l_1.
+                let mut frontier: FxHashSet<VertexId> =
+                    touched.iter().copied().filter(|v| g.is_live(*v)).collect();
+                for step in (0..i).rev() {
+                    let lab = labels[step];
+                    let mut next = FxHashSet::default();
+                    for &v in &frontier {
+                        for (e, _) in g.incident(v) {
+                            if e.label == lab {
+                                next.insert(e.to);
+                            }
+                        }
+                    }
+                    frontier = next;
+                    if frontier.is_empty() {
+                        break;
+                    }
+                }
+                out.extend(frontier);
+            }
+        }
+    }
+    out
+}
+
+/// Apply a data update: `g` must already be the *updated* graph and
+/// `report` the [`UpdateReport`] from applying `ΔG`.
+pub fn inc_update_graph(
+    rext: &Rext,
+    g: &LabeledGraph,
+    s: &Relation,
+    her_cfg: &HerConfig,
+    prev: &Extraction,
+    report: &UpdateReport,
+) -> Result<Extraction> {
+    let debug = std::env::var("GSJ_INC_DEBUG").is_ok();
+    let t0 = std::time::Instant::now();
+    let affected_zone = pattern_affected_zone(g, &report.touched, &prev.discovery);
+    if debug {
+        eprintln!("[inc] zone: {:?} ({} vertices)", t0.elapsed(), affected_zone.len());
+    }
+    // HER depends on the (hops-bounded) vicinity, not on patterns: a
+    // separate, shallow ball gates match re-computation.
+    let her_zone = multi_source_khop(g, report.touched.iter().copied(), her_cfg.hops);
+
+    // --- Re-run HER locally: tuples that were unmatched, or whose match
+    // died, or whose matched vertex sits near an update.
+    let id_pos = s.schema().require(&her_cfg.id_attr)?;
+    let mut redo_rows = Vec::new();
+    for t in s.tuples() {
+        let tid = t.get(id_pos);
+        let redo = match prev.matches.vertex_of(tid) {
+            None => true,
+            Some(v) => !g.is_live(v) || her_zone.contains(&v) || affected_zone.contains(&v),
+        };
+        if redo {
+            redo_rows.push(t.clone());
+        }
+    }
+    let rerun_matches = if redo_rows.is_empty() {
+        MatchRelation::new()
+    } else {
+        // Localized HER: candidates are the vertices whose vicinity an
+        // update could have changed, plus the redo tuples' previous
+        // matches (so an unchanged match can be re-confirmed).
+        let mut candidates: FxHashSet<VertexId> = her_zone.clone();
+        candidates.extend(affected_zone.iter().copied());
+        let id_pos2 = id_pos;
+        for t in &redo_rows {
+            if let Some(v) = prev.matches.vertex_of(t.get(id_pos2)) {
+                candidates.insert(v);
+            }
+        }
+        let sub = Relation::new(s.schema().clone(), redo_rows.clone())?;
+        her_match_local(g, &sub, her_cfg, candidates)?
+    };
+    if debug {
+        eprintln!("[inc] her: {:?} ({} redo rows)", t0.elapsed(), redo_rows.len());
+    }
+    let redo_tids: FxHashSet<Value> = redo_rows
+        .iter()
+        .map(|t| t.get(id_pos).clone())
+        .collect();
+
+    // --- Merge into the new match relation.
+    let mut new_matches = MatchRelation::new();
+    for (tid, vid) in prev.matches.pairs() {
+        if !redo_tids.contains(tid) {
+            new_matches.push(tid.clone(), *vid);
+        }
+    }
+    for (tid, vid) in rerun_matches.pairs() {
+        new_matches.push(tid.clone(), *vid);
+    }
+
+    // --- V_Δ: vertices whose extraction could have changed — matches
+    // that moved to a *different* vertex, plus any current match inside
+    // the pattern-affected zone. A re-confirmed match outside the zone
+    // keeps its D_G row untouched (extraction is a function of the vertex
+    // and its unaffected paths).
+    let mut v_delta: FxHashSet<VertexId> = FxHashSet::default();
+    for (tid, v) in rerun_matches.pairs() {
+        if prev.matches.vertex_of(tid) != Some(*v) {
+            v_delta.insert(*v);
+        }
+    }
+    for (_, v) in new_matches.pairs() {
+        if affected_zone.contains(v) {
+            v_delta.insert(*v);
+        }
+    }
+
+    // --- Rebuild D_G: keep untouched rows, re-extract V_Δ.
+    let matched_now: FxHashSet<VertexId> = new_matches.vertices().collect();
+    let vid_pos = prev.dg.schema().require("vid")?;
+    let mut dg = Relation::empty(prev.dg.schema().clone());
+    for row in prev.dg.tuples() {
+        let vid = VertexId(row.get(vid_pos).as_int().unwrap_or(-1) as u32);
+        if !matched_now.contains(&vid) || v_delta.contains(&vid) || !g.is_live(vid) {
+            continue;
+        }
+        dg.push(row.clone())?;
+    }
+    let mut ordered: Vec<VertexId> = v_delta
+        .iter()
+        .copied()
+        .filter(|v| matched_now.contains(v))
+        .collect();
+    ordered.sort();
+    if debug {
+        eprintln!("[inc] pre-extract: {:?} ({} vertices)", t0.elapsed(), ordered.len());
+    }
+    let fresh = rext.extract_vertices(g, &ordered, &prev.discovery)?;
+    if debug {
+        eprintln!("[inc] post-extract: {:?}", t0.elapsed());
+    }
+    for row in fresh.tuples() {
+        dg.push(row.clone())?;
+    }
+
+    // --- Refresh the path cache for the re-extracted vertices.
+    let mut discovery = prev.discovery.clone();
+    for v in &v_delta {
+        discovery.paths.remove(v);
+    }
+
+    Ok(Extraction {
+        discovery,
+        matches: new_matches,
+        dg,
+    })
+}
+
+/// Apply a keyword update: redo only the ranking/selection step against
+/// the retained refined clusters, copy columns of attributes that survive,
+/// and extract values only for attributes new to `R_G`.
+pub fn inc_update_keywords(
+    rext: &Rext,
+    g: &LabeledGraph,
+    reference: Option<(&Relation, &str)>,
+    prev: &Extraction,
+    new_keywords: &[String],
+) -> Result<Extraction> {
+    // Recover the flat path/feature sets from the discovery cache — no
+    // path selection, no clustering.
+    let mut vertices: Vec<&VertexId> = prev.discovery.paths.keys().collect();
+    vertices.sort();
+    let mut flat = Vec::new();
+    for v in vertices {
+        flat.extend(prev.discovery.paths[v].iter().cloned());
+    }
+    let word = rext.word_embedder();
+    let name_embs: Vec<Vec<f32>> = flat
+        .iter()
+        .map(|p| crate::rext::naming_embedding(g, p, word))
+        .collect();
+
+    let keyword_embs: Vec<(String, Vec<f32>)> = new_keywords
+        .iter()
+        .map(|k| (k.clone(), word.embed(k)))
+        .collect();
+    let tuple_attr_embs = match reference {
+        Some((s, id_attr)) => {
+            // Reuse Rext's embedding logic through a local rebuild.
+            crate::rext::tuple_attr_embeddings_for(rext, s, id_attr, &prev.matches)?
+        }
+        None => Default::default(),
+    };
+    let m = rext.config().m.min(new_keywords.len().max(1));
+    let (clusters, schema) = select_attributes(
+        &prev.discovery.refined,
+        &flat,
+        &name_embs,
+        &tuple_attr_embs,
+        &keyword_embs,
+        m,
+        prev.discovery.schema.name(),
+    )?;
+
+    let mut discovery = prev.discovery.clone();
+    discovery.clusters = clusters;
+    discovery.schema = schema.clone();
+    discovery.keyword_embs = keyword_embs;
+
+    // Rebuild D_G: copy surviving columns, extract only new ones.
+    let old_schema: &Schema = prev.dg.schema();
+    let vid_pos = old_schema.require("vid")?;
+    let mut dg = Relation::empty(schema.clone());
+    let mut cache = LabelEmbCache::default();
+    for row in prev.dg.tuples() {
+        let vid_val = row.get(vid_pos).clone();
+        let vid = VertexId(vid_val.as_int().unwrap_or(-1) as u32);
+        let empty: Vec<gsj_graph::Path> = Vec::new();
+        let paths = prev.discovery.paths.get(&vid).unwrap_or(&empty);
+        // Values for new attributes, computed per-cluster.
+        let mut new_vals: FxHashMap<&str, Value> = FxHashMap::default();
+        for cluster in &discovery.clusters {
+            if old_schema.contains(&cluster.attr) {
+                continue;
+            }
+            let single = Discovery {
+                clusters: vec![cluster.clone()],
+                ..discovery.clone()
+            };
+            let vals = extract_values(g, paths, &single, word, &mut cache);
+            new_vals.insert(cluster.attr.as_str(), vals[0].clone());
+        }
+        let mut out_row = vec![vid_val];
+        for attr in schema.attrs().iter().skip(1) {
+            if let Some(i) = old_schema.position(attr) {
+                out_row.push(row.get(i).clone());
+            } else {
+                out_row.push(new_vals.remove(attr.as_str()).unwrap_or(Value::Null));
+            }
+        }
+        dg.push_values(out_row)?;
+    }
+
+    Ok(Extraction {
+        discovery,
+        matches: prev.matches.clone(),
+        dg,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multi_source_ball_covers_all_seeds() {
+        let mut g = LabeledGraph::new();
+        let vs: Vec<_> = (0..6).map(|i| g.add_vertex(&format!("v{i}"))).collect();
+        for w in vs.windows(2) {
+            g.add_edge(w[0], "e", w[1]);
+        }
+        let ball = multi_source_khop(&g, [vs[0], vs[5]], 1);
+        assert!(ball.contains(&vs[0]) && ball.contains(&vs[1]));
+        assert!(ball.contains(&vs[5]) && ball.contains(&vs[4]));
+        assert!(!ball.contains(&vs[2]) && !ball.contains(&vs[3]));
+    }
+
+    #[test]
+    fn dead_seed_is_in_ball_but_not_expanded() {
+        let mut g = LabeledGraph::new();
+        let a = g.add_vertex("a");
+        let b = g.add_vertex("b");
+        g.add_edge(a, "e", b);
+        g.remove_vertex(a);
+        let ball = multi_source_khop(&g, [a], 2);
+        assert!(ball.contains(&a));
+        assert!(!ball.contains(&b));
+    }
+}

@@ -1,0 +1,144 @@
+//! Enrichment joins `S ⋈_A G`.
+//!
+//! A tuple `t` is in `S ⋈_A G` iff `t[attr(R)] ∈ S`, `t[vid]` is a vertex
+//! matched to it by HER, and each `t[A_i]` is the property extracted by
+//! RExt — i.e. `S ⋈ f(S,G) ⋈ h(S,G)` via ordinary joins (Section II-B).
+
+use crate::incext::Extraction;
+use crate::rext::Rext;
+use gsj_common::Result;
+use gsj_graph::LabeledGraph;
+use gsj_her::{her_match, HerConfig, MatchRelation};
+use gsj_relational::exec::natural_join;
+use gsj_relational::Relation;
+
+/// The conceptual-level enrichment join: calls HER and RExt online
+/// (Section IV-A "Baseline"). Returns the joined relation together with
+/// the extraction state (so callers can keep it for reuse/maintenance).
+pub fn enrichment_join(
+    s: &Relation,
+    id_attr: &str,
+    g: &LabeledGraph,
+    keywords: &[String],
+    rext: &Rext,
+    her_cfg: &HerConfig,
+) -> Result<(Relation, Extraction)> {
+    let mut cfg = her_cfg.clone();
+    cfg.id_attr = id_attr.to_string();
+    let matches = her_match(g, s, &cfg)?;
+    let schema_name = format!("h_{}", s.schema().name());
+    let discovery = rext.discover(g, &matches, Some((s, id_attr)), keywords, &schema_name)?;
+    let dg = rext.extract(g, &matches, &discovery)?;
+    let joined = join_three_way(s, id_attr, &matches, &dg)?;
+    Ok((
+        joined,
+        Extraction {
+            discovery,
+            matches,
+            dg,
+        },
+    ))
+}
+
+/// The static/dynamic fast path: `S ⋈ f(D,G) ⋈ h(D,G)` over materialized
+/// relations, no HER/RExt at query time (Section IV-A). `keep_attrs`
+/// optionally projects `h` to the requested keywords (plus `vid`).
+pub fn enrichment_join_precomputed(
+    s: &Relation,
+    id_attr: &str,
+    matches: &MatchRelation,
+    dg: &Relation,
+    keep_attrs: Option<&[String]>,
+) -> Result<Relation> {
+    let dg_view = match keep_attrs {
+        None => dg.clone(),
+        Some(attrs) => {
+            let mut cols: Vec<&str> = vec!["vid"];
+            for a in attrs {
+                if dg.schema().contains(a) {
+                    cols.push(a);
+                }
+            }
+            let plan = gsj_relational::LogicalPlan::Values(dg.clone()).project(&cols);
+            gsj_relational::execute(&plan, &gsj_relational::Database::new())?
+        }
+    };
+    join_three_way(s, id_attr, matches, &dg_view)
+}
+
+fn join_three_way(
+    s: &Relation,
+    id_attr: &str,
+    matches: &MatchRelation,
+    dg: &Relation,
+) -> Result<Relation> {
+    let f_rel = matches.to_relation(&format!("f_{}", s.schema().name()), id_attr);
+    let s_f = natural_join(s, &f_rel)?;
+    natural_join(&s_f, dg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsj_common::Value;
+    use gsj_graph::VertexId;
+    use gsj_relational::Schema;
+
+    fn pieces() -> (Relation, MatchRelation, Relation) {
+        let mut s = Relation::empty(Schema::of("product", &["pid", "risk"]));
+        s.push_values(vec![Value::str("fd1"), Value::str("medium")]).unwrap();
+        s.push_values(vec![Value::str("fd2"), Value::str("high")]).unwrap();
+        s.push_values(vec![Value::str("fd9"), Value::str("low")]).unwrap();
+        let mut m = MatchRelation::new();
+        m.push(Value::str("fd1"), VertexId(10));
+        m.push(Value::str("fd2"), VertexId(20));
+        let mut dg = Relation::empty(Schema::of("h_product", &["vid", "loc", "company"]));
+        dg.push_values(vec![Value::Int(10), Value::str("UK"), Value::str("company1")])
+            .unwrap();
+        dg.push_values(vec![Value::Int(20), Value::str("US"), Value::str("company2")])
+            .unwrap();
+        (s, m, dg)
+    }
+
+    #[test]
+    fn three_way_join_extends_matched_tuples() {
+        let (s, m, dg) = pieces();
+        let r = enrichment_join_precomputed(&s, "pid", &m, &dg, None).unwrap();
+        // fd9 is unmatched → dropped; fd1/fd2 extended.
+        assert_eq!(r.len(), 2);
+        assert!(r.schema().contains("risk"));
+        assert!(r.schema().contains("vid"));
+        assert!(r.schema().contains("loc"));
+        let fd1 = r
+            .tuples()
+            .iter()
+            .find(|t| t.get(0) == &Value::str("fd1"))
+            .unwrap();
+        let loc_pos = r.schema().position("loc").unwrap();
+        assert_eq!(fd1.get(loc_pos), &Value::str("UK"));
+    }
+
+    #[test]
+    fn keyword_projection_restricts_extracted_attrs() {
+        let (s, m, dg) = pieces();
+        let r =
+            enrichment_join_precomputed(&s, "pid", &m, &dg, Some(&["loc".to_string()])).unwrap();
+        assert!(r.schema().contains("loc"));
+        assert!(!r.schema().contains("company"));
+    }
+
+    #[test]
+    fn unknown_keywords_are_ignored_in_projection() {
+        let (s, m, dg) = pieces();
+        let r = enrichment_join_precomputed(
+            &s,
+            "pid",
+            &m,
+            &dg,
+            Some(&["nonexistent".to_string()]),
+        )
+        .unwrap();
+        assert_eq!(r.len(), 2);
+        assert!(!r.schema().contains("nonexistent"));
+    }
+}

@@ -1,0 +1,186 @@
+//! Link joins `S1 ⋈_G S2`: join tuples whose matching vertices are within
+//! `k` hops of each other in `G` (Section II-B), checked by bidirectional
+//! BFS (Section IV-A).
+
+use gsj_common::{FxHashMap, Result, Value};
+use gsj_graph::traversal::within_k_hops;
+use gsj_graph::{LabeledGraph, VertexId};
+use gsj_her::{her_match, HerConfig, MatchRelation};
+use gsj_relational::{Relation, Schema};
+
+/// The conceptual-level link join: HER on both sides, then pairwise
+/// bidirectional BFS. Input schemas must have disjoint attribute names
+/// (qualify aliases first, as the gSQL rewriter does).
+pub fn link_join(
+    s1: &Relation,
+    id1: &str,
+    s2: &Relation,
+    id2: &str,
+    g: &LabeledGraph,
+    k: usize,
+    her_cfg: &HerConfig,
+) -> Result<Relation> {
+    let m1 = her_match(g, s1, &HerConfig { id_attr: id1.into(), ..her_cfg.clone() })?;
+    let m2 = her_match(g, s2, &HerConfig { id_attr: id2.into(), ..her_cfg.clone() })?;
+    link_join_with_matches(s1, id1, &m1, s2, id2, &m2, g, k)
+}
+
+/// Link join over precomputed match relations (the optimized path that
+/// avoids calling HER online).
+#[allow(clippy::too_many_arguments)]
+pub fn link_join_with_matches(
+    s1: &Relation,
+    id1: &str,
+    m1: &MatchRelation,
+    s2: &Relation,
+    id2: &str,
+    m2: &MatchRelation,
+    g: &LabeledGraph,
+    k: usize,
+) -> Result<Relation> {
+    let id1_pos = s1.schema().require(id1)?;
+    let id2_pos = s2.schema().require(id2)?;
+    let mut attrs = s1.schema().attrs().to_vec();
+    attrs.extend(s2.schema().attrs().iter().cloned());
+    let schema = Schema::new(
+        format!("{}_lj_{}", s1.schema().name(), s2.schema().name()),
+        attrs,
+    )?;
+    let mut out = Relation::empty(schema);
+    // Memoize per distinct vertex pair — many tuples can share vertices.
+    let mut memo: FxHashMap<(VertexId, VertexId), bool> = FxHashMap::default();
+    for t1 in s1.tuples() {
+        let Some(v1) = m1.vertex_of(t1.get(id1_pos)) else { continue };
+        for t2 in s2.tuples() {
+            let Some(v2) = m2.vertex_of(t2.get(id2_pos)) else { continue };
+            let key = if v1 <= v2 { (v1, v2) } else { (v2, v1) };
+            let connected = *memo
+                .entry(key)
+                .or_insert_with(|| within_k_hops(g, v1, v2, k));
+            if connected {
+                out.push(t1.concat(t2))?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Materialize a connectivity relation `g_L(vid1, vid2)` for two vertex
+/// sets — the link-join cache of Section IV-A ("we also pre-compute
+/// connectivity relations g_L for vertices of G that match selected tuples
+/// in D"). Self-pairs are included (distance 0 ≤ k).
+pub fn connectivity_relation(
+    g: &LabeledGraph,
+    left: &[VertexId],
+    right: &[VertexId],
+    k: usize,
+    name: &str,
+) -> Relation {
+    let mut rel = Relation::empty(Schema::of(name, &["vid1", "vid2"]));
+    let mut memo: FxHashMap<(VertexId, VertexId), bool> = FxHashMap::default();
+    for &v1 in left {
+        for &v2 in right {
+            let key = if v1 <= v2 { (v1, v2) } else { (v2, v1) };
+            let connected = *memo
+                .entry(key)
+                .or_insert_with(|| within_k_hops(g, v1, v2, k));
+            if connected {
+                rel.push_values(vec![Value::Int(v1.0 as i64), Value::Int(v2.0 as i64)])
+                    .expect("arity 2");
+            }
+        }
+    }
+    rel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A social chain: bob - ada - guy, with an isolated eve.
+    fn social() -> (LabeledGraph, Vec<VertexId>) {
+        let mut g = LabeledGraph::new();
+        let bob = g.add_vertex("Bob");
+        let ada = g.add_vertex("Ada");
+        let guy = g.add_vertex("Guy");
+        let eve = g.add_vertex("Eve");
+        g.add_edge(bob, "knows", ada);
+        g.add_edge(ada, "knows", guy);
+        (g, vec![bob, ada, guy, eve])
+    }
+
+    fn customers(names: &[&str], alias: &str) -> Relation {
+        let mut r = Relation::empty(Schema::new(
+            alias.to_string(),
+            vec![format!("{alias}.cid"), format!("{alias}.name")],
+        )
+        .unwrap());
+        for (i, n) in names.iter().enumerate() {
+            r.push_values(vec![Value::str(format!("c{i}")), Value::str(*n)])
+                .unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn link_join_connects_within_k() {
+        let (g, vs) = social();
+        let s1 = customers(&["Bob"], "T1");
+        let s2 = customers(&["Ada", "Guy", "Eve"], "T2");
+        let mut m1 = MatchRelation::new();
+        m1.push(Value::str("c0"), vs[0]);
+        let mut m2 = MatchRelation::new();
+        m2.push(Value::str("c0"), vs[1]);
+        m2.push(Value::str("c1"), vs[2]);
+        m2.push(Value::str("c2"), vs[3]);
+        let r1 =
+            link_join_with_matches(&s1, "T1.cid", &m1, &s2, "T2.cid", &m2, &g, 1).unwrap();
+        // k=1: only Ada.
+        assert_eq!(r1.len(), 1);
+        let r2 =
+            link_join_with_matches(&s1, "T1.cid", &m1, &s2, "T2.cid", &m2, &g, 2).unwrap();
+        // k=2: Ada and Guy; Eve never (disconnected).
+        assert_eq!(r2.len(), 2);
+    }
+
+    #[test]
+    fn unmatched_tuples_drop_out() {
+        let (g, vs) = social();
+        let s1 = customers(&["Bob", "Stranger"], "T1");
+        let s2 = customers(&["Ada"], "T2");
+        let mut m1 = MatchRelation::new();
+        m1.push(Value::str("c0"), vs[0]); // Stranger (c1) unmatched
+        let mut m2 = MatchRelation::new();
+        m2.push(Value::str("c0"), vs[1]);
+        let r = link_join_with_matches(&s1, "T1.cid", &m1, &s2, "T2.cid", &m2, &g, 3).unwrap();
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn connectivity_relation_materializes_pairs() {
+        let (g, vs) = social();
+        let rel = connectivity_relation(&g, &[vs[0]], &[vs[1], vs[2], vs[3]], 2, "gl");
+        assert_eq!(rel.len(), 2);
+        assert_eq!(rel.schema().attrs(), &["vid1".to_string(), "vid2".to_string()]);
+    }
+
+    #[test]
+    fn end_to_end_link_join_with_her() {
+        // Entity vertices carry name properties so HER can match them.
+        let mut g = LabeledGraph::new();
+        let bob = g.add_vertex("person-1");
+        let bobn = g.add_vertex("Bob Smith");
+        g.add_edge(bob, "name", bobn);
+        let ada = g.add_vertex("person-2");
+        let adan = g.add_vertex("Ada Lovelace");
+        g.add_edge(ada, "name", adan);
+        g.add_edge(bob, "knows", ada);
+        let mut s1 = Relation::empty(Schema::of("a", &["a.id", "a.name"]));
+        s1.push_values(vec![Value::str("x"), Value::str("Bob Smith")]).unwrap();
+        let mut s2 = Relation::empty(Schema::of("b", &["b.id", "b.name"]));
+        s2.push_values(vec![Value::str("y"), Value::str("Ada Lovelace")]).unwrap();
+        let r = link_join(&s1, "a.id", &s2, "b.id", &g, 1, &HerConfig::default()).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.schema().arity(), 4);
+    }
+}

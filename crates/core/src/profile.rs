@@ -1,0 +1,273 @@
+//! Offline preprocessing for the efficient semantic-join method
+//! (Section IV-A): profile graph `G` once, materialize everything
+//! well-behaved queries need, and maintain a cache of link-join
+//! connectivity relations `g_L`.
+//!
+//! Concretely, for each input relation `D` of schema `R` the profile
+//! holds: (1) the HER matches `f(D,G)`; (2) a set `A_R` of reference
+//! keywords; (3) the extracted schema `R_G` and relation `h(D,G)`; and for
+//! heuristic joins the typed relations `gτ(G)`.
+
+use crate::incext::Extraction;
+use crate::rext::Rext;
+use crate::typed::{extract_typed, TypedConfig, TypedRelation};
+use gsj_common::{FxHashMap, GsjError, Result};
+use gsj_graph::LabeledGraph;
+use gsj_her::{her_match, HerConfig};
+use gsj_relational::{Database, Relation};
+use parking_lot::Mutex;
+
+/// What to profile for one base relation.
+#[derive(Debug, Clone)]
+pub struct RelationSpec {
+    /// Base relation name in the catalog.
+    pub name: String,
+    /// Its tuple-id (primary key) attribute.
+    pub id_attr: String,
+    /// The reference keywords `A_R` (from query logs / expert users in the
+    /// paper; from the workload spec here).
+    pub keywords: Vec<String>,
+}
+
+impl RelationSpec {
+    /// Convenience constructor.
+    pub fn new(name: &str, id_attr: &str, keywords: &[&str]) -> Self {
+        RelationSpec {
+            name: name.into(),
+            id_attr: id_attr.into(),
+            keywords: keywords.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+}
+
+/// The materialized offline state.
+pub struct GraphProfile {
+    /// Per-relation specs (including `A_R`).
+    pub specs: FxHashMap<String, RelationSpec>,
+    /// Per-relation extraction state: `f(D,G)`, discovery, `h(D,G)`.
+    pub extractions: FxHashMap<String, Extraction>,
+    /// Typed relations `gτ(G)` for heuristic joins.
+    pub typed: FxHashMap<String, TypedRelation>,
+    /// The `g_L` cache, keyed by a query-shape signature.
+    link_cache: Mutex<FxHashMap<String, Relation>>,
+}
+
+impl GraphProfile {
+    /// Profile `g` against the given base relations: run HER, pattern
+    /// discovery with `A_R`, extraction, and (optionally) typed
+    /// extraction. This is the offline pre-computation of Exp-3(I)(b).
+    pub fn build(
+        g: &LabeledGraph,
+        db: &Database,
+        specs: Vec<RelationSpec>,
+        rext: &Rext,
+        her_cfg: &HerConfig,
+        typed_cfg: Option<&TypedConfig>,
+    ) -> Result<GraphProfile> {
+        let mut extractions = FxHashMap::default();
+        let mut spec_map = FxHashMap::default();
+        for spec in specs {
+            let rel = db.get(&spec.name)?;
+            let cfg = HerConfig {
+                id_attr: spec.id_attr.clone(),
+                ..her_cfg.clone()
+            };
+            let matches = her_match(g, rel, &cfg)?;
+            let discovery = rext.discover(
+                g,
+                &matches,
+                Some((rel, &spec.id_attr)),
+                &spec.keywords,
+                &format!("h_{}", spec.name),
+            )?;
+            let dg = rext.extract(g, &matches, &discovery)?;
+            extractions.insert(
+                spec.name.clone(),
+                Extraction {
+                    discovery,
+                    matches,
+                    dg,
+                },
+            );
+            spec_map.insert(spec.name.clone(), spec);
+        }
+        let typed = match typed_cfg {
+            Some(cfg) => extract_typed(g, rext, cfg)?,
+            None => FxHashMap::default(),
+        };
+        Ok(GraphProfile {
+            specs: spec_map,
+            extractions,
+            typed,
+            link_cache: Mutex::new(FxHashMap::default()),
+        })
+    }
+
+    /// The reference keywords `A_R` of a base relation.
+    pub fn reference_keywords(&self, relation: &str) -> Option<&[String]> {
+        self.specs.get(relation).map(|s| s.keywords.as_slice())
+    }
+
+    /// `A ⊆ A_R`? — condition (1) of well-behavedness (Section IV-A).
+    pub fn covers(&self, relation: &str, keywords: &[String]) -> bool {
+        match self.reference_keywords(relation) {
+            None => false,
+            Some(ar) => keywords.iter().all(|k| ar.contains(k)),
+        }
+    }
+
+    /// The extraction state of a base relation.
+    pub fn extraction(&self, relation: &str) -> Result<&Extraction> {
+        self.extractions
+            .get(relation)
+            .ok_or_else(|| GsjError::NotFound(format!("profile for relation `{relation}`")))
+    }
+
+    /// Replace a relation's extraction state (IncExt commits through
+    /// here).
+    pub fn set_extraction(&mut self, relation: &str, e: Extraction) {
+        self.extractions.insert(relation.to_string(), e);
+        // Graph structure changed → cached connectivity is stale.
+        self.link_cache.lock().clear();
+    }
+
+    /// Look up a cached `g_L` connectivity relation.
+    pub fn cached_link(&self, signature: &str) -> Option<Relation> {
+        self.link_cache.lock().get(signature).cloned()
+    }
+
+    /// Store a `g_L` connectivity relation ("we keep those g_L for recent
+    /// queries as a cache").
+    pub fn cache_link(&self, signature: String, rel: Relation) {
+        self.link_cache.lock().insert(signature, rel);
+    }
+
+    /// Number of cached link relations.
+    pub fn link_cache_len(&self) -> usize {
+        self.link_cache.lock().len()
+    }
+
+    /// Rough materialization footprint in bytes (for the "% of raw data"
+    /// statistics of Exp-3(I)): sums rendered value lengths of all
+    /// materialized relations.
+    pub fn materialized_bytes(&self) -> usize {
+        let rel_bytes = |r: &Relation| -> usize {
+            r.tuples()
+                .iter()
+                .flat_map(|t| t.values().iter())
+                .map(|v| v.to_string().len())
+                .sum()
+        };
+        let mut total = 0usize;
+        for e in self.extractions.values() {
+            total += rel_bytes(&e.dg);
+            total += e.matches.len() * 16;
+        }
+        for t in self.typed.values() {
+            total += rel_bytes(&t.relation);
+        }
+        total += self
+            .link_cache
+            .lock()
+            .values()
+            .map(|r| r.len() * 16)
+            .sum::<usize>();
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{PathKind, RExtConfig};
+    use gsj_common::Value;
+    use gsj_relational::Schema;
+
+    fn setting() -> (LabeledGraph, Database) {
+        let mut g = LabeledGraph::new();
+        let ty = g.add_vertex("Product");
+        for i in 0..3 {
+            let p = g.add_vertex(&format!("prod-{i}"));
+            g.add_edge(p, "type", ty);
+            let n = g.add_vertex(&format!("Gadget {i}"));
+            g.add_edge(p, "name", n);
+            let c = g.add_vertex(&format!("maker{i}"));
+            g.add_edge(p, "made_by", c);
+        }
+        let mut rel = Relation::empty(Schema::of("product", &["pid", "name"]));
+        for i in 0..3 {
+            rel.push_values(vec![
+                Value::str(format!("fd{i}")),
+                Value::str(format!("Gadget {i}")),
+            ])
+            .unwrap();
+        }
+        let mut db = Database::new();
+        db.insert(rel);
+        (g, db)
+    }
+
+    fn quick_rext(g: &LabeledGraph) -> Rext {
+        Rext::train(
+            g,
+            RExtConfig {
+                k: 2,
+                h: 6,
+                m: 2,
+                path: PathKind::Random,
+                threads: 1,
+                ..RExtConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn build_profiles_relations_and_types() {
+        let (g, db) = setting();
+        let rext = quick_rext(&g);
+        let profile = GraphProfile::build(
+            &g,
+            &db,
+            vec![RelationSpec::new("product", "pid", &["company", "name"])],
+            &rext,
+            &HerConfig::default(),
+            Some(&TypedConfig::default()),
+        )
+        .unwrap();
+        assert!(profile.covers("product", &["company".to_string()]));
+        assert!(!profile.covers("product", &["salary".to_string()]));
+        assert!(!profile.covers("nonexistent", &[]));
+        let e = profile.extraction("product").unwrap();
+        assert_eq!(e.matches.len(), 3);
+        assert_eq!(e.dg.len(), 3);
+        assert!(profile.typed.contains_key("Product"));
+        assert!(profile.materialized_bytes() > 0);
+    }
+
+    #[test]
+    fn link_cache_roundtrip_and_invalidation() {
+        let (g, db) = setting();
+        let rext = quick_rext(&g);
+        let mut profile = GraphProfile::build(
+            &g,
+            &db,
+            vec![RelationSpec::new("product", "pid", &["name"])],
+            &rext,
+            &HerConfig::default(),
+            None,
+        )
+        .unwrap();
+        assert!(profile.cached_link("sig").is_none());
+        profile.cache_link(
+            "sig".into(),
+            Relation::empty(Schema::of("gl", &["vid1", "vid2"])),
+        );
+        assert!(profile.cached_link("sig").is_some());
+        assert_eq!(profile.link_cache_len(), 1);
+        // Committing new extraction state clears the cache.
+        let e = profile.extraction("product").unwrap().clone();
+        profile.set_extraction("product", e);
+        assert_eq!(profile.link_cache_len(), 0);
+    }
+}

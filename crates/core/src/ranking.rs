@@ -1,0 +1,196 @@
+//! The pattern/attribute ranking function (Section III-A step 4).
+//!
+//! `r(W_i) = |W_i|/|P|
+//!          − max_{φ ∈ [1,kR]} mean cos(x_{L(ρ.vl)}, x_{t_j.Aφ})
+//!          + max_{ε ∈ [1,m]}  mean cos(x_{L(ρ.vl)}, x_{Aε})`
+//!
+//! Higher scores go to pattern clusters that (1) match many paths (fewer
+//! nulls in the extracted column), (2) do *not* duplicate information
+//! already present in `S`'s attributes, and (3) are semantically close to
+//! one of the user's keywords. The keyword maximizing the third term names
+//! the attribute.
+
+use gsj_common::FxHashMap;
+use gsj_graph::VertexId;
+use gsj_nn::vector::cosine;
+
+/// One matching-path record of `W_i`: the start (entity) vertex and the
+/// embedding of the end vertex's label.
+#[derive(Debug, Clone)]
+pub struct WEntry {
+    /// The matched entity vertex `v_j` the path starts from.
+    pub start: VertexId,
+    /// Word embedding of the end label `L(ρ.v_l)`.
+    pub end_emb: Vec<f32>,
+}
+
+/// Per-vertex embeddings of the matched tuple's attribute values
+/// (`None` for NULL cells and the id column). Index φ ranges over the
+/// arity `kR` of `S`.
+pub type TupleAttrEmbs = FxHashMap<VertexId, Vec<Option<Vec<f32>>>>;
+
+/// The decomposed ranking of one cluster.
+#[derive(Debug, Clone)]
+pub struct RankResult {
+    /// First term `|W_i|/|P|`.
+    pub coverage: f64,
+    /// Second term: max over existing attributes of the mean similarity.
+    pub overlap: f64,
+    /// Mean similarity per keyword (third-term candidates).
+    pub kw_means: Vec<f64>,
+    /// The combined score `coverage − overlap + max(kw_means)`.
+    pub score: f64,
+    /// Argmax keyword of the third term.
+    pub best_keyword: Option<usize>,
+}
+
+impl RankResult {
+    /// The ranking function evaluated for one *specific* keyword:
+    /// `coverage − overlap + kw_means[k]`. Attribute assignment compares
+    /// clusters per keyword with this.
+    pub fn score_for(&self, k: usize) -> f64 {
+        self.coverage - self.overlap + self.kw_means[k]
+    }
+}
+
+/// Score one cluster's match set and return `(r(W_i), argmax keyword)`.
+///
+/// `total_paths` is `|P|`; `keywords` are `(name, embedding)` pairs; an
+/// empty `tuple_attr_embs` (extraction without reference tuples,
+/// Section III-A) zeroes the second term, and empty `keywords` zero the
+/// third.
+pub fn rank_cluster(
+    entries: &[WEntry],
+    total_paths: usize,
+    tuple_attr_embs: &TupleAttrEmbs,
+    keywords: &[(String, Vec<f32>)],
+) -> (f64, Option<usize>) {
+    let r = rank_cluster_full(entries, total_paths, tuple_attr_embs, keywords);
+    (r.score, r.best_keyword)
+}
+
+/// [`rank_cluster`] returning the decomposed [`RankResult`].
+pub fn rank_cluster_full(
+    entries: &[WEntry],
+    total_paths: usize,
+    tuple_attr_embs: &TupleAttrEmbs,
+    keywords: &[(String, Vec<f32>)],
+) -> RankResult {
+    if entries.is_empty() || total_paths == 0 {
+        return RankResult {
+            coverage: 0.0,
+            overlap: 0.0,
+            kw_means: vec![f64::NEG_INFINITY; keywords.len()],
+            score: f64::NEG_INFINITY,
+            best_keyword: None,
+        };
+    }
+    let coverage = entries.len() as f64 / total_paths as f64;
+
+    // Second term: similarity to existing attributes of S (max over φ).
+    let arity = tuple_attr_embs.values().map(|v| v.len()).max().unwrap_or(0);
+    let mut overlap = 0.0f64;
+    for phi in 0..arity {
+        let mut sum = 0.0f64;
+        for e in entries {
+            if let Some(Some(attr_emb)) = tuple_attr_embs.get(&e.start).map(|v| &v[phi]) {
+                sum += cosine(&e.end_emb, attr_emb) as f64;
+            }
+        }
+        overlap = overlap.max(sum / entries.len() as f64);
+    }
+
+    // Third term: similarity to user keywords (max over ε, with argmax).
+    let mut kw_means = Vec::with_capacity(keywords.len());
+    let mut interest = 0.0f64;
+    let mut best_kw = None;
+    for (eps, (_, kw_emb)) in keywords.iter().enumerate() {
+        let sum: f64 = entries
+            .iter()
+            .map(|e| cosine(&e.end_emb, kw_emb) as f64)
+            .sum();
+        let mean = sum / entries.len() as f64;
+        kw_means.push(mean);
+        if best_kw.is_none() || mean > interest {
+            interest = mean;
+            best_kw = Some(eps);
+        }
+    }
+
+    RankResult {
+        coverage,
+        overlap,
+        kw_means,
+        score: coverage - overlap + interest,
+        best_keyword: best_kw,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsj_nn::{HashEmbedder, WordEmbedder};
+
+    fn entry(start: u32, label: &str, emb: &HashEmbedder) -> WEntry {
+        WEntry {
+            start: VertexId(start),
+            end_emb: emb.embed(label),
+        }
+    }
+
+    #[test]
+    fn keyword_similarity_raises_score_and_names_attribute() {
+        let emb = HashEmbedder::new(64);
+        let entries = vec![entry(0, "UK", &emb), entry(1, "US", &emb)];
+        let keywords = vec![
+            ("company".to_string(), emb.embed("company")),
+            ("loc".to_string(), emb.embed("UK US location")),
+        ];
+        let (score, kw) = rank_cluster(&entries, 10, &FxHashMap::default(), &keywords);
+        assert!(score.is_finite());
+        assert_eq!(kw, Some(1), "the loc-ish keyword must win");
+    }
+
+    #[test]
+    fn overlap_with_existing_attributes_lowers_score() {
+        let emb = HashEmbedder::new(64);
+        // End labels identical to an existing attribute value → penalized.
+        let entries = vec![entry(0, "Funds", &emb)];
+        let mut dup: TupleAttrEmbs = FxHashMap::default();
+        dup.insert(VertexId(0), vec![Some(emb.embed("Funds"))]);
+        let fresh: TupleAttrEmbs = FxHashMap::default();
+        let kws = vec![("type".to_string(), emb.embed("type"))];
+        let (with_dup, _) = rank_cluster(&entries, 10, &dup, &kws);
+        let (without, _) = rank_cluster(&entries, 10, &fresh, &kws);
+        assert!(
+            with_dup < without,
+            "duplicate info must rank lower: {with_dup} vs {without}"
+        );
+    }
+
+    #[test]
+    fn coverage_term_prefers_bigger_clusters() {
+        let emb = HashEmbedder::new(64);
+        let small = vec![entry(0, "x", &emb)];
+        let big: Vec<WEntry> = (0..5).map(|i| entry(i, "x", &emb)).collect();
+        let none: TupleAttrEmbs = FxHashMap::default();
+        let (s_small, _) = rank_cluster(&small, 10, &none, &[]);
+        let (s_big, _) = rank_cluster(&big, 10, &none, &[]);
+        assert!(s_big > s_small);
+    }
+
+    #[test]
+    fn empty_cluster_is_unrankable() {
+        let (score, kw) = rank_cluster(&[], 10, &FxHashMap::default(), &[]);
+        assert_eq!(score, f64::NEG_INFINITY);
+        assert_eq!(kw, None);
+    }
+
+    #[test]
+    fn no_keywords_means_no_attribute_name() {
+        let emb = HashEmbedder::new(16);
+        let entries = vec![entry(0, "x", &emb)];
+        let (_, kw) = rank_cluster(&entries, 5, &FxHashMap::default(), &[]);
+        assert_eq!(kw, None);
+    }
+}

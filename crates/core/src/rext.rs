@@ -1,0 +1,551 @@
+//! The RExt facade: wiring path selection, embedding, clustering,
+//! refinement, ranking and extraction into the two-phase scheme of
+//! Section III-A (see Fig. 4's workflow diagram).
+
+use crate::config::{EmbedKind, PathKind, RExtConfig, SeqKind};
+use crate::discover::{
+    inject_cluster_noise, refine_patterns, select_attributes, Discovery,
+};
+use crate::extract::extract_relation;
+use crate::ranking::TupleAttrEmbs;
+use gsj_cluster::{kmeans, KmeansConfig};
+use gsj_common::{FxHashMap, Result, Value};
+use gsj_graph::random_walk::{build_corpus, WalkConfig};
+use gsj_graph::{LabeledGraph, Path, VertexId};
+use gsj_her::normalize::value_text;
+use gsj_her::MatchRelation;
+use gsj_nn::lm::SequenceEmbedder;
+use gsj_nn::{AttnEncoder, HashEmbedder, LanguageModel, WordEmbedder};
+use gsj_relational::Relation;
+use std::sync::Arc;
+
+/// Map `f` over `items` with scoped threads, preserving order.
+pub(crate) fn parallel_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
+    };
+    if threads <= 1 || items.len() < 2 * threads {
+        return items.iter().map(&f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|slice| {
+                let f = &f;
+                s.spawn(move |_| slice.iter().map(f).collect::<Vec<U>>())
+            })
+            .collect();
+        let mut out = Vec::with_capacity(items.len());
+        for h in handles {
+            out.extend(h.join().expect("parallel_map worker panicked"));
+        }
+        out
+    })
+    .expect("parallel_map scope panicked")
+}
+
+/// The trained extraction scheme for one graph.
+///
+/// Construction ([`Rext::train`]) performs the offline part: building the
+/// random-walk corpus and training the language model `Mρ`. The online
+/// parts are [`Rext::discover`] (pattern discovery for a match relation and
+/// keyword set) and [`Rext::extract`] (Algorithm 1). Cloning shares the
+/// trained models (they sit behind `Arc`s).
+#[derive(Clone)]
+pub struct Rext {
+    cfg: RExtConfig,
+    word: Arc<dyn WordEmbedder>,
+    seq: Arc<dyn SequenceEmbedder>,
+    lm: Option<Arc<LanguageModel>>,
+}
+
+impl Rext {
+    /// Train the scheme on a graph (model training is the offline
+    /// preprocessing of Exp-3(I)(a)).
+    pub fn train(g: &LabeledGraph, cfg: RExtConfig) -> Result<Self> {
+        cfg.validate()?;
+        let needs_lm = cfg.path == PathKind::LmGuided
+            || matches!(cfg.seq, SeqKind::Lstm100 | SeqKind::Lstm50);
+        let lm = if needs_lm {
+            let corpus = build_corpus(
+                g,
+                &WalkConfig {
+                    walks_per_vertex: 3,
+                    max_len: cfg.k.max(2) * 2,
+                    seed: cfg.seed,
+                },
+            );
+            let mut lm_cfg = cfg.lm.clone();
+            lm_cfg.seed = cfg.seed ^ 0x1111;
+            Some(Arc::new(LanguageModel::train(&corpus, g.symbols(), lm_cfg)))
+        } else {
+            None
+        };
+        let word: Arc<dyn WordEmbedder> = match cfg.embed {
+            EmbedKind::Hash100 => Arc::new(HashEmbedder::new(256)),
+            EmbedKind::Hash50 => Arc::new(HashEmbedder::short()),
+            EmbedKind::Attn => Arc::new(AttnEncoder::for_words(256)),
+        };
+        let seq: Arc<dyn SequenceEmbedder> = match cfg.seq {
+            SeqKind::Lstm100 | SeqKind::Lstm50 => {
+                Arc::clone(lm.as_ref().expect("LM trained above")) as Arc<dyn SequenceEmbedder>
+            }
+            SeqKind::Attn => Arc::new(AttnEncoder::for_sequences(100, g.symbols().clone())),
+        };
+        Ok(Rext { cfg, word, seq, lm })
+    }
+
+    /// The configuration this scheme was built with.
+    pub fn config(&self) -> &RExtConfig {
+        &self.cfg
+    }
+
+    /// A shallow clone with a different attribute budget `m` (shares the
+    /// trained models; used by the Exp-2 `m` sweep).
+    pub fn with_m(&self, m: usize) -> Rext {
+        let mut clone = self.clone();
+        clone.cfg.m = m;
+        clone
+    }
+
+    /// A shallow clone with a different cluster count `H` (shares the
+    /// trained models; used by the Exp-2 `H` sweep — clustering happens at
+    /// discovery time, not training time).
+    pub fn with_h(&self, h: usize) -> Rext {
+        let mut clone = self.clone();
+        clone.cfg.h = h;
+        clone
+    }
+
+    /// A shallow clone with a different path bound `k` (shares the trained
+    /// models; the LM is trained on walks long enough for any `k` in the
+    /// Exp-2 sweep range).
+    pub fn with_k(&self, k: usize) -> Rext {
+        let mut clone = self.clone();
+        clone.cfg.k = k;
+        clone
+    }
+
+    /// The word embedder `Me`.
+    pub fn word_embedder(&self) -> &dyn WordEmbedder {
+        self.word.as_ref()
+    }
+
+    /// The trained language model, when the variant uses one.
+    pub fn language_model(&self) -> Option<&LanguageModel> {
+        self.lm.as_deref()
+    }
+
+    /// Select paths from one vertex under this scheme's path strategy.
+    pub fn select_paths(&self, g: &LabeledGraph, v: VertexId) -> Vec<Path> {
+        crate::path_select::select_paths(
+            g,
+            v,
+            self.cfg.k,
+            self.cfg.path,
+            self.lm.as_deref(),
+            self.cfg.seed,
+        )
+    }
+
+    /// Phase I: pattern discovery.
+    ///
+    /// `reference` optionally carries the tuple set `S` and its id
+    /// attribute — used for the ranking function's second term; pass
+    /// `None` for extraction without reference tuples (Section III-A's
+    /// typed preprocessing). `schema_name` names the produced `R_G`.
+    pub fn discover(
+        &self,
+        g: &LabeledGraph,
+        matches: &MatchRelation,
+        reference: Option<(&Relation, &str)>,
+        keywords: &[String],
+        schema_name: &str,
+    ) -> Result<Discovery> {
+        self.discover_with_noise(g, matches, reference, keywords, schema_name, None)
+    }
+
+    /// [`Rext::discover`] with optional clustering-noise injection
+    /// `(fraction, seed)` — the Fig 5(f) robustness experiment.
+    pub fn discover_with_noise(
+        &self,
+        g: &LabeledGraph,
+        matches: &MatchRelation,
+        reference: Option<(&Relation, &str)>,
+        keywords: &[String],
+        schema_name: &str,
+        cluster_noise: Option<(f64, u64)>,
+    ) -> Result<Discovery> {
+        // (1) Path selection per distinct matched vertex, in parallel.
+        let mut vertices: Vec<VertexId> = matches.vertices().collect();
+        vertices.sort();
+        vertices.dedup();
+        let per_vertex: Vec<Vec<Path>> = parallel_map(&vertices, self.cfg.threads, |&v| {
+            self.select_paths(g, v)
+        });
+        let mut paths_map: FxHashMap<VertexId, Vec<Path>> = FxHashMap::default();
+        let mut flat: Vec<Path> = Vec::new();
+        for (v, paths) in vertices.iter().zip(per_vertex) {
+            flat.extend(paths.iter().cloned());
+            paths_map.insert(*v, paths);
+        }
+
+        // (2) Vertex-path pair vectorization, in parallel.
+        let word = self.word.as_ref();
+        let seq = self.seq.as_ref();
+        let features: Vec<Vec<f32>> = parallel_map(&flat, self.cfg.threads, |p| {
+            crate::embed_paths::embed_pair(g, p, word, seq)
+        });
+        let word_dim = self.word.dim();
+
+        // (3a) KMC.
+        let mut assignments = kmeans(
+            &features,
+            &KmeansConfig {
+                k: self.cfg.h,
+                max_iters: self.cfg.kmeans_iters,
+                threads: self.cfg.threads,
+                seed: self.cfg.seed ^ 0x2222,
+                ..KmeansConfig::default()
+            },
+        )
+        .assignments;
+        if let Some((frac, seed)) = cluster_noise {
+            inject_cluster_noise(&mut assignments, self.cfg.h, frac, seed);
+        }
+
+        // (3b) Majority-vote pattern refinement, then the simulated user
+        // inspection dropping peer-link clusters.
+        let refined = refine_patterns(&flat, &assignments, self.cfg.h);
+        let refined = if self.cfg.filter_same_type_ends {
+            crate::discover::filter_link_clusters(g, refined, &flat, &self.cfg.type_edges)
+        } else {
+            refined
+        };
+
+        // (4) Ranking and attribute selection. Naming embeddings combine
+        // the path's edge labels with its end label (see
+        // `discover::build_w_entries` for the rationale).
+        let name_embs: Vec<Vec<f32>> = parallel_map(&flat, self.cfg.threads, |p| {
+            naming_embedding(g, p, word)
+        });
+        let keyword_embs: Vec<(String, Vec<f32>)> = keywords
+            .iter()
+            .map(|k| (k.clone(), self.word.embed(k)))
+            .collect();
+        let tuple_attr_embs = match reference {
+            Some((s, id_attr)) => self.tuple_attr_embeddings(s, id_attr, matches)?,
+            None => TupleAttrEmbs::default(),
+        };
+        let (clusters, schema) = select_attributes(
+            &refined,
+            &flat,
+            &name_embs,
+            &tuple_attr_embs,
+            &keyword_embs,
+            self.cfg.m.min(keywords.len().max(1)),
+            schema_name,
+        )?;
+
+        Ok(Discovery {
+            clusters,
+            schema,
+            refined,
+            paths: paths_map,
+            keyword_embs,
+            total_paths: flat.len(),
+            word_dim,
+        })
+    }
+
+    /// Embeddings of each matched tuple's attribute values, keyed by the
+    /// matched vertex (the `x_{t_j.Aφ}` of the ranking function). The id
+    /// column is excluded — ids are surrogates local to `D`.
+    fn tuple_attr_embeddings(
+        &self,
+        s: &Relation,
+        id_attr: &str,
+        matches: &MatchRelation,
+    ) -> Result<TupleAttrEmbs> {
+        let id_pos = s.schema().require(id_attr)?;
+        // tid → tuple index.
+        let mut by_tid: FxHashMap<Value, usize> = FxHashMap::default();
+        for (i, t) in s.tuples().iter().enumerate() {
+            by_tid.insert(t.get(id_pos).clone(), i);
+        }
+        let mut out = TupleAttrEmbs::default();
+        for (tid, vid) in matches.pairs() {
+            let Some(&row) = by_tid.get(tid) else { continue };
+            let embs: Vec<Option<Vec<f32>>> = s.tuples()[row]
+                .values()
+                .iter()
+                .enumerate()
+                .map(|(i, v)| {
+                    if i == id_pos {
+                        return None;
+                    }
+                    value_text(v).map(|text| self.word.embed(&text))
+                })
+                .collect();
+            out.insert(*vid, embs);
+        }
+        Ok(out)
+    }
+
+    /// Phase II: Algorithm 1 over all matches, producing `h(S,G)`.
+    pub fn extract(
+        &self,
+        g: &LabeledGraph,
+        matches: &MatchRelation,
+        discovery: &Discovery,
+    ) -> Result<Relation> {
+        extract_relation(
+            g,
+            matches.vertices(),
+            discovery,
+            self.word.as_ref(),
+            |v| self.select_paths(g, v),
+        )
+    }
+
+    /// Algorithm 1 restricted to specific vertices with *fresh* path
+    /// selection (IncExt re-extraction; the discovery cache may be stale
+    /// for these vertices).
+    pub fn extract_vertices(
+        &self,
+        g: &LabeledGraph,
+        vertices: &[VertexId],
+        discovery: &Discovery,
+    ) -> Result<Relation> {
+        // Bypass the discovery cache entirely: these vertices' vicinities
+        // changed.
+        let mut stripped = discovery.clone();
+        for v in vertices {
+            stripped.paths.remove(v);
+        }
+        extract_relation(
+            g,
+            vertices.iter().copied(),
+            &stripped,
+            self.word.as_ref(),
+            |v| self.select_paths(g, v),
+        )
+    }
+}
+
+/// The naming embedding of a path: word embedding of the end vertex's
+/// label (double weight) plus the last edge label, L2-normalized. Used by
+/// the ranking function's keyword and overlap terms.
+///
+/// The paper's formula embeds the end label alone, relying on pretrained
+/// GloVe to place values near concept words (`UK` near `location`). Our
+/// hash embedder has no world knowledge, so the final predicate carries
+/// the concept signal instead — the paper's own motivating example: "to
+/// retrieve UK from G as the country of company1, one need to select
+/// semantically close regloc". Only the *last* edge participates: an
+/// attribute is named by where its paths end, and including earlier hops
+/// would let `treats_symptom` tokens hijack the `disease` cluster one hop
+/// further down the chain.
+pub(crate) fn naming_embedding(
+    g: &LabeledGraph,
+    path: &Path,
+    word: &dyn WordEmbedder,
+) -> Vec<f32> {
+    let mut emb = word.embed(&g.vertex_label_str(path.end()));
+    gsj_nn::vector::scale(&mut emb, 2.0);
+    if let Some(&last) = path.labels().last() {
+        let edge_emb = word.embed(&g.symbols().resolve(last));
+        gsj_nn::vector::add_assign(&mut emb, &edge_emb);
+    }
+    gsj_nn::vector::l2_normalize(&mut emb);
+    emb
+}
+
+/// Crate-internal access to [`Rext::tuple_attr_embeddings`] (used by
+/// IncExt's keyword-update path).
+pub(crate) fn tuple_attr_embeddings_for(
+    rext: &Rext,
+    s: &Relation,
+    id_attr: &str,
+    matches: &MatchRelation,
+) -> Result<TupleAttrEmbs> {
+    rext.tuple_attr_embeddings(s, id_attr, matches)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsj_nn::LmConfig;
+    use gsj_relational::Schema;
+
+    /// A small two-product fintech graph in the shape of Fig. 1, plus the
+    /// product relation and a perfect match relation.
+    fn setting() -> (LabeledGraph, Relation, MatchRelation) {
+        let mut g = LabeledGraph::new();
+        let mut matches = MatchRelation::new();
+        let mut s = Relation::empty(Schema::of("product", &["pid", "name", "type"]));
+        let countries = ["UK", "US", "DE", "FR"];
+        #[allow(clippy::needless_range_loop)] // i indexes several parallel pools
+        for i in 0..4 {
+            let pid = g.add_vertex(&format!("pid{i}"));
+            let name = g.add_vertex(&format!("Fund {i}"));
+            let company = g.add_vertex(&format!("company{i}"));
+            let country = g.add_vertex(countries[i]);
+            let ty = g.add_vertex(if i % 2 == 0 { "Funds" } else { "Stocks" });
+            g.add_edge(pid, "name", name);
+            g.add_edge(pid, "issue", company);
+            g.add_edge(company, "regloc", country);
+            g.add_edge(pid, "type", ty);
+            s.push_values(vec![
+                Value::str(format!("fd{i}")),
+                Value::str(format!("Fund {i}")),
+                Value::str(if i % 2 == 0 { "Funds" } else { "Stocks" }),
+            ])
+            .unwrap();
+            matches.push(Value::str(format!("fd{i}")), pid);
+        }
+        (g, s, matches)
+    }
+
+    fn quick_cfg(path: PathKind) -> RExtConfig {
+        RExtConfig {
+            k: 3,
+            h: 8,
+            m: 2,
+            path,
+            lm: LmConfig {
+                embed_dim: 8,
+                hidden: 24,
+                epochs: 20,
+                seed: 5,
+                ..LmConfig::default()
+            },
+            threads: 1,
+            seed: 77,
+            ..RExtConfig::default()
+        }
+    }
+
+    #[test]
+    fn end_to_end_discovery_and_extraction_guided() {
+        let (g, s, matches) = setting();
+        let rext = Rext::train(&g, quick_cfg(PathKind::LmGuided)).unwrap();
+        let keywords = vec!["loc".to_string(), "company".to_string()];
+        let disc = rext
+            .discover(&g, &matches, Some((&s, "pid")), &keywords, "h_product")
+            .unwrap();
+        assert!(!disc.clusters.is_empty());
+        assert!(disc.schema.contains("vid"));
+        let dg = rext.extract(&g, &matches, &disc).unwrap();
+        assert_eq!(dg.len(), 4);
+        // The loc attribute must recover the countries for most products.
+        if let Some(loc_col) = disc
+            .schema
+            .attrs()
+            .iter()
+            .find(|a| a.as_str() == "loc")
+        {
+            let vals = dg.column(loc_col).unwrap();
+            let recovered = vals
+                .iter()
+                .filter(|v| {
+                    matches!(v.as_str(), Some("UK" | "US" | "DE" | "FR"))
+                })
+                .count();
+            assert!(recovered >= 3, "recovered {recovered} locs: {vals:?}");
+        } else {
+            panic!("`loc` not selected; schema = {:?}", disc.schema.attrs());
+        }
+    }
+
+    #[test]
+    fn random_path_variant_also_extracts() {
+        let (g, s, matches) = setting();
+        let rext = Rext::train(&g, quick_cfg(PathKind::Random)).unwrap();
+        let disc = rext
+            .discover(
+                &g,
+                &matches,
+                Some((&s, "pid")),
+                &["company".to_string()],
+                "h_product",
+            )
+            .unwrap();
+        let dg = rext.extract(&g, &matches, &disc).unwrap();
+        assert_eq!(dg.len(), 4);
+        assert_eq!(dg.schema().attrs()[0], "vid");
+    }
+
+    #[test]
+    fn empty_matches_give_empty_extraction() {
+        let (g, s, _) = setting();
+        let rext = Rext::train(&g, quick_cfg(PathKind::Random)).unwrap();
+        let empty = MatchRelation::new();
+        let disc = rext
+            .discover(&g, &empty, Some((&s, "pid")), &["loc".to_string()], "h_p")
+            .unwrap();
+        let dg = rext.extract(&g, &empty, &disc).unwrap();
+        assert!(dg.is_empty());
+    }
+
+    #[test]
+    fn noise_injection_path_is_exercised() {
+        let (g, s, matches) = setting();
+        let rext = Rext::train(&g, quick_cfg(PathKind::Random)).unwrap();
+        let disc = rext
+            .discover_with_noise(
+                &g,
+                &matches,
+                Some((&s, "pid")),
+                &["loc".to_string()],
+                "h_p",
+                Some((0.3, 1)),
+            )
+            .unwrap();
+        // Refinement keeps the pipeline functional despite 30% noise.
+        let dg = rext.extract(&g, &matches, &disc).unwrap();
+        assert_eq!(dg.len(), 4);
+    }
+
+    #[test]
+    fn extract_vertices_matches_full_extraction() {
+        let (g, s, matches) = setting();
+        let rext = Rext::train(&g, quick_cfg(PathKind::Random)).unwrap();
+        let disc = rext
+            .discover(
+                &g,
+                &matches,
+                Some((&s, "pid")),
+                &["loc".to_string(), "company".to_string()],
+                "h_p",
+            )
+            .unwrap();
+        let full = rext.extract(&g, &matches, &disc).unwrap();
+        let vids: Vec<VertexId> = matches.vertices().collect();
+        let partial = rext.extract_vertices(&g, &vids, &disc).unwrap();
+        // Same rows (order may differ) — fresh selection is deterministic
+        // and the graph is unchanged.
+        let mut a: Vec<_> = full.tuples().to_vec();
+        let mut b: Vec<_> = partial.tuples().to_vec();
+        a.sort_by(|x, y| format!("{x:?}").cmp(&format!("{y:?}")));
+        b.sort_by(|x, y| format!("{x:?}").cmp(&format!("{y:?}")));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u32> = (0..100).collect();
+        let out = parallel_map(&items, 4, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        let small = parallel_map(&items[..3], 8, |&x| x + 1);
+        assert_eq!(small, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,47 @@
+//! **Celebrity**: DBpedia athletes and politicians with YAGO3 — used by
+//! the paper for the largest per-collection keyword set (4 extracted
+//! relations for heuristic joins).
+
+use crate::spec::{CollectionSpec, CrossSpec, PropSpec, Scale};
+
+/// `celebrity(cid, name, category)` + YAGO-flavoured person graph.
+pub fn spec(scale: Scale, seed: u64) -> CollectionSpec {
+    let n = scale.0 * 2;
+    CollectionSpec {
+        name: "Celebrity".into(),
+        type_name: "Person".into(),
+        rel_name: "celebrity".into(),
+        id_attr: "cid".into(),
+        id_prefix: "dbp".into(),
+        entities: n,
+        extra_attrs: vec![("category".into(), "Cat".into(), 2)],
+        props: vec![
+            PropSpec::direct("team", "playsFor", "Team", (n / 8).max(4)),
+            PropSpec::direct("city", "wasBornIn", "City", (n / 6).max(6)),
+            PropSpec::via("country", "city", "cityOfCountry", "Nation", 15),
+            PropSpec::direct("award", "awardedPrize", "Medal", 10).with_null_rate(0.4),
+        ],
+        noise_props: vec![PropSpec::direct("height", "hasHeight", "Cm1", 40)],
+        cross: Some(CrossSpec {
+            label: "knows".into(),
+            per_entity: 2.0,
+            relation: None,
+        }),
+        background: 8.0,
+        seed: seed ^ 0xce1eb,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_collection;
+
+    #[test]
+    fn celebrity_has_four_keywords() {
+        let c = build_collection(spec(Scale::tiny(), 3));
+        assert_eq!(c.spec.reference_keywords().len(), 4);
+        // knows-links support the social link joins (Q3-style).
+        assert!(!c.links.is_empty());
+    }
+}

@@ -1,0 +1,64 @@
+//! **Drugs**: drug products + interactions (DrugBank / PNAS interactions)
+//! with the drugKG knowledge graph (KEGG MEDICUS) of efficacies, symptoms
+//! and diseases — the paper's case-study collection (`q1`: "find drugs
+//! that are for the same disease but in conflict with each other").
+
+use crate::spec::{CollectionSpec, CrossRelation, CrossSpec, PropSpec, Scale};
+
+/// The Drugs collection spec: relations `drug(CAS, name, class)` and
+/// `interact(CAS1, CAS2, type)`; properties follow the
+/// `drug → efficacy → symptom ← disease` shape of Exp-1.
+pub fn spec(scale: Scale, seed: u64) -> CollectionSpec {
+    let n = scale.0;
+    CollectionSpec {
+        name: "Drugs".into(),
+        type_name: "Drug".into(),
+        rel_name: "drug".into(),
+        id_attr: "CAS".into(),
+        id_prefix: "cas".into(),
+        entities: n,
+        extra_attrs: vec![("class".into(), "Class".into(), 6)],
+        props: vec![
+            PropSpec::direct("efficacy", "efficacy", "Effect", (n / 6).max(4)),
+            PropSpec::via("symptom", "efficacy", "treats_symptom", "Symptom", (n / 8).max(4)),
+            PropSpec::via("disease", "symptom", "symptom_of_disease", "Disease", (n / 10).max(3)),
+        ],
+        noise_props: vec![
+            PropSpec::direct("dosage", "dosage_form", "Form", 5),
+            PropSpec::deep("trial", &["studied_in", "conducted_by"], "Lab", 8),
+        ],
+        cross: Some(CrossSpec {
+            label: "interacts_with".into(),
+            per_entity: 2.0,
+            relation: Some(CrossRelation {
+                name: "interact".into(),
+                id1: "CAS1".into(),
+                id2: "CAS2".into(),
+                type_attr: "itype".into(),
+                type_pool: vec!["-1".into(), "1".into(), "0".into()],
+            }),
+        }),
+        background: 8.0,
+        seed: seed ^ 0xd506,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_collection;
+
+    #[test]
+    fn drugs_has_interact_relation_and_disease_chain() {
+        let c = build_collection(spec(Scale::tiny(), 3));
+        assert!(c.db.contains("drug"));
+        assert!(c.db.contains("interact"));
+        assert_eq!(
+            c.spec.reference_keywords(),
+            vec!["efficacy", "symptom", "disease"]
+        );
+        // The disease value is 3 hops from the drug entity.
+        let truth_disease = c.truth.column("disease").unwrap();
+        assert!(truth_disease.iter().any(|v| !v.is_null()));
+    }
+}

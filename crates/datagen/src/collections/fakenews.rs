@@ -1,0 +1,54 @@
+//! **FakeNews**: news sources (Kaggle "Getting real about fake news") with
+//! the topicKG graph of categories and themes (News Category Dataset) —
+//! the case-study `q2`: "find domain keywords used by fake news authors".
+
+use crate::spec::{CollectionSpec, CrossSpec, PropSpec, Scale};
+
+/// `fakenews(author, country, language)` + topicKG.
+pub fn spec(scale: Scale, seed: u64) -> CollectionSpec {
+    let n = scale.0 * 3;
+    CollectionSpec {
+        name: "FakeNews".into(),
+        type_name: "Author".into(),
+        rel_name: "fakenews".into(),
+        id_attr: "author".into(),
+        id_prefix: "auth".into(),
+        entities: n,
+        extra_attrs: vec![
+            ("country".into(), "Country".into(), 12),
+            ("language".into(), "Lang".into(), 8),
+        ],
+        props: vec![
+            PropSpec::deep("topic", &["published", "categorized_as"], "Topic", (n / 10).max(5)),
+            PropSpec::deep("keyword", &["published", "headline_keyword"], "Keyword", (n / 5).max(8)),
+            PropSpec::direct("domain", "hosted_on_domain", "Domain", (n / 12).max(4))
+                .with_null_rate(0.1),
+        ],
+        noise_props: vec![PropSpec::direct("platform", "posts_via", "Platform", 4)],
+        cross: Some(CrossSpec {
+            label: "retweets".into(),
+            per_entity: 1.5,
+            relation: None,
+        }),
+        background: 8.0,
+        seed: seed ^ 0xfa4e,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_collection;
+
+    #[test]
+    fn fakenews_has_topics_through_articles() {
+        let c = build_collection(spec(Scale::tiny(), 3));
+        assert_eq!(
+            c.spec.reference_keywords(),
+            vec!["topic", "keyword", "domain"]
+        );
+        // Domain has a null rate → some NULLs expected at this size.
+        let d = c.truth.column("domain").unwrap();
+        assert!(d.iter().any(|v| v.is_null()));
+    }
+}

@@ -1,0 +1,76 @@
+//! The six dataset collections of Table II, as spec factories.
+//!
+//! Relative sizes follow the paper's ordering (Drugs smallest; the two
+//! movie collections largest), scaled by the global [`Scale`] knob.
+
+pub mod celebrity;
+pub mod drugs;
+pub mod fakenews;
+pub mod movie;
+pub mod movkb;
+pub mod paper;
+
+use crate::builder::{build_collection, Collection};
+use crate::spec::Scale;
+
+/// The collection names in the paper's order.
+pub const ALL: &[&str] = &["Drugs", "FakeNews", "Movie", "MovKB", "Paper", "Celebrity"];
+
+/// Build one collection by name.
+pub fn build(name: &str, scale: Scale, seed: u64) -> Option<Collection> {
+    let spec = match name {
+        "Drugs" => drugs::spec(scale, seed),
+        "FakeNews" => fakenews::spec(scale, seed),
+        "Movie" => movie::spec(scale, seed),
+        "MovKB" => movkb::spec(scale, seed),
+        "Paper" => paper::spec(scale, seed),
+        "Celebrity" => celebrity::spec(scale, seed),
+        _ => return None,
+    };
+    Some(build_collection(spec))
+}
+
+/// Build all six collections.
+pub fn build_all(scale: Scale, seed: u64) -> Vec<Collection> {
+    ALL.iter()
+        .map(|n| build(n, scale, seed).expect("known collection"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_six_build_at_tiny_scale() {
+        let cols = build_all(Scale::tiny(), 1);
+        assert_eq!(cols.len(), 6);
+        for c in &cols {
+            assert!(c.entity_relation().len() >= Scale::tiny().0, "{}", c.name);
+            assert!(c.graph.edge_count() > 0, "{}", c.name);
+            assert!(!c.spec.reference_keywords().is_empty(), "{}", c.name);
+        }
+    }
+
+    #[test]
+    fn sizes_follow_papers_ordering() {
+        let cols = build_all(Scale::tiny(), 1);
+        let size = |name: &str| {
+            cols.iter()
+                .find(|c| c.name == name)
+                .unwrap()
+                .db
+                .total_tuples()
+        };
+        // Drugs is the smallest collection; the movie collections the
+        // largest (Table II).
+        assert!(size("Drugs") < size("Movie"));
+        assert!(size("Drugs") < size("MovKB"));
+        assert!(size("Celebrity") <= size("Paper"));
+    }
+
+    #[test]
+    fn unknown_collection_is_none() {
+        assert!(build("Nope", Scale::tiny(), 1).is_none());
+    }
+}

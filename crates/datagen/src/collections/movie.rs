@@ -1,0 +1,53 @@
+//! **Movie**: IMDB relations with the LinkedMDB graph — closely-related
+//! sources (the relation and graph genuinely describe the same films).
+
+use crate::spec::{CollectionSpec, CrossSpec, PropSpec, Scale};
+
+/// `movie(mid, name, year, genre)` + LinkedMDB-style graph.
+pub fn spec(scale: Scale, seed: u64) -> CollectionSpec {
+    let n = scale.0 * 5;
+    CollectionSpec {
+        name: "Movie".into(),
+        type_name: "Film".into(),
+        rel_name: "movie".into(),
+        id_attr: "mid".into(),
+        id_prefix: "tt".into(),
+        entities: n,
+        extra_attrs: vec![
+            ("genre".into(), "Genre".into(), 10),
+            ("year".into(), "Y19".into(), 40),
+        ],
+        props: vec![
+            PropSpec::direct("director", "directed_by", "Director", (n / 4).max(6)),
+            PropSpec::direct("studio", "produced_by_studio", "Studio", (n / 15).max(4)),
+            PropSpec::via("country", "studio", "studio_country", "Country", 12),
+        ],
+        noise_props: vec![
+            PropSpec::direct("runtime", "runs_for", "Minutes", 30),
+            PropSpec::deep("review", &["reviewed_in", "written_by"], "Critic", 20),
+        ],
+        cross: Some(CrossSpec {
+            label: "sequel_of".into(),
+            per_entity: 0.4,
+            relation: None,
+        }),
+        background: 8.0,
+        seed: seed ^ 0x30b1e,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_collection;
+
+    #[test]
+    fn movie_country_is_functional_in_studio() {
+        let c = build_collection(spec(Scale::tiny(), 3));
+        assert_eq!(
+            c.spec.reference_keywords(),
+            vec!["director", "studio", "country"]
+        );
+        assert!(c.entity_relation().schema().contains("genre"));
+    }
+}

@@ -1,0 +1,28 @@
+//! # gsj-datagen
+//!
+//! Synthetic stand-ins for the paper's six evaluation collections
+//! (Table II): Drugs, FakeNews, Movie, MovKB, Paper and Celebrity. Each
+//! collection is a relational database plus a knowledge graph over the
+//! same entities, generated *from a hidden ground-truth table* so the
+//! drop-and-recover F-measure protocol of Exp-2 is computable exactly
+//! (see DESIGN.md §2, substitution 4).
+//!
+//! The graphs have the structural properties RExt banks on:
+//!
+//! - entity properties live at the end of 1–3-hop labeled paths, not on
+//!   the entity vertex (e.g. `drug → efficacy → symptom ← disease`);
+//! - edge labels are semantically related to — but not equal to — the
+//!   user keywords (`regloc` vs `loc`);
+//! - value vertices are shared across entities (countries, genres), so
+//!   paths fan in;
+//! - distractor properties and cross-entity links provide realistic noise
+//!   and the substrate for link joins.
+
+pub mod builder;
+pub mod collections;
+pub mod queries;
+pub mod spec;
+pub mod updates;
+
+pub use builder::{build_collection, Collection};
+pub use spec::{CollectionSpec, CrossSpec, PropSpec, Scale};

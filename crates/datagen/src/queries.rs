@@ -1,0 +1,221 @@
+//! The gSQL query workload: 6 queries per collection, 36 in total,
+//! mirroring the paper's mix ("32 involve enrichment joins, 4 need link
+//! joins, 4 are dynamic, 10 contain more than one semantic joins, 17 have
+//! negation, and 4 have aggregation"). The exact composition of this
+//! workload is reported by the Table II/III harness.
+
+use crate::builder::Collection;
+use gsj_common::Value;
+
+/// One workload query plus its classification flags.
+#[derive(Debug, Clone)]
+pub struct WorkloadQuery {
+    /// Stable name, e.g. `Drugs-q3`.
+    pub name: String,
+    /// gSQL text; the graph is referenced as `G`.
+    pub text: String,
+    /// Uses a link join.
+    pub link: bool,
+    /// Has a sub-query semantic-join source (dynamic join).
+    pub dynamic: bool,
+    /// Number of semantic joins.
+    pub joins: usize,
+    /// Contains negation (`not` / `<>`).
+    pub negation: bool,
+    /// Contains aggregation.
+    pub aggregation: bool,
+}
+
+fn sample_value(c: &Collection, col: &str, row: usize) -> String {
+    let vals = c.truth.column(col).expect("truth column");
+    vals.iter()
+        .cycle()
+        .skip(row)
+        .find_map(|v| match v {
+            Value::Str(s) => Some(s.to_string()),
+            _ => None,
+        })
+        .unwrap_or_else(|| "missing".into())
+}
+
+/// Build the 6-query workload for one collection.
+pub fn workload(c: &Collection) -> Vec<WorkloadQuery> {
+    let rel = &c.spec.rel_name;
+    let id = &c.spec.id_attr;
+    let kws = c.spec.reference_keywords();
+    let (kw0, kw1) = (&kws[0], kws.get(1).unwrap_or(&kws[0]).clone());
+    let some_id = c.id_of(0);
+    let other_id = c.id_of(1.min(c.spec.entities.saturating_sub(1)));
+    let val0 = sample_value(c, kw0, 0);
+    let (extra_attr, _, _) = &c.spec.extra_attrs[0];
+    let extra_val = {
+        let vals = c.entity_relation().column(extra_attr).expect("extra attr");
+        vals[0].to_string()
+    };
+    let n = &c.name;
+
+    vec![
+        // q1: static enrichment with id selection (Q1 of Example 1).
+        WorkloadQuery {
+            name: format!("{n}-q1"),
+            text: format!(
+                "select {id}, {kw0}, {kw1} from {rel} e-join G <{kw0}, {kw1}> as T \
+                 where T.{id} = {some_id}"
+            ),
+            link: false,
+            dynamic: false,
+            joins: 1,
+            negation: false,
+            aggregation: false,
+        },
+        // q2: enrichment + negation.
+        WorkloadQuery {
+            name: format!("{n}-q2"),
+            text: format!(
+                "select {id}, {kw0} from {rel} e-join G <{kw0}> as T \
+                 where not T.{kw0} = '{val0}'"
+            ),
+            link: false,
+            dynamic: false,
+            joins: 1,
+            negation: true,
+            aggregation: false,
+        },
+        // q3: two enrichment joins correlated on the extracted attribute
+        // (Q2 of Example 1) + negation.
+        WorkloadQuery {
+            name: format!("{n}-q3"),
+            text: format!(
+                "select T1.{id}, T2.{id} from {rel} e-join G <{kw0}> as T1, \
+                 {rel} e-join G <{kw0}> as T2 \
+                 where T1.{id} = {some_id} and T1.{kw0} = T2.{kw0} \
+                 and not T2.{id} = {some_id}"
+            ),
+            link: false,
+            dynamic: false,
+            joins: 2,
+            negation: true,
+            aggregation: false,
+        },
+        // q4: dynamic enrichment over a sub-query.
+        WorkloadQuery {
+            name: format!("{n}-q4"),
+            text: format!(
+                "select {id}, {kw0} from \
+                 (select * from {rel} where {extra_attr} = '{extra_val}') \
+                 e-join G <{kw0}, {kw1}> as T"
+            ),
+            link: false,
+            dynamic: true,
+            joins: 1,
+            negation: false,
+            aggregation: false,
+        },
+        // q5: aggregation over an extracted attribute, with negation.
+        WorkloadQuery {
+            name: format!("{n}-q5"),
+            text: format!(
+                "select {kw0}, count(*) as cnt from {rel} e-join G <{kw0}> as T \
+                 where not T.{kw0} = '{val0}'"
+            ),
+            link: false,
+            dynamic: false,
+            joins: 1,
+            negation: true,
+            aggregation: true,
+        },
+        // q6: link join (Q3 of Example 1).
+        WorkloadQuery {
+            name: format!("{n}-q6"),
+            text: format!(
+                "select * from {rel} l-join <G> {rel} as {rel}B \
+                 where {rel}.{id} = {some_id} and not {rel}B.{id} = {other_id}"
+            ),
+            link: true,
+            dynamic: false,
+            joins: 1,
+            negation: true,
+            aggregation: false,
+        },
+    ]
+}
+
+/// Workload composition counters (for reporting next to the paper's
+/// 32/4/4/10/17/4 mix).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Composition {
+    /// Queries with at least one enrichment join.
+    pub enrichment: usize,
+    /// Queries with a link join.
+    pub link: usize,
+    /// Dynamic-join queries.
+    pub dynamic: usize,
+    /// Queries with >1 semantic join.
+    pub multi_join: usize,
+    /// Queries with negation.
+    pub negation: usize,
+    /// Queries with aggregation.
+    pub aggregation: usize,
+    /// Total queries.
+    pub total: usize,
+}
+
+/// Summarize a workload.
+pub fn composition(queries: &[WorkloadQuery]) -> Composition {
+    let mut c = Composition::default();
+    for q in queries {
+        c.total += 1;
+        if q.link {
+            c.link += 1;
+        } else {
+            c.enrichment += 1;
+        }
+        if q.dynamic {
+            c.dynamic += 1;
+        }
+        if q.joins > 1 {
+            c.multi_join += 1;
+        }
+        if q.negation {
+            c.negation += 1;
+        }
+        if q.aggregation {
+            c.aggregation += 1;
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collections;
+    use crate::spec::Scale;
+
+    #[test]
+    fn six_queries_per_collection_all_parse() {
+        let c = collections::build("Drugs", Scale::tiny(), 2).unwrap();
+        let queries = workload(&c);
+        assert_eq!(queries.len(), 6);
+        for q in &queries {
+            let parsed = gsj_core::gsql::parse_query(&q.text);
+            assert!(parsed.is_ok(), "{}: {:?}\n{}", q.name, parsed.err(), q.text);
+            let ast = parsed.unwrap();
+            assert_eq!(ast.semantic_joins().len(), q.joins, "{}", q.name);
+        }
+    }
+
+    #[test]
+    fn full_workload_composition() {
+        let cols = collections::build_all(Scale::tiny(), 2);
+        let all: Vec<WorkloadQuery> = cols.iter().flat_map(workload).collect();
+        let comp = composition(&all);
+        assert_eq!(comp.total, 36);
+        assert_eq!(comp.link, 6);
+        assert_eq!(comp.enrichment, 30);
+        assert_eq!(comp.dynamic, 6);
+        assert_eq!(comp.multi_join, 6);
+        assert!(comp.negation >= 17, "negation = {}", comp.negation);
+        assert_eq!(comp.aggregation, 6);
+    }
+}

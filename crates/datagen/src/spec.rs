@@ -1,0 +1,182 @@
+//! Declarative collection specifications.
+
+/// Global scale knob: the entity count of the *smallest* collection; the
+/// six collections multiply it by factors mirroring Table II's relative
+/// sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale(pub usize);
+
+impl Scale {
+    /// A scale suitable for unit/integration tests (~40 entities).
+    pub fn tiny() -> Self {
+        Scale(40)
+    }
+
+    /// Default benchmark scale.
+    pub fn small() -> Self {
+        Scale(300)
+    }
+
+    /// Larger benchmark scale.
+    pub fn medium() -> Self {
+        Scale(2_000)
+    }
+}
+
+/// One graph property of an entity type.
+///
+/// The property value of entity `i` is drawn deterministically from
+/// `pool`; the graph carries it at the end of the labeled `edges` chain.
+/// With `via = Some(kw)` the chain *continues from the value vertex of
+/// property `kw`* (e.g. `loc` continues from the `company` vertex through
+/// `regloc`), and the value is then a function of the parent value, so
+/// the data stays consistent (company1 is always in the same country).
+#[derive(Debug, Clone)]
+pub struct PropSpec {
+    /// The reference keyword `A_R` entry / ground-truth column name.
+    pub keyword: String,
+    /// Edge labels along the path (1 per hop).
+    pub edges: Vec<String>,
+    /// Parent property whose value vertex the path starts from.
+    pub via: Option<String>,
+    /// Value pool prefix; values are `{prefix}{j}` for `j < pool_size`.
+    pub pool_prefix: String,
+    /// Distinct values.
+    pub pool_size: usize,
+    /// Fraction of entities with no such property (NULL ground truth).
+    pub null_rate: f64,
+}
+
+impl PropSpec {
+    /// A 1-hop property.
+    pub fn direct(keyword: &str, edge: &str, pool_prefix: &str, pool_size: usize) -> Self {
+        PropSpec {
+            keyword: keyword.into(),
+            edges: vec![edge.into()],
+            via: None,
+            pool_prefix: pool_prefix.into(),
+            pool_size,
+            null_rate: 0.0,
+        }
+    }
+
+    /// A property chained off another property's value vertex.
+    pub fn via(keyword: &str, parent: &str, edge: &str, pool_prefix: &str, pool_size: usize) -> Self {
+        PropSpec {
+            keyword: keyword.into(),
+            edges: vec![edge.into()],
+            via: Some(parent.into()),
+            pool_prefix: pool_prefix.into(),
+            pool_size,
+            null_rate: 0.0,
+        }
+    }
+
+    /// A multi-hop property through anonymous intermediate vertices.
+    pub fn deep(keyword: &str, edges: &[&str], pool_prefix: &str, pool_size: usize) -> Self {
+        PropSpec {
+            keyword: keyword.into(),
+            edges: edges.iter().map(|s| s.to_string()).collect(),
+            via: None,
+            pool_prefix: pool_prefix.into(),
+            pool_size,
+            null_rate: 0.0,
+        }
+    }
+
+    /// Set the NULL rate.
+    pub fn with_null_rate(mut self, rate: f64) -> Self {
+        self.null_rate = rate;
+        self
+    }
+}
+
+/// Cross-entity link edges (transactions, interactions, knows, cites).
+#[derive(Debug, Clone)]
+pub struct CrossSpec {
+    /// Edge label.
+    pub label: String,
+    /// Expected links per entity.
+    pub per_entity: f64,
+    /// Materialize the links as a relation
+    /// `rel_name(id1_attr, id2_attr, type_attr)` with the given type pool
+    /// (the Drugs collection's `interact(CAS1, CAS2, type)`).
+    pub relation: Option<CrossRelation>,
+}
+
+/// The relational rendering of cross edges.
+#[derive(Debug, Clone)]
+pub struct CrossRelation {
+    /// Relation name.
+    pub name: String,
+    /// First id attribute.
+    pub id1: String,
+    /// Second id attribute.
+    pub id2: String,
+    /// Type attribute name.
+    pub type_attr: String,
+    /// Type values cycled through links.
+    pub type_pool: Vec<String>,
+}
+
+/// Everything needed to generate one collection.
+#[derive(Debug, Clone)]
+pub struct CollectionSpec {
+    /// Collection name (e.g. "Drugs").
+    pub name: String,
+    /// Entity type vertex label (e.g. "Drug").
+    pub type_name: String,
+    /// Entity relation name (e.g. "drug").
+    pub rel_name: String,
+    /// Tuple-id attribute.
+    pub id_attr: String,
+    /// Id prefix; ids are `{prefix}{i}`.
+    pub id_prefix: String,
+    /// Number of entities (pre-scaled by the caller).
+    pub entities: usize,
+    /// Relational-only attributes: `(name, pool prefix, pool size)`.
+    /// The first one is *also* written into the graph as a 1-hop
+    /// property, giving HER more than just the name to match on.
+    pub extra_attrs: Vec<(String, String, usize)>,
+    /// Graph properties (the recoverable columns; their keywords form
+    /// `A_R`).
+    pub props: Vec<PropSpec>,
+    /// Graph-only distractor properties.
+    pub noise_props: Vec<PropSpec>,
+    /// Cross-entity links.
+    pub cross: Option<CrossSpec>,
+    /// Background-graph size as a multiple of the entity count: vertices
+    /// unrelated to any tuple of `D`, chained among themselves and only
+    /// sparsely attached to the property zone. Real knowledge graphs are
+    /// mostly background relative to any one relation — this is what makes
+    /// small `ΔG` batches land far from matched vertices (Exp-4).
+    pub background: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl CollectionSpec {
+    /// The reference keyword list `A_R` for this collection's entity
+    /// relation.
+    pub fn reference_keywords(&self) -> Vec<String> {
+        self.props.iter().map(|p| p.keyword.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prop_constructors() {
+        let p = PropSpec::direct("director", "directed_by", "Director", 10);
+        assert_eq!(p.edges, vec!["directed_by"]);
+        assert!(p.via.is_none());
+        let v = PropSpec::via("country", "city", "country_of", "Country", 5);
+        assert_eq!(v.via.as_deref(), Some("city"));
+        let d = PropSpec::deep("symptom", &["efficacy", "treats"], "Symptom", 8);
+        assert_eq!(d.edges.len(), 2);
+        let n = PropSpec::direct("x", "y", "Z", 3).with_null_rate(0.25);
+        assert_eq!(n.null_rate, 0.25);
+    }
+}

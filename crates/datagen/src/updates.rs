@@ -1,0 +1,120 @@
+//! Random `ΔG` batches for the IncExt experiments (Exp-4): "we generated
+//! random updates ΔG consisting of the same number of insertions and
+//! deletions, so that the size of the graph remains unchanged."
+
+use gsj_common::Symbol;
+use gsj_graph::{GraphUpdate, LabeledGraph, VertexId};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// Generate a balanced update batch touching `fraction` of `|G|`'s edges
+/// (half deletions of existing edges, half insertions of new edges with
+/// existing labels between existing vertices).
+pub fn balanced_updates(
+    g: &LabeledGraph,
+    fraction: f64,
+    seed: u64,
+) -> Vec<GraphUpdate> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let vertices: Vec<VertexId> = g.vertices().collect();
+    if vertices.len() < 2 || g.edge_count() == 0 {
+        return Vec::new();
+    }
+    let labels: Vec<Symbol> = g.edge_label_histogram().keys().copied().collect();
+    let symbols = g.symbols();
+    let per_side = ((g.edge_count() as f64 * fraction) / 2.0).round().max(1.0) as usize;
+
+    let mut updates = Vec::with_capacity(2 * per_side);
+    // Deletions: sample random vertices and drop one of their out-edges.
+    let mut deleted = 0usize;
+    let mut guard = 0usize;
+    while deleted < per_side && guard < per_side * 50 {
+        guard += 1;
+        let v = vertices[rng.random_range(0..vertices.len())];
+        let outs = g.out_edges(v);
+        if outs.is_empty() {
+            continue;
+        }
+        let e = outs[rng.random_range(0..outs.len())];
+        updates.push(GraphUpdate::RemoveEdge {
+            src: v,
+            label: symbols.resolve(e.label).to_string(),
+            dst: e.to,
+        });
+        deleted += 1;
+    }
+    // Insertions: random labeled edges between existing vertices.
+    for _ in 0..deleted {
+        let a = vertices[rng.random_range(0..vertices.len())];
+        let mut b = vertices[rng.random_range(0..vertices.len())];
+        if a == b {
+            b = vertices[(rng.random_range(0..vertices.len()) + 1) % vertices.len()];
+        }
+        let label = labels[rng.random_range(0..labels.len())];
+        updates.push(GraphUpdate::AddEdge {
+            src: a,
+            label: symbols.resolve(label).to_string(),
+            dst: b,
+        });
+    }
+    updates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsj_graph::update::apply_updates;
+
+    fn graph() -> LabeledGraph {
+        let mut g = LabeledGraph::new();
+        let vs: Vec<_> = (0..30).map(|i| g.add_vertex(&format!("v{i}"))).collect();
+        for i in 0..29 {
+            g.add_edge(vs[i], "next", vs[i + 1]);
+            g.add_edge(vs[i], "alt", vs[(i + 7) % 30]);
+        }
+        g
+    }
+
+    #[test]
+    fn batch_is_balanced() {
+        let g = graph();
+        let ups = balanced_updates(&g, 0.2, 5);
+        let dels = ups
+            .iter()
+            .filter(|u| matches!(u, GraphUpdate::RemoveEdge { .. }))
+            .count();
+        let adds = ups
+            .iter()
+            .filter(|u| matches!(u, GraphUpdate::AddEdge { .. }))
+            .count();
+        assert_eq!(dels, adds);
+        assert!(dels > 0);
+    }
+
+    #[test]
+    fn graph_size_roughly_preserved() {
+        let mut g = graph();
+        let before = g.edge_count();
+        let ups = balanced_updates(&g, 0.3, 5);
+        apply_updates(&mut g, &ups);
+        // Deletions may repeat an edge (no-op) and insertions may
+        // duplicate, so allow slack — but the size must stay close.
+        let after = g.edge_count();
+        assert!(
+            (after as i64 - before as i64).abs() <= (before / 5) as i64,
+            "{before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = graph();
+        assert_eq!(balanced_updates(&g, 0.1, 9), balanced_updates(&g, 0.1, 9));
+    }
+
+    #[test]
+    fn empty_graph_yields_no_updates() {
+        let g = LabeledGraph::new();
+        assert!(balanced_updates(&g, 0.5, 1).is_empty());
+    }
+}

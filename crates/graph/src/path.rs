@@ -1,0 +1,196 @@
+//! Simple paths and path patterns (Section III, "Path Pattern and Matching").
+
+use crate::graph::VertexId;
+use gsj_common::Symbol;
+
+/// A simple undirected path `ρ = (v0, v1, ..., vl)` together with the edge
+/// labels along it.
+///
+/// Because path selection views the graph as undirected, the label sequence
+/// cannot be reconstructed from vertices alone — it is stored explicitly.
+/// Invariant: `labels.len() + 1 == vertices.len()`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Path {
+    vertices: Vec<VertexId>,
+    labels: Vec<Symbol>,
+}
+
+impl Path {
+    /// A zero-length path anchored at `start`.
+    pub fn new(start: VertexId) -> Self {
+        Path {
+            vertices: vec![start],
+            labels: Vec::new(),
+        }
+    }
+
+    /// Build from parallel vertex/label lists.
+    ///
+    /// # Panics
+    /// Panics if the invariant `labels.len() + 1 == vertices.len()` fails.
+    pub fn from_parts(vertices: Vec<VertexId>, labels: Vec<Symbol>) -> Self {
+        assert_eq!(
+            labels.len() + 1,
+            vertices.len(),
+            "path invariant violated"
+        );
+        Path { vertices, labels }
+    }
+
+    /// Append a hop. Returns `false` (and leaves the path unchanged) if the
+    /// hop would revisit a vertex — paths are *simple* (Section II-A).
+    pub fn push(&mut self, label: Symbol, to: VertexId) -> bool {
+        if self.vertices.contains(&to) {
+            return false;
+        }
+        self.vertices.push(to);
+        self.labels.push(label);
+        true
+    }
+
+    /// The number of edges `l` on the path.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True for a zero-length (single-vertex) path.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The start vertex `v0`.
+    #[inline]
+    pub fn start(&self) -> VertexId {
+        self.vertices[0]
+    }
+
+    /// The end vertex `vl` — whose label becomes the extracted attribute
+    /// value in Algorithm 1.
+    #[inline]
+    pub fn end(&self) -> VertexId {
+        *self.vertices.last().expect("non-empty vertex list")
+    }
+
+    /// The vertices `v0..vl`.
+    pub fn vertices(&self) -> &[VertexId] {
+        &self.vertices
+    }
+
+    /// The edge labels along the path.
+    pub fn labels(&self) -> &[Symbol] {
+        &self.labels
+    }
+
+    /// The path pattern `pρ = (L(v0,v1), ..., L(vl-1,vl))`.
+    pub fn pattern(&self) -> PathPattern {
+        PathPattern(self.labels.clone())
+    }
+
+    /// Pattern matching `M(ρ, p)`: true iff `pρ = p`.
+    ///
+    /// Runs in `O(min(len(pρ), len(p)))` as in the paper — a length check
+    /// then element-wise comparison.
+    #[inline]
+    pub fn matches(&self, p: &PathPattern) -> bool {
+        self.labels.len() == p.0.len() && self.labels == p.0
+    }
+
+    /// True if `to` already appears on the path (cycle test used by path
+    /// selection's stop condition (d)).
+    pub fn would_cycle(&self, to: VertexId) -> bool {
+        self.vertices.contains(&to)
+    }
+}
+
+/// A path pattern: the list of edge labels of some path. Two paths are of
+/// the same *type* iff their patterns are equal.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PathPattern(pub Vec<Symbol>);
+
+impl PathPattern {
+    /// Pattern length (number of edge labels).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True for the empty pattern.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The edge labels.
+    pub fn labels(&self) -> &[Symbol] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsj_common::SymbolTable;
+
+    fn syms() -> (SymbolTable, Symbol, Symbol, Symbol) {
+        let t = SymbolTable::new();
+        let a = t.intern("based_on");
+        let b = t.intern("issue");
+        let c = t.intern("regloc");
+        (t, a, b, c)
+    }
+
+    #[test]
+    fn push_maintains_invariant_and_rejects_cycles() {
+        let (_, a, b, _) = syms();
+        let mut p = Path::new(VertexId(0));
+        assert!(p.push(a, VertexId(1)));
+        assert!(p.push(b, VertexId(2)));
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.start(), VertexId(0));
+        assert_eq!(p.end(), VertexId(2));
+        // Revisiting v0 is a cycle: rejected, path unchanged.
+        assert!(p.would_cycle(VertexId(0)));
+        assert!(!p.push(a, VertexId(0)));
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn pattern_equality_defines_path_type() {
+        let (_, a, b, c) = syms();
+        let mut p1 = Path::new(VertexId(0));
+        p1.push(b, VertexId(1));
+        p1.push(c, VertexId(2));
+        let mut p2 = Path::new(VertexId(7));
+        p2.push(b, VertexId(8));
+        p2.push(c, VertexId(9));
+        assert_eq!(p1.pattern(), p2.pattern());
+        assert!(p1.matches(&p2.pattern()));
+        let mut p3 = Path::new(VertexId(0));
+        p3.push(a, VertexId(1));
+        assert!(!p1.matches(&p3.pattern()));
+    }
+
+    #[test]
+    fn matching_respects_order() {
+        let (_, _, b, c) = syms();
+        let mut p1 = Path::new(VertexId(0));
+        p1.push(b, VertexId(1));
+        p1.push(c, VertexId(2));
+        let reversed = PathPattern(vec![c, b]);
+        assert!(!p1.matches(&reversed));
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        let (_, a, _, _) = syms();
+        let p = Path::from_parts(vec![VertexId(0), VertexId(1)], vec![a]);
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "path invariant")]
+    fn from_parts_panics_on_mismatch() {
+        let (_, a, b, _) = syms();
+        let _ = Path::from_parts(vec![VertexId(0)], vec![a, b]);
+    }
+}

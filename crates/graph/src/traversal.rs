@@ -1,0 +1,215 @@
+//! BFS traversals: k-hop neighborhoods and pairwise k-hop connectivity.
+//!
+//! Link joins (Section II-B) test whether matching vertices are within `k`
+//! hops of each other; IncExt (Section III-B) collects all matched vertices
+//! within `k` hops of an update. Both run on the *undirected* view of `G`.
+
+use crate::graph::{LabeledGraph, VertexId};
+use gsj_common::{FxHashMap, FxHashSet};
+use std::collections::VecDeque;
+
+/// All live vertices within `k` undirected hops of `start` (including
+/// `start` itself at distance 0).
+pub fn k_hop_set(g: &LabeledGraph, start: VertexId, k: usize) -> FxHashSet<VertexId> {
+    let mut seen: FxHashSet<VertexId> = FxHashSet::default();
+    if !g.is_live(start) {
+        return seen;
+    }
+    let mut frontier = VecDeque::new();
+    seen.insert(start);
+    frontier.push_back((start, 0usize));
+    while let Some((v, d)) = frontier.pop_front() {
+        if d == k {
+            continue;
+        }
+        for (e, _) in g.incident(v) {
+            if seen.insert(e.to) {
+                frontier.push_back((e.to, d + 1));
+            }
+        }
+    }
+    seen
+}
+
+/// Distances (≤ k) from `start` to every vertex in its k-hop ball.
+pub fn k_hop_distances(
+    g: &LabeledGraph,
+    start: VertexId,
+    k: usize,
+) -> FxHashMap<VertexId, usize> {
+    let mut dist: FxHashMap<VertexId, usize> = FxHashMap::default();
+    if !g.is_live(start) {
+        return dist;
+    }
+    let mut frontier = VecDeque::new();
+    dist.insert(start, 0);
+    frontier.push_back((start, 0usize));
+    while let Some((v, d)) = frontier.pop_front() {
+        if d == k {
+            continue;
+        }
+        for (e, _) in g.incident(v) {
+            if let std::collections::hash_map::Entry::Vacant(slot) = dist.entry(e.to) {
+                slot.insert(d + 1);
+                frontier.push_back((e.to, d + 1));
+            }
+        }
+    }
+    dist
+}
+
+/// Bidirectional BFS: are `u` and `v` connected within `k` undirected hops?
+///
+/// This is the join condition of the link join `S1 ⋈G S2` (Section IV-A's
+/// "check their pairwise distance via a bi-directional BFS search").
+pub fn within_k_hops(g: &LabeledGraph, u: VertexId, v: VertexId, k: usize) -> bool {
+    if !g.is_live(u) || !g.is_live(v) {
+        return false;
+    }
+    if u == v {
+        return true;
+    }
+    if k == 0 {
+        return false;
+    }
+    // Expand alternately from both ends; meet in the middle.
+    let mut from_u: FxHashMap<VertexId, usize> = FxHashMap::default();
+    let mut from_v: FxHashMap<VertexId, usize> = FxHashMap::default();
+    from_u.insert(u, 0);
+    from_v.insert(v, 0);
+    let mut frontier_u = vec![u];
+    let mut frontier_v = vec![v];
+    let (mut du, mut dv) = (0usize, 0usize);
+
+    while du + dv < k && (!frontier_u.is_empty() || !frontier_v.is_empty()) {
+        // Expand the smaller frontier first.
+        let expand_u = !frontier_u.is_empty()
+            && (frontier_v.is_empty() || frontier_u.len() <= frontier_v.len());
+        let (frontier, depth, mine, theirs) = if expand_u {
+            du += 1;
+            (&mut frontier_u, du, &mut from_u, &from_v)
+        } else {
+            dv += 1;
+            (&mut frontier_v, dv, &mut from_v, &from_u)
+        };
+        let mut next = Vec::new();
+        for &w in frontier.iter() {
+            for (e, _) in g.incident(w) {
+                if mine.contains_key(&e.to) {
+                    continue;
+                }
+                if let Some(&other_d) = theirs.get(&e.to) {
+                    if depth + other_d <= k {
+                        return true;
+                    }
+                }
+                mine.insert(e.to, depth);
+                next.push(e.to);
+            }
+        }
+        *frontier = next;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::LabeledGraph;
+
+    /// Chain v0 -> v1 -> ... -> vn.
+    fn chain(n: usize) -> (LabeledGraph, Vec<VertexId>) {
+        let mut g = LabeledGraph::new();
+        let vs: Vec<_> = (0..=n).map(|i| g.add_vertex(&format!("n{i}"))).collect();
+        for w in vs.windows(2) {
+            g.add_edge(w[0], "next", w[1]);
+        }
+        (g, vs)
+    }
+
+    #[test]
+    fn k_hop_set_on_chain() {
+        let (g, vs) = chain(5);
+        let ball = k_hop_set(&g, vs[2], 2);
+        // Undirected: v0..v4.
+        assert_eq!(ball.len(), 5);
+        assert!(ball.contains(&vs[0]) && ball.contains(&vs[4]));
+        assert!(!ball.contains(&vs[5]));
+    }
+
+    #[test]
+    fn k_hop_distances_are_exact() {
+        let (g, vs) = chain(4);
+        let d = k_hop_distances(&g, vs[0], 3);
+        assert_eq!(d[&vs[0]], 0);
+        assert_eq!(d[&vs[3]], 3);
+        assert!(!d.contains_key(&vs[4]));
+    }
+
+    #[test]
+    fn within_k_matches_chain_distance() {
+        let (g, vs) = chain(6);
+        assert!(within_k_hops(&g, vs[0], vs[0], 0));
+        assert!(within_k_hops(&g, vs[0], vs[3], 3));
+        assert!(!within_k_hops(&g, vs[0], vs[3], 2));
+        assert!(within_k_hops(&g, vs[6], vs[0], 6));
+        assert!(!within_k_hops(&g, vs[6], vs[0], 5));
+    }
+
+    #[test]
+    fn within_k_is_undirected() {
+        let mut g = LabeledGraph::new();
+        let a = g.add_vertex("a");
+        let b = g.add_vertex("b");
+        // Only a -> b exists, but connectivity is checked undirected.
+        g.add_edge(a, "e", b);
+        assert!(within_k_hops(&g, b, a, 1));
+    }
+
+    #[test]
+    fn disconnected_components_never_link() {
+        let mut g = LabeledGraph::new();
+        let a = g.add_vertex("a");
+        let b = g.add_vertex("b");
+        assert!(!within_k_hops(&g, a, b, 10));
+    }
+
+    #[test]
+    fn dead_vertices_are_unreachable() {
+        let (mut g, vs) = chain(3);
+        g.remove_vertex(vs[1]);
+        assert!(!within_k_hops(&g, vs[0], vs[2], 5));
+        assert!(k_hop_set(&g, vs[1], 2).is_empty());
+        // The ball around v0 no longer crosses the tombstone.
+        assert_eq!(k_hop_set(&g, vs[0], 3).len(), 1);
+    }
+
+    #[test]
+    fn bidirectional_agrees_with_unidirectional_on_random_graphs() {
+        use rand::rngs::SmallRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let mut g = LabeledGraph::new();
+            let n = 30;
+            let vs: Vec<_> = (0..n).map(|i| g.add_vertex(&format!("x{i}"))).collect();
+            for _ in 0..45 {
+                let a = vs[rng.random_range(0..n)];
+                let b = vs[rng.random_range(0..n)];
+                if a != b {
+                    g.add_edge(a, "e", b);
+                }
+            }
+            for _ in 0..10 {
+                let u = vs[rng.random_range(0..n)];
+                let v = vs[rng.random_range(0..n)];
+                let k = rng.random_range(0..5);
+                let expect = k_hop_distances(&g, u, k)
+                    .get(&v)
+                    .map(|&d| d <= k)
+                    .unwrap_or(false);
+                assert_eq!(within_k_hops(&g, u, v, k), expect, "u={u} v={v} k={k}");
+            }
+        }
+    }
+}

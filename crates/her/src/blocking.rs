@@ -1,0 +1,150 @@
+//! Schema-agnostic token blocking over vertex vicinities.
+//!
+//! For every live vertex we collect its *vicinity*: the normalized strings
+//! of its own label and the labels of vertices within `hops` undirected
+//! hops (properties of an entity live at the end of short paths, not on
+//! the entity vertex itself — the very observation motivating RExt). Each
+//! vicinity token indexes the vertex, and a tuple's candidate set is the
+//! union of the blocks of its value tokens, with oversized blocks (stop
+//! words) dropped.
+
+use crate::normalize::tokens;
+use gsj_common::{FxHashMap, FxHashSet};
+use gsj_graph::traversal::k_hop_set;
+use gsj_graph::{LabeledGraph, VertexId};
+
+/// Per-vertex vicinity text plus the token → vertices index.
+pub struct BlockIndex {
+    /// vertex → normalized vicinity labels.
+    pub vicinity: FxHashMap<VertexId, FxHashSet<String>>,
+    /// token → vertices whose vicinity contains it.
+    blocks: FxHashMap<String, Vec<VertexId>>,
+    /// Blocks bigger than this are considered stop words.
+    max_block: usize,
+}
+
+impl BlockIndex {
+    /// Build the index over all live vertices.
+    pub fn build(g: &LabeledGraph, hops: usize, max_block: usize) -> Self {
+        Self::build_over(g, g.vertices(), hops, max_block)
+    }
+
+    /// Build the index over a restricted candidate set — the incremental
+    /// matching path of IncExt only considers vertices whose vicinity an
+    /// update could have changed.
+    pub fn build_over(
+        g: &LabeledGraph,
+        candidates: impl IntoIterator<Item = VertexId>,
+        hops: usize,
+        max_block: usize,
+    ) -> Self {
+        let mut vicinity: FxHashMap<VertexId, FxHashSet<String>> = FxHashMap::default();
+        let mut blocks: FxHashMap<String, Vec<VertexId>> = FxHashMap::default();
+        for v in candidates {
+            if !g.is_live(v) {
+                continue;
+            }
+            let mut labels: FxHashSet<String> = FxHashSet::default();
+            for u in k_hop_set(g, v, hops) {
+                let label = g.vertex_label_str(u);
+                labels.insert(crate::normalize::canonical(&label));
+            }
+            let mut toks: FxHashSet<String> = FxHashSet::default();
+            for l in &labels {
+                toks.extend(tokens(l));
+            }
+            for t in toks {
+                blocks.entry(t).or_default().push(v);
+            }
+            vicinity.insert(v, labels);
+        }
+        BlockIndex {
+            vicinity,
+            blocks,
+            max_block,
+        }
+    }
+
+    /// Candidate vertices for a bag of query tokens.
+    pub fn candidates(&self, query_tokens: &[String]) -> Vec<VertexId> {
+        let mut seen: FxHashSet<VertexId> = FxHashSet::default();
+        let mut out = Vec::new();
+        for t in query_tokens {
+            if let Some(vs) = self.blocks.get(t) {
+                if vs.len() > self.max_block {
+                    continue; // stop word
+                }
+                for &v in vs {
+                    if seen.insert(v) {
+                        out.push(v);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of distinct tokens indexed.
+    pub fn token_count(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fintech() -> (LabeledGraph, VertexId, VertexId) {
+        // pid1 --name--> "G&L ESG", pid1 --issue--> "G&L"
+        let mut g = LabeledGraph::new();
+        let pid1 = g.add_vertex("pid1");
+        let name = g.add_vertex("G&L ESG");
+        let issuer = g.add_vertex("G&L");
+        g.add_edge(pid1, "name", name);
+        g.add_edge(pid1, "issue", issuer);
+        let pid2 = g.add_vertex("pid2");
+        let name2 = g.add_vertex("Beta");
+        g.add_edge(pid2, "name", name2);
+        (g, pid1, pid2)
+    }
+
+    #[test]
+    fn vicinity_includes_neighbors() {
+        let (g, pid1, _) = fintech();
+        let idx = BlockIndex::build(&g, 1, 100);
+        let vic = &idx.vicinity[&pid1];
+        assert!(vic.contains("g l esg"));
+        assert!(vic.contains("pid1"));
+    }
+
+    #[test]
+    fn candidates_found_via_property_tokens() {
+        let (g, pid1, pid2) = fintech();
+        let idx = BlockIndex::build(&g, 1, 100);
+        let cands = idx.candidates(&["esg".to_string()]);
+        assert!(cands.contains(&pid1));
+        assert!(!cands.contains(&pid2));
+    }
+
+    #[test]
+    fn oversized_blocks_are_skipped() {
+        let mut g = LabeledGraph::new();
+        for i in 0..10 {
+            g.add_vertex(&format!("common thing {i}"));
+        }
+        let idx = BlockIndex::build(&g, 0, 5);
+        // "common" appears in 10 vicinities > max_block 5: stop word.
+        assert!(idx.candidates(&["common".to_string()]).is_empty());
+        // A rare token ("3" from "common thing 3") still finds its vertex.
+        assert_eq!(idx.candidates(&["3".to_string()]).len(), 1);
+    }
+
+    #[test]
+    fn zero_hop_vicinity_is_own_label() {
+        let (g, pid1, _) = fintech();
+        let idx = BlockIndex::build(&g, 0, 100);
+        let vic = &idx.vicinity[&pid1];
+        assert_eq!(vic.len(), 1);
+        assert!(vic.contains("pid1"));
+    }
+}

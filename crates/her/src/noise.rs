@@ -1,0 +1,99 @@
+//! Controlled corruption of a match relation.
+//!
+//! Exp-2(c) studies the cascading error from HER by injecting a fraction
+//! `η` of mismatches into `f(S,G)` and measuring the extraction F-measure
+//! (Fig 5(g)). This module performs exactly that perturbation.
+
+use crate::match_relation::MatchRelation;
+use gsj_graph::{LabeledGraph, VertexId};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+/// Replace a fraction `eta` of the matched vertices with uniformly random
+/// *wrong* live vertices. Deterministic per seed. `eta` is clamped to
+/// `[0, 1]`.
+pub fn inject_mismatches(
+    matches: &MatchRelation,
+    g: &LabeledGraph,
+    eta: f64,
+    seed: u64,
+) -> MatchRelation {
+    let eta = eta.clamp(0.0, 1.0);
+    let vertices: Vec<VertexId> = g.vertices().collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut pairs: Vec<(gsj_common::Value, VertexId)> = matches.pairs().to_vec();
+    let n_corrupt = ((pairs.len() as f64) * eta).round() as usize;
+    let mut order: Vec<usize> = (0..pairs.len()).collect();
+    order.shuffle(&mut rng);
+    for &i in order.iter().take(n_corrupt) {
+        if vertices.len() < 2 {
+            break;
+        }
+        loop {
+            let wrong = vertices[rng.random_range(0..vertices.len())];
+            if wrong != pairs[i].1 {
+                pairs[i].1 = wrong;
+                break;
+            }
+        }
+    }
+    MatchRelation::from_pairs(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsj_common::Value;
+
+    fn setting() -> (LabeledGraph, MatchRelation) {
+        let mut g = LabeledGraph::new();
+        let vs: Vec<VertexId> = (0..10).map(|i| g.add_vertex(&format!("v{i}"))).collect();
+        let mut m = MatchRelation::new();
+        for (i, v) in vs.iter().enumerate().take(8) {
+            m.push(Value::Int(i as i64), *v);
+        }
+        (g, m)
+    }
+
+    #[test]
+    fn eta_zero_is_identity() {
+        let (g, m) = setting();
+        let out = inject_mismatches(&m, &g, 0.0, 1);
+        assert_eq!(out.pairs(), m.pairs());
+    }
+
+    #[test]
+    fn eta_one_corrupts_everything() {
+        let (g, m) = setting();
+        let out = inject_mismatches(&m, &g, 1.0, 1);
+        let changed = m
+            .pairs()
+            .iter()
+            .zip(out.pairs())
+            .filter(|(a, b)| a.1 != b.1)
+            .count();
+        assert_eq!(changed, m.len());
+    }
+
+    #[test]
+    fn fraction_is_respected() {
+        let (g, m) = setting();
+        let out = inject_mismatches(&m, &g, 0.25, 7);
+        let changed = m
+            .pairs()
+            .iter()
+            .zip(out.pairs())
+            .filter(|(a, b)| a.1 != b.1)
+            .count();
+        assert_eq!(changed, 2); // 25% of 8
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (g, m) = setting();
+        let a = inject_mismatches(&m, &g, 0.5, 42);
+        let b = inject_mismatches(&m, &g, 0.5, 42);
+        assert_eq!(a.pairs(), b.pairs());
+    }
+}

@@ -1,0 +1,45 @@
+//! String normalization shared by blocking and similarity.
+
+use gsj_common::Value;
+
+/// Lower-cased alphanumeric tokens of a string.
+pub fn tokens(s: &str) -> Vec<String> {
+    s.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_lowercase())
+        .collect()
+}
+
+/// Canonical form: tokens joined by a single space.
+pub fn canonical(s: &str) -> String {
+    tokens(s).join(" ")
+}
+
+/// Normalized rendering of a value (numbers via Display, strings via
+/// [`canonical`]); `None` for NULL.
+pub fn value_text(v: &Value) -> Option<String> {
+    match v {
+        Value::Null => None,
+        Value::Str(s) => Some(canonical(s)),
+        other => Some(other.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenization_drops_punctuation_and_case() {
+        assert_eq!(tokens("G&L ESG"), vec!["g", "l", "esg"]);
+        assert_eq!(tokens("  "), Vec::<String>::new());
+        assert_eq!(canonical("Based_On"), "based on");
+    }
+
+    #[test]
+    fn value_text_handles_types() {
+        assert_eq!(value_text(&Value::Null), None);
+        assert_eq!(value_text(&Value::Int(42)), Some("42".into()));
+        assert_eq!(value_text(&Value::str("Bob X.")), Some("bob x".into()));
+    }
+}

@@ -1,0 +1,177 @@
+//! Word-label embeddings: the workspace's `Me`.
+//!
+//! The paper uses "the mean of GloVe embeddings" for natural-language vertex
+//! labels and "the mean of character GloVe embeddings" for meaningless
+//! labels (Section III-A step 2). Pretrained GloVe vectors are an external
+//! artifact we cannot ship, so [`HashEmbedder`] substitutes deterministic
+//! *feature hashing*: each word token and each character trigram of a label
+//! is hashed to a pseudo-random unit vector, and the label embedding is the
+//! normalized mean. Two labels then have high cosine similarity iff they
+//! share word tokens or character n-grams — precisely the "semantically
+//! close strings are close in vector space" property RExt needs from `Me`
+//! (e.g. keyword `loc` vs edge label `regloc`). DESIGN.md §2 records the
+//! substitution.
+
+use gsj_common::FxHasher;
+use std::hash::Hasher;
+
+/// Anything that can embed a label string into a fixed-dimensional vector.
+pub trait WordEmbedder: Send + Sync {
+    /// Embedding dimensionality.
+    fn dim(&self) -> usize;
+    /// Embed a label; the result is L2-normalized (or all-zero for an
+    /// empty label).
+    fn embed(&self, label: &str) -> Vec<f32>;
+}
+
+/// Deterministic hashing embedder (GloVe stand-in).
+#[derive(Debug, Clone)]
+pub struct HashEmbedder {
+    dim: usize,
+    /// Weight of word-token features relative to char-trigram features.
+    word_weight: f32,
+    seed: u64,
+}
+
+impl HashEmbedder {
+    /// Standard 100-dimensional embedder (paper default).
+    pub fn new(dim: usize) -> Self {
+        HashEmbedder {
+            dim,
+            word_weight: 1.5,
+            seed: 0x9e37_79b9,
+        }
+    }
+
+    /// The 50-dimensional variant backing `RExtShortEmb`.
+    pub fn short() -> Self {
+        Self::new(50)
+    }
+
+    fn feature_vector(&self, feature: &str, weight: f32, out: &mut [f32]) {
+        // Hash the feature string to seed a tiny xorshift stream, then fill
+        // a pseudo-random ±1 pattern. Same feature → same pattern, so
+        // shared features add constructively across labels.
+        let mut h = FxHasher::default();
+        h.write(feature.as_bytes());
+        h.write_u64(self.seed);
+        let mut state = h.finish() | 1;
+        for slot in out.iter_mut() {
+            // xorshift64*
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let r = state.wrapping_mul(0x2545_f491_4f6c_dd1d);
+            let sign = if r & 1 == 0 { 1.0 } else { -1.0 };
+            *slot += weight * sign;
+        }
+    }
+
+    fn tokens(label: &str) -> Vec<String> {
+        label
+            .split(|c: char| !c.is_alphanumeric())
+            .filter(|t| !t.is_empty())
+            .map(|t| t.to_lowercase())
+            .collect()
+    }
+
+    fn trigrams(token: &str) -> Vec<String> {
+        let padded: Vec<char> = std::iter::once('^')
+            .chain(token.chars())
+            .chain(std::iter::once('$'))
+            .collect();
+        if padded.len() < 3 {
+            return vec![padded.iter().collect()];
+        }
+        padded.windows(3).map(|w| w.iter().collect()).collect()
+    }
+}
+
+impl WordEmbedder for HashEmbedder {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn embed(&self, label: &str) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.dim];
+        let tokens = Self::tokens(label);
+        if tokens.is_empty() {
+            return out;
+        }
+        for token in &tokens {
+            self.feature_vector(token, self.word_weight, &mut out);
+            for tri in Self::trigrams(token) {
+                self.feature_vector(&tri, 1.0, &mut out);
+            }
+        }
+        crate::vector::l2_normalize(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::cosine;
+
+    #[test]
+    fn deterministic() {
+        let e = HashEmbedder::new(64);
+        assert_eq!(e.embed("regloc"), e.embed("regloc"));
+    }
+
+    #[test]
+    fn output_is_unit_norm() {
+        let e = HashEmbedder::new(100);
+        let v = e.embed("based_on");
+        assert!((crate::vector::l2_norm(&v) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_label_embeds_to_zero() {
+        let e = HashEmbedder::new(32);
+        assert!(e.embed("").iter().all(|&x| x == 0.0));
+        assert!(e.embed("--- ---").iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn shared_substring_is_closer_than_unrelated() {
+        // The motivating example from the paper's introduction: to fetch
+        // `UK` as the country, RExt must find `regloc` semantically close
+        // to the keyword `loc` even though `country` is not a label in G.
+        let e = HashEmbedder::new(100);
+        let regloc = e.embed("regloc");
+        let loc = e.embed("loc");
+        let price = e.embed("price");
+        assert!(
+            cosine(&regloc, &loc) > cosine(&regloc, &price),
+            "regloc~loc = {}, regloc~price = {}",
+            cosine(&regloc, &loc),
+            cosine(&regloc, &price)
+        );
+    }
+
+    #[test]
+    fn shared_word_token_dominates() {
+        let e = HashEmbedder::new(100);
+        let a = e.embed("company name");
+        let b = e.embed("company");
+        let c = e.embed("volume");
+        assert!(cosine(&a, &b) > 0.4);
+        assert!(cosine(&a, &b) > cosine(&a, &c));
+    }
+
+    #[test]
+    fn case_and_punctuation_insensitive_tokens() {
+        let e = HashEmbedder::new(100);
+        let a = e.embed("Based_On");
+        let b = e.embed("based on");
+        assert!(cosine(&a, &b) > 0.99);
+    }
+
+    #[test]
+    fn short_variant_has_50_dims() {
+        assert_eq!(HashEmbedder::short().dim(), 50);
+        assert_eq!(HashEmbedder::short().embed("x").len(), 50);
+    }
+}

@@ -1,0 +1,266 @@
+//! A single-layer LSTM cell with manual forward/backward passes.
+//!
+//! The paper adopts LSTM for `Mρ` because it is "effective and efficient in
+//! modeling the semantics of labels on paths in knowledge graphs" while
+//! BERT-class models cost more for little gain (Section III). This is a
+//! textbook LSTM: gates `i, f, g, o` packed in that order into one `4h`
+//! pre-activation vector.
+
+use crate::tensor::Param;
+
+/// `out = W · x` for a flat row-major `rows × cols` weight slice.
+fn matvec(w: &[f32], rows: usize, cols: usize, x: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(w.len(), rows * cols);
+    debug_assert_eq!(x.len(), cols);
+    debug_assert_eq!(out.len(), rows);
+    for r in 0..rows {
+        out[r] = crate::vector::dot(&w[r * cols..(r + 1) * cols], x);
+    }
+}
+
+/// `out += Wᵀ · y`.
+fn matvec_t_add(w: &[f32], rows: usize, cols: usize, y: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(y.len(), rows);
+    debug_assert_eq!(out.len(), cols);
+    for (r, &yr) in y.iter().enumerate() {
+        crate::vector::add_scaled(out, yr, &w[r * cols..(r + 1) * cols]);
+    }
+}
+
+/// `W += y ⊗ x` into a flat gradient slice.
+fn outer_add(w: &mut [f32], rows: usize, cols: usize, y: &[f32], x: &[f32]) {
+    debug_assert_eq!(y.len(), rows);
+    debug_assert_eq!(x.len(), cols);
+    for (r, &yr) in y.iter().enumerate() {
+        crate::vector::add_scaled(&mut w[r * cols..(r + 1) * cols], yr, x);
+    }
+}
+
+#[inline]
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// The LSTM parameters: `Wx (4h × in)`, `Wh (4h × h)`, bias `b (4h)`.
+#[derive(Debug, Clone)]
+pub struct LstmCell {
+    input_dim: usize,
+    hidden: usize,
+    /// Input weights.
+    pub wx: Param,
+    /// Recurrent weights.
+    pub wh: Param,
+    /// Gate bias. The forget-gate quarter is initialized to 1.0 (the
+    /// standard trick to keep memory open early in training).
+    pub b: Param,
+}
+
+/// Everything the backward pass needs from one forward step.
+#[derive(Debug, Clone)]
+pub struct StepCache {
+    x: Vec<f32>,
+    h_prev: Vec<f32>,
+    c_prev: Vec<f32>,
+    /// Post-activation gates `[i | f | g | o]`.
+    gates: Vec<f32>,
+    c: Vec<f32>,
+    tanh_c: Vec<f32>,
+    /// The step's hidden output.
+    pub h: Vec<f32>,
+}
+
+impl StepCache {
+    /// The step's cell state (needed to continue a recurrence).
+    pub fn cell_state(&self) -> &[f32] {
+        &self.c
+    }
+}
+
+impl LstmCell {
+    /// Create a cell with Xavier-initialized weights (deterministic per
+    /// seed).
+    pub fn new(input_dim: usize, hidden: usize, seed: u64) -> Self {
+        use crate::matrix::Matrix;
+        let wx = Matrix::xavier(4 * hidden, input_dim, seed ^ 0xa1);
+        let wh = Matrix::xavier(4 * hidden, hidden, seed ^ 0xb2);
+        let mut b = vec![0.0f32; 4 * hidden];
+        // Forget gate bias = 1.
+        for v in &mut b[hidden..2 * hidden] {
+            *v = 1.0;
+        }
+        LstmCell {
+            input_dim,
+            hidden,
+            wx: Param::new(wx.data().to_vec()),
+            wh: Param::new(wh.data().to_vec()),
+            b: Param::new(b),
+        }
+    }
+
+    /// Hidden size `h`.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Input size.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// One forward step.
+    pub fn forward(&self, x: &[f32], h_prev: &[f32], c_prev: &[f32]) -> StepCache {
+        let h = self.hidden;
+        let mut gates = vec![0.0f32; 4 * h];
+        matvec(&self.wx.w, 4 * h, self.input_dim, x, &mut gates);
+        let mut rec = vec![0.0f32; 4 * h];
+        matvec(&self.wh.w, 4 * h, h, h_prev, &mut rec);
+        crate::vector::add_assign(&mut gates, &rec);
+        crate::vector::add_assign(&mut gates, &self.b.w);
+        for j in 0..h {
+            gates[j] = sigmoid(gates[j]); // i
+            gates[h + j] = sigmoid(gates[h + j]); // f
+            gates[2 * h + j] = gates[2 * h + j].tanh(); // g
+            gates[3 * h + j] = sigmoid(gates[3 * h + j]); // o
+        }
+        let mut c = vec![0.0f32; h];
+        let mut hh = vec![0.0f32; h];
+        let mut tanh_c = vec![0.0f32; h];
+        for j in 0..h {
+            c[j] = gates[h + j] * c_prev[j] + gates[j] * gates[2 * h + j];
+            tanh_c[j] = c[j].tanh();
+            hh[j] = gates[3 * h + j] * tanh_c[j];
+        }
+        StepCache {
+            x: x.to_vec(),
+            h_prev: h_prev.to_vec(),
+            c_prev: c_prev.to_vec(),
+            gates,
+            c,
+            tanh_c,
+            h: hh,
+        }
+    }
+
+    /// One backward step. `dh`/`dc` are gradients w.r.t. this step's
+    /// outputs; returns `(dx, dh_prev, dc_prev)` and accumulates weight
+    /// gradients into the cell's `Param`s.
+    pub fn backward(
+        &mut self,
+        cache: &StepCache,
+        dh: &[f32],
+        dc_in: &[f32],
+    ) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+        let h = self.hidden;
+        let g = &cache.gates;
+        let mut dgates = vec![0.0f32; 4 * h];
+        let mut dc_prev = vec![0.0f32; h];
+        for j in 0..h {
+            let (i_g, f_g, g_g, o_g) = (g[j], g[h + j], g[2 * h + j], g[3 * h + j]);
+            let do_ = dh[j] * cache.tanh_c[j];
+            let dc = dc_in[j] + dh[j] * o_g * (1.0 - cache.tanh_c[j] * cache.tanh_c[j]);
+            let di = dc * g_g;
+            let dg = dc * i_g;
+            let df = dc * cache.c_prev[j];
+            dc_prev[j] = dc * f_g;
+            dgates[j] = di * i_g * (1.0 - i_g);
+            dgates[h + j] = df * f_g * (1.0 - f_g);
+            dgates[2 * h + j] = dg * (1.0 - g_g * g_g);
+            dgates[3 * h + j] = do_ * o_g * (1.0 - o_g);
+        }
+        outer_add(&mut self.wx.g, 4 * h, self.input_dim, &dgates, &cache.x);
+        outer_add(&mut self.wh.g, 4 * h, h, &dgates, &cache.h_prev);
+        crate::vector::add_assign(&mut self.b.g, &dgates);
+        let mut dx = vec![0.0f32; self.input_dim];
+        matvec_t_add(&self.wx.w, 4 * h, self.input_dim, &dgates, &mut dx);
+        let mut dh_prev = vec![0.0f32; h];
+        matvec_t_add(&self.wh.w, 4 * h, h, &dgates, &mut dh_prev);
+        (dx, dh_prev, dc_prev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shapes_and_bounds() {
+        let cell = LstmCell::new(3, 4, 1);
+        let cache = cell.forward(&[0.5, -0.5, 1.0], &[0.0; 4], &[0.0; 4]);
+        assert_eq!(cache.h.len(), 4);
+        // h = o * tanh(c) is in (-1, 1).
+        assert!(cache.h.iter().all(|x| x.abs() < 1.0));
+    }
+
+    #[test]
+    fn zero_input_zero_state_gives_small_output() {
+        let cell = LstmCell::new(2, 3, 2);
+        let cache = cell.forward(&[0.0, 0.0], &[0.0; 3], &[0.0; 3]);
+        assert!(cache.h.iter().all(|x| x.abs() < 0.5));
+    }
+
+    /// Numerical gradient check: the analytic dx must match finite
+    /// differences of a scalar loss L = Σ h.
+    #[test]
+    fn gradient_check_input() {
+        let mut cell = LstmCell::new(3, 2, 3);
+        let x = vec![0.3, -0.2, 0.7];
+        let h0 = vec![0.1, -0.1];
+        let c0 = vec![0.05, 0.2];
+        let loss = |cell: &LstmCell, x: &[f32]| -> f32 {
+            cell.forward(x, &h0, &c0).h.iter().sum()
+        };
+        let cache = cell.forward(&x, &h0, &c0);
+        let dh = vec![1.0; 2];
+        let dc = vec![0.0; 2];
+        let (dx, _, _) = cell.backward(&cache, &dh, &dc);
+        let eps = 1e-3;
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp[i] += eps;
+            let mut xm = x.clone();
+            xm[i] -= eps;
+            let num = (loss(&cell, &xp) - loss(&cell, &xm)) / (2.0 * eps);
+            assert!(
+                (num - dx[i]).abs() < 1e-2,
+                "dx[{i}]: analytic {} vs numeric {num}",
+                dx[i]
+            );
+        }
+    }
+
+    /// Numerical gradient check on the recurrent weights.
+    #[test]
+    fn gradient_check_weights() {
+        let mut cell = LstmCell::new(2, 2, 4);
+        let x = vec![0.5, -0.3];
+        let h0 = vec![0.2, 0.1];
+        let c0 = vec![-0.1, 0.3];
+        let cache = cell.forward(&x, &h0, &c0);
+        let dh = vec![1.0, 1.0];
+        let dc = vec![0.0, 0.0];
+        cell.backward(&cache, &dh, &dc);
+        let analytic = cell.wh.g.clone();
+        let eps = 1e-3;
+        for idx in [0usize, 3, 5, 7] {
+            let orig = cell.wh.w[idx];
+            cell.wh.w[idx] = orig + eps;
+            let lp: f32 = cell.forward(&x, &h0, &c0).h.iter().sum();
+            cell.wh.w[idx] = orig - eps;
+            let lm: f32 = cell.forward(&x, &h0, &c0).h.iter().sum();
+            cell.wh.w[idx] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - analytic[idx]).abs() < 1e-2,
+                "wh[{idx}]: analytic {} vs numeric {num}",
+                analytic[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn forget_bias_defaults_to_one() {
+        let cell = LstmCell::new(2, 3, 5);
+        assert!(cell.b.w[3..6].iter().all(|&v| v == 1.0));
+        assert!(cell.b.w[0..3].iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,644 @@
+//! The plan executor.
+//!
+//! Joins are hash-based: natural joins key on the common attributes, theta
+//! joins mine equi-conjuncts (`left.col = right.col`) from the predicate
+//! and hash on those, falling back to a nested loop only for genuinely
+//! non-equi predicates — the same discipline a production engine applies.
+
+use crate::catalog::Database;
+use crate::expr::{AggFunc, CmpOp, Expr};
+use crate::plan::{AggSpec, JoinKind, LogicalPlan};
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use gsj_common::{FxHashMap, GsjError, Result, Value};
+
+/// Execute a plan against a database.
+pub fn execute(plan: &LogicalPlan, db: &Database) -> Result<Relation> {
+    match plan {
+        LogicalPlan::Scan(name) => Ok(db.get(name)?.clone()),
+        LogicalPlan::Values(rel) => Ok(rel.clone()),
+        LogicalPlan::Select { input, pred } => {
+            let rel = execute(input, db)?;
+            let (schema, tuples) = rel.into_parts();
+            let mut kept = Vec::new();
+            for t in tuples {
+                if pred.holds(&schema, &t)? {
+                    kept.push(t);
+                }
+            }
+            Relation::new(schema, kept)
+        }
+        LogicalPlan::Project { input, cols } => {
+            let rel = execute(input, db)?;
+            let positions: Vec<usize> = cols
+                .iter()
+                .map(|c| Expr::resolve_column(rel.schema(), c))
+                .collect::<Result<_>>()?;
+            let out_attrs: Vec<String> = positions
+                .iter()
+                .map(|&i| rel.schema().attrs()[i].clone())
+                .collect();
+            let schema = Schema::new(rel.schema().name().to_string(), out_attrs)?;
+            let tuples = rel.tuples().iter().map(|t| t.project(&positions)).collect();
+            Relation::new(schema, tuples)
+        }
+        LogicalPlan::Qualify { input, alias } => {
+            let rel = execute(input, db)?;
+            Ok(rel.qualified(alias))
+        }
+        LogicalPlan::Join { left, right, kind } => {
+            let l = execute(left, db)?;
+            let r = execute(right, db)?;
+            match kind {
+                JoinKind::Natural => natural_join(&l, &r),
+                JoinKind::Theta(pred) => theta_join(&l, &r, pred),
+            }
+        }
+        LogicalPlan::Union { left, right } => {
+            let l = execute(left, db)?;
+            let r = execute(right, db)?;
+            if l.schema().arity() != r.schema().arity() {
+                return Err(GsjError::Schema(format!(
+                    "union arity mismatch: {} vs {}",
+                    l.schema().arity(),
+                    r.schema().arity()
+                )));
+            }
+            let (schema, mut tuples) = l.into_parts();
+            tuples.extend(r.into_parts().1);
+            Relation::new(schema, tuples)
+        }
+        LogicalPlan::Difference { left, right } => {
+            let l = execute(left, db)?;
+            let r = execute(right, db)?;
+            if l.schema().arity() != r.schema().arity() {
+                return Err(GsjError::Schema(format!(
+                    "difference arity mismatch: {} vs {}",
+                    l.schema().arity(),
+                    r.schema().arity()
+                )));
+            }
+            let exclude: std::collections::HashSet<&Tuple> = r.tuples().iter().collect();
+            let kept: Vec<Tuple> = l
+                .tuples()
+                .iter()
+                .filter(|t| !exclude.contains(t))
+                .cloned()
+                .collect();
+            Relation::new(l.schema().clone(), kept)
+        }
+        LogicalPlan::Distinct { input } => {
+            let rel = execute(input, db)?;
+            let (schema, tuples) = rel.into_parts();
+            let mut seen: std::collections::HashSet<Tuple> = std::collections::HashSet::new();
+            let mut kept = Vec::new();
+            for t in tuples {
+                if seen.insert(t.clone()) {
+                    kept.push(t);
+                }
+            }
+            Relation::new(schema, kept)
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => aggregate(&execute(input, db)?, group_by, aggs),
+        LogicalPlan::Sort { input, by, desc } => {
+            let rel = execute(input, db)?;
+            let keys: Vec<usize> = by
+                .iter()
+                .map(|c| Expr::resolve_column(rel.schema(), c))
+                .collect::<Result<_>>()?;
+            let (schema, mut tuples) = rel.into_parts();
+            tuples.sort_by(|a, b| {
+                let ord = keys
+                    .iter()
+                    .map(|&i| a.get(i).cmp(b.get(i)))
+                    .find(|o| !o.is_eq())
+                    .unwrap_or(std::cmp::Ordering::Equal);
+                if *desc {
+                    ord.reverse()
+                } else {
+                    ord
+                }
+            });
+            Relation::new(schema, tuples)
+        }
+        LogicalPlan::Limit { input, n } => {
+            let rel = execute(input, db)?;
+            let (schema, mut tuples) = rel.into_parts();
+            tuples.truncate(*n);
+            Relation::new(schema, tuples)
+        }
+    }
+}
+
+/// Natural hash join on all common attribute names. NULL keys never match
+/// (SQL semantics).
+pub fn natural_join(l: &Relation, r: &Relation) -> Result<Relation> {
+    let common = l.schema().common_attrs(r.schema());
+    if common.is_empty() {
+        return product(l, r);
+    }
+    let l_keys: Vec<usize> = common
+        .iter()
+        .map(|a| l.schema().require(a))
+        .collect::<Result<_>>()?;
+    let r_keys: Vec<usize> = common
+        .iter()
+        .map(|a| r.schema().require(a))
+        .collect::<Result<_>>()?;
+    let r_rest: Vec<usize> = (0..r.schema().arity())
+        .filter(|i| !r_keys.contains(i))
+        .collect();
+
+    let mut attrs: Vec<String> = l.schema().attrs().to_vec();
+    attrs.extend(r_rest.iter().map(|&i| r.schema().attrs()[i].clone()));
+    let schema = Schema::new(
+        format!("{}_join_{}", l.schema().name(), r.schema().name()),
+        attrs,
+    )?;
+
+    // Build on the smaller side.
+    let build_left = l.len() <= r.len();
+    let (build, probe, build_keys, probe_keys) = if build_left {
+        (l, r, &l_keys, &r_keys)
+    } else {
+        (r, l, &r_keys, &l_keys)
+    };
+    let mut table: FxHashMap<Vec<Value>, Vec<usize>> = FxHashMap::default();
+    for (i, t) in build.tuples().iter().enumerate() {
+        let key: Vec<Value> = build_keys.iter().map(|&k| t.get(k).clone()).collect();
+        if key.iter().any(Value::is_null) {
+            continue;
+        }
+        table.entry(key).or_default().push(i);
+    }
+    let mut out = Vec::new();
+    for probe_t in probe.tuples() {
+        let key: Vec<Value> = probe_keys.iter().map(|&k| probe_t.get(k).clone()).collect();
+        if key.iter().any(Value::is_null) {
+            continue;
+        }
+        if let Some(matches) = table.get(&key) {
+            for &bi in matches {
+                let build_t = &build.tuples()[bi];
+                let (lt, rt) = if build_left {
+                    (build_t, probe_t)
+                } else {
+                    (probe_t, build_t)
+                };
+                let mut vals: Vec<Value> = lt.values().to_vec();
+                vals.extend(r_rest.iter().map(|&i| rt.get(i).clone()));
+                out.push(Tuple::new(vals));
+            }
+        }
+    }
+    Relation::new(schema, out)
+}
+
+/// Cartesian product; attribute names must stay distinct.
+pub fn product(l: &Relation, r: &Relation) -> Result<Relation> {
+    let mut attrs = l.schema().attrs().to_vec();
+    attrs.extend(r.schema().attrs().iter().cloned());
+    let schema = Schema::new(
+        format!("{}_x_{}", l.schema().name(), r.schema().name()),
+        attrs,
+    )
+    .map_err(|e| {
+        GsjError::Schema(format!(
+            "product requires distinct attribute names (qualify inputs first): {e}"
+        ))
+    })?;
+    let mut out = Vec::with_capacity(l.len() * r.len());
+    for lt in l.tuples() {
+        for rt in r.tuples() {
+            out.push(lt.concat(rt));
+        }
+    }
+    Relation::new(schema, out)
+}
+
+/// Split a predicate into its top-level conjuncts.
+fn conjuncts(pred: &Expr) -> Vec<&Expr> {
+    match pred {
+        Expr::And(a, b) => {
+            let mut out = conjuncts(a);
+            out.extend(conjuncts(b));
+            out
+        }
+        other => vec![other],
+    }
+}
+
+/// Theta join. Equi-conjuncts whose two column sides resolve on opposite
+/// inputs become hash keys; the full predicate is still verified on each
+/// candidate pair.
+pub fn theta_join(l: &Relation, r: &Relation, pred: &Expr) -> Result<Relation> {
+    let mut attrs = l.schema().attrs().to_vec();
+    attrs.extend(r.schema().attrs().iter().cloned());
+    let schema = Schema::new(
+        format!("{}_tj_{}", l.schema().name(), r.schema().name()),
+        attrs,
+    )
+    .map_err(|e| {
+        GsjError::Schema(format!(
+            "theta join requires distinct attribute names (qualify inputs first): {e}"
+        ))
+    })?;
+
+    // Mine hashable equi pairs.
+    let mut l_keys = Vec::new();
+    let mut r_keys = Vec::new();
+    for c in conjuncts(pred) {
+        if let Expr::Cmp(CmpOp::Eq, a, b) = c {
+            if let (Expr::Col(ca), Expr::Col(cb)) = (a.as_ref(), b.as_ref()) {
+                let (la, ra) = (
+                    Expr::resolve_column(l.schema(), ca).ok(),
+                    Expr::resolve_column(r.schema(), ca).ok(),
+                );
+                let (lb, rb) = (
+                    Expr::resolve_column(l.schema(), cb).ok(),
+                    Expr::resolve_column(r.schema(), cb).ok(),
+                );
+                match (la, ra, lb, rb) {
+                    (Some(i), None, None, Some(j)) => {
+                        l_keys.push(i);
+                        r_keys.push(j);
+                    }
+                    (None, Some(j), Some(i), None) => {
+                        l_keys.push(i);
+                        r_keys.push(j);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    if l_keys.is_empty() {
+        // Nested loop.
+        for lt in l.tuples() {
+            for rt in r.tuples() {
+                let joined = lt.concat(rt);
+                if pred.holds(&schema, &joined)? {
+                    out.push(joined);
+                }
+            }
+        }
+    } else {
+        let mut table: FxHashMap<Vec<Value>, Vec<usize>> = FxHashMap::default();
+        for (i, t) in l.tuples().iter().enumerate() {
+            let key: Vec<Value> = l_keys.iter().map(|&k| t.get(k).clone()).collect();
+            if key.iter().any(Value::is_null) {
+                continue;
+            }
+            table.entry(key).or_default().push(i);
+        }
+        for rt in r.tuples() {
+            let key: Vec<Value> = r_keys.iter().map(|&k| rt.get(k).clone()).collect();
+            if key.iter().any(Value::is_null) {
+                continue;
+            }
+            if let Some(matches) = table.get(&key) {
+                for &li in matches {
+                    let joined = l.tuples()[li].concat(rt);
+                    if pred.holds(&schema, &joined)? {
+                        out.push(joined);
+                    }
+                }
+            }
+        }
+    }
+    Relation::new(schema, out)
+}
+
+fn aggregate(rel: &Relation, group_by: &[String], aggs: &[AggSpec]) -> Result<Relation> {
+    let group_pos: Vec<usize> = group_by
+        .iter()
+        .map(|c| Expr::resolve_column(rel.schema(), c))
+        .collect::<Result<_>>()?;
+    let agg_pos: Vec<Option<usize>> = aggs
+        .iter()
+        .map(|a| {
+            if a.col == "*" {
+                Ok(None)
+            } else {
+                Expr::resolve_column(rel.schema(), &a.col).map(Some)
+            }
+        })
+        .collect::<Result<_>>()?;
+
+    let mut attrs: Vec<String> = group_pos
+        .iter()
+        .map(|&i| rel.schema().attrs()[i].clone())
+        .collect();
+    attrs.extend(aggs.iter().map(|a| a.alias.clone()));
+    let schema = Schema::new(format!("{}_agg", rel.schema().name()), attrs)?;
+
+    // Group.
+    let mut groups: FxHashMap<Vec<Value>, Vec<&Tuple>> = FxHashMap::default();
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    for t in rel.tuples() {
+        let key: Vec<Value> = group_pos.iter().map(|&i| t.get(i).clone()).collect();
+        let entry = groups.entry(key.clone()).or_default();
+        if entry.is_empty() {
+            order.push(key);
+        }
+        entry.push(t);
+    }
+    if group_by.is_empty() && groups.is_empty() {
+        // Global aggregate over the empty input still yields one row.
+        order.push(Vec::new());
+        groups.insert(Vec::new(), Vec::new());
+    }
+
+    let mut out = Vec::with_capacity(order.len());
+    for key in order {
+        let rows = &groups[&key];
+        let mut vals = key.clone();
+        for (spec, pos) in aggs.iter().zip(&agg_pos) {
+            vals.push(eval_agg(spec.func, *pos, rows));
+        }
+        out.push(Tuple::new(vals));
+    }
+    Relation::new(schema, out)
+}
+
+fn eval_agg(func: AggFunc, pos: Option<usize>, rows: &[&Tuple]) -> Value {
+    match func {
+        AggFunc::Count => match pos {
+            None => Value::Int(rows.len() as i64),
+            Some(i) => Value::Int(rows.iter().filter(|t| !t.get(i).is_null()).count() as i64),
+        },
+        AggFunc::Sum | AggFunc::Avg => {
+            let i = match pos {
+                Some(i) => i,
+                None => return Value::Null,
+            };
+            let nums: Vec<f64> = rows.iter().filter_map(|t| t.get(i).as_f64()).collect();
+            if nums.is_empty() {
+                return Value::Null;
+            }
+            let sum: f64 = nums.iter().sum();
+            if func == AggFunc::Avg {
+                return Value::Float(sum / nums.len() as f64);
+            }
+            let all_int = rows
+                .iter()
+                .all(|t| matches!(t.get(i), Value::Int(_) | Value::Null));
+            if all_int {
+                Value::Int(sum as i64)
+            } else {
+                Value::Float(sum)
+            }
+        }
+        AggFunc::Min | AggFunc::Max => {
+            let i = match pos {
+                Some(i) => i,
+                None => return Value::Null,
+            };
+            let mut vals: Vec<&Value> =
+                rows.iter().map(|t| t.get(i)).filter(|v| !v.is_null()).collect();
+            if vals.is_empty() {
+                return Value::Null;
+            }
+            vals.sort();
+            if func == AggFunc::Min {
+                vals[0].clone()
+            } else {
+                vals[vals.len() - 1].clone()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Database {
+        let mut customer = Relation::empty(Schema::of(
+            "customer",
+            &["cid", "name", "credit", "bal"],
+        ));
+        for (cid, name, credit, bal) in [
+            ("cid01", "Bob", "fair", 500),
+            ("cid02", "Bob", "good", 110),
+            ("cid03", "Guy", "good", 50),
+            ("cid04", "Ada", "fair", 100),
+        ] {
+            customer
+                .push_values(vec![
+                    Value::str(cid),
+                    Value::str(name),
+                    Value::str(credit),
+                    Value::Int(bal),
+                ])
+                .unwrap();
+        }
+        let mut orders = Relation::empty(Schema::of("orders", &["cid", "pid"]));
+        for (cid, pid) in [("cid01", "fd1"), ("cid02", "fd2"), ("cid02", "fd3")] {
+            orders
+                .push_values(vec![Value::str(cid), Value::str(pid)])
+                .unwrap();
+        }
+        let mut db = Database::new();
+        db.insert(customer);
+        db.insert(orders);
+        db
+    }
+
+    #[test]
+    fn select_project() {
+        let db = db();
+        let plan = LogicalPlan::scan("customer")
+            .select(Expr::col_eq("credit", "good"))
+            .project(&["cid"]);
+        let r = execute(&plan, &db).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.schema().attrs(), &["cid".to_string()]);
+    }
+
+    #[test]
+    fn natural_join_matches_on_common_attr() {
+        let db = db();
+        let plan = LogicalPlan::scan("customer").natural_join(LogicalPlan::scan("orders"));
+        let r = execute(&plan, &db).unwrap();
+        assert_eq!(r.len(), 3);
+        // cid appears once.
+        assert_eq!(
+            r.schema()
+                .attrs()
+                .iter()
+                .filter(|a| a.as_str() == "cid")
+                .count(),
+            1
+        );
+        assert!(r.schema().contains("pid"));
+    }
+
+    #[test]
+    fn natural_join_skips_null_keys() {
+        let mut l = Relation::empty(Schema::of("l", &["k", "a"]));
+        l.push_values(vec![Value::Null, Value::Int(1)]).unwrap();
+        l.push_values(vec![Value::str("x"), Value::Int(2)]).unwrap();
+        let mut r = Relation::empty(Schema::of("r", &["k", "b"]));
+        r.push_values(vec![Value::Null, Value::Int(3)]).unwrap();
+        r.push_values(vec![Value::str("x"), Value::Int(4)]).unwrap();
+        let j = natural_join(&l, &r).unwrap();
+        assert_eq!(j.len(), 1);
+    }
+
+    #[test]
+    fn disjoint_schemas_fall_back_to_product() {
+        let mut l = Relation::empty(Schema::of("l", &["a"]));
+        l.push_values(vec![Value::Int(1)]).unwrap();
+        l.push_values(vec![Value::Int(2)]).unwrap();
+        let mut r = Relation::empty(Schema::of("r", &["b"]));
+        r.push_values(vec![Value::Int(3)]).unwrap();
+        let j = natural_join(&l, &r).unwrap();
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.schema().attrs(), &["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn theta_join_with_equi_and_residual() {
+        let db = db();
+        // Self-join customers with the same name but different ids
+        // (Q2-style pattern).
+        let plan = LogicalPlan::scan("customer").qualify("T1").theta_join(
+            LogicalPlan::scan("customer").qualify("T2"),
+            Expr::cmp(CmpOp::Eq, Expr::col("T1.name"), Expr::col("T2.name")).and(Expr::cmp(
+                CmpOp::Ne,
+                Expr::col("T1.cid"),
+                Expr::col("T2.cid"),
+            )),
+        );
+        let r = execute(&plan, &db).unwrap();
+        // Bob(cid01)×Bob(cid02) both orders.
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn theta_join_nested_loop_for_non_equi() {
+        let db = db();
+        let plan = LogicalPlan::scan("customer").qualify("T1").theta_join(
+            LogicalPlan::scan("customer").qualify("T2"),
+            Expr::cmp(CmpOp::Lt, Expr::col("T1.bal"), Expr::col("T2.bal")),
+        );
+        let r = execute(&plan, &db).unwrap();
+        // Pairs with strictly increasing balances: 50<100<110<500 → 6 pairs.
+        assert_eq!(r.len(), 6);
+    }
+
+    #[test]
+    fn union_difference_distinct() {
+        let db = db();
+        let good = LogicalPlan::scan("customer")
+            .select(Expr::col_eq("credit", "good"))
+            .project(&["name"]);
+        let fair = LogicalPlan::scan("customer")
+            .select(Expr::col_eq("credit", "fair"))
+            .project(&["name"]);
+        let union = LogicalPlan::Union {
+            left: Box::new(good.clone()),
+            right: Box::new(fair.clone()),
+        };
+        assert_eq!(execute(&union, &db).unwrap().len(), 4);
+        let distinct = LogicalPlan::Distinct {
+            input: Box::new(union),
+        };
+        // Names: Bob, Guy, Bob, Ada → distinct {Bob, Guy, Ada}.
+        assert_eq!(execute(&distinct, &db).unwrap().len(), 3);
+        let diff = LogicalPlan::Difference {
+            left: Box::new(good),
+            right: Box::new(fair),
+        };
+        // good names {Bob, Guy} minus fair names {Bob, Ada} = {Guy}.
+        assert_eq!(execute(&diff, &db).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn aggregate_group_by() {
+        let db = db();
+        let plan = LogicalPlan::Aggregate {
+            input: Box::new(LogicalPlan::scan("customer")),
+            group_by: vec!["credit".into()],
+            aggs: vec![
+                AggSpec::count_star("n"),
+                AggSpec::new(AggFunc::Sum, "bal", "total"),
+                AggSpec::new(AggFunc::Max, "bal", "biggest"),
+            ],
+        };
+        let r = execute(&plan, &db).unwrap();
+        assert_eq!(r.len(), 2);
+        let fair_row = r
+            .tuples()
+            .iter()
+            .find(|t| t.get(0) == &Value::str("fair"))
+            .unwrap();
+        assert_eq!(fair_row.get(1), &Value::Int(2));
+        assert_eq!(fair_row.get(2), &Value::Int(600));
+        assert_eq!(fair_row.get(3), &Value::Int(500));
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_input() {
+        let db = db();
+        let plan = LogicalPlan::Aggregate {
+            input: Box::new(
+                LogicalPlan::scan("customer").select(Expr::col_eq("credit", "excellent")),
+            ),
+            group_by: vec![],
+            aggs: vec![AggSpec::count_star("n"), AggSpec::new(AggFunc::Avg, "bal", "avg")],
+        };
+        let r = execute(&plan, &db).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.tuples()[0].get(0), &Value::Int(0));
+        assert!(r.tuples()[0].get(1).is_null());
+    }
+
+    #[test]
+    fn sort_and_limit() {
+        let db = db();
+        let plan = LogicalPlan::Limit {
+            input: Box::new(LogicalPlan::Sort {
+                input: Box::new(LogicalPlan::scan("customer")),
+                by: vec!["bal".into()],
+                desc: true,
+            }),
+            n: 2,
+        };
+        let r = execute(&plan, &db).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.tuples()[0].get(3), &Value::Int(500));
+        assert_eq!(r.tuples()[1].get(3), &Value::Int(110));
+    }
+
+    #[test]
+    fn qualify_then_unqualified_filter() {
+        let db = db();
+        let plan = LogicalPlan::scan("customer")
+            .qualify("T")
+            .select(Expr::col_eq("credit", "good"));
+        assert_eq!(execute(&plan, &db).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn product_rejects_duplicate_names() {
+        let db = db();
+        let plan = LogicalPlan::scan("customer").natural_join(LogicalPlan::scan("customer"));
+        // Natural self-join on all attrs is fine (it's an intersection)...
+        assert!(execute(&plan, &db).is_ok());
+        // ...but an unqualified theta self-join must be rejected.
+        let bad = LogicalPlan::scan("customer").theta_join(
+            LogicalPlan::scan("customer"),
+            Expr::lit(true),
+        );
+        assert!(execute(&bad, &db).is_err());
+    }
+}

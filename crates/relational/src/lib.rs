@@ -1,0 +1,31 @@
+//! # gsj-relational
+//!
+//! The relational substrate: a small in-memory engine playing the role
+//! PostgreSQL plays in the paper (Section IV deploys semantic joins "atop
+//! PostgreSQL"; our gSQL rewriter emits [`plan::LogicalPlan`]s that this
+//! engine executes).
+//!
+//! - [`schema`] / [`mod@tuple`] / [`relation`]: databases `D = (D1, ..., Dn)`
+//!   of relations over schemas `R(A1, ..., Ak)`, each tuple carrying a
+//!   tuple id (primary key) per Codd's entity reading (Section II-A).
+//! - [`expr`]: scalar expressions and predicates with SQL-style
+//!   null-rejecting comparisons.
+//! - [`plan`] / [`exec`]: logical plans (select/project/join/aggregate/
+//!   set ops) with hash-based natural and equi joins.
+//! - [`catalog`]: the named-relation database handed to the executor.
+
+pub mod catalog;
+pub mod exec;
+pub mod expr;
+pub mod plan;
+pub mod relation;
+pub mod schema;
+pub mod tuple;
+
+pub use catalog::Database;
+pub use exec::execute;
+pub use expr::{AggFunc, BinOp, CmpOp, Expr};
+pub use plan::{AggSpec, JoinKind, LogicalPlan};
+pub use relation::Relation;
+pub use schema::Schema;
+pub use tuple::Tuple;

@@ -1,0 +1,190 @@
+//! Logical plans.
+//!
+//! The gSQL rewriter (Section IV) converts semantic-join queries into plain
+//! relational plans over base relations plus the materialized extraction
+//! relations (`f(D,G)`, `h(D,G)`, `g_L`). These plans are the "SQL queries
+//! answered by the RDBMS" of the paper.
+
+use crate::expr::{AggFunc, Expr};
+use crate::relation::Relation;
+
+/// How a binary join matches tuples.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JoinKind {
+    /// Natural join on all common attribute names.
+    Natural,
+    /// Theta join on a predicate over the concatenated schema (hash-
+    /// accelerated when the predicate contains equi-conjuncts).
+    Theta(Expr),
+}
+
+/// One aggregate in an `Aggregate` node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggSpec {
+    /// The function.
+    pub func: AggFunc,
+    /// Input column; `"*"` with [`AggFunc::Count`] counts rows.
+    pub col: String,
+    /// Output attribute name.
+    pub alias: String,
+}
+
+impl AggSpec {
+    /// `count(*) as alias`.
+    pub fn count_star(alias: impl Into<String>) -> Self {
+        AggSpec {
+            func: AggFunc::Count,
+            col: "*".into(),
+            alias: alias.into(),
+        }
+    }
+
+    /// `func(col) as alias`.
+    pub fn new(func: AggFunc, col: impl Into<String>, alias: impl Into<String>) -> Self {
+        AggSpec {
+            func,
+            col: col.into(),
+            alias: alias.into(),
+        }
+    }
+}
+
+/// A logical query plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalPlan {
+    /// Scan a named base relation from the catalog.
+    Scan(String),
+    /// An inline relation (used for materialized extraction results and
+    /// intermediate sub-query results).
+    Values(Relation),
+    /// `σ_pred`.
+    Select {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Filter predicate.
+        pred: Expr,
+    },
+    /// `π_cols` (bag projection; names may be qualified).
+    Project {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Output columns in order.
+        cols: Vec<String>,
+    },
+    /// `R as alias`: qualifies every attribute as `alias.base`.
+    Qualify {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// New alias.
+        alias: String,
+    },
+    /// Binary join.
+    Join {
+        /// Left input.
+        left: Box<LogicalPlan>,
+        /// Right input.
+        right: Box<LogicalPlan>,
+        /// Join kind.
+        kind: JoinKind,
+    },
+    /// Bag union (schemas must be arity-compatible).
+    Union {
+        /// Left input.
+        left: Box<LogicalPlan>,
+        /// Right input.
+        right: Box<LogicalPlan>,
+    },
+    /// Bag difference `left − right` (for gSQL negation).
+    Difference {
+        /// Left input.
+        left: Box<LogicalPlan>,
+        /// Right input.
+        right: Box<LogicalPlan>,
+    },
+    /// Duplicate elimination.
+    Distinct {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+    },
+    /// Grouping + aggregation. Output schema: `group_by ++ agg aliases`.
+    Aggregate {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Grouping columns (empty = one global group).
+        group_by: Vec<String>,
+        /// Aggregates.
+        aggs: Vec<AggSpec>,
+    },
+    /// Sort by columns (ascending; stable).
+    Sort {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Sort keys in priority order.
+        by: Vec<String>,
+        /// Descending order if true.
+        desc: bool,
+    },
+    /// First `n` tuples.
+    Limit {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Row cap.
+        n: usize,
+    },
+}
+
+impl LogicalPlan {
+    /// `Scan` helper.
+    pub fn scan(name: impl Into<String>) -> LogicalPlan {
+        LogicalPlan::Scan(name.into())
+    }
+
+    /// Wrap in a selection.
+    pub fn select(self, pred: Expr) -> LogicalPlan {
+        LogicalPlan::Select {
+            input: Box::new(self),
+            pred,
+        }
+    }
+
+    /// Wrap in a projection.
+    pub fn project(self, cols: &[&str]) -> LogicalPlan {
+        LogicalPlan::Project {
+            input: Box::new(self),
+            cols: cols.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Wrap in an alias qualification.
+    pub fn qualify(self, alias: impl Into<String>) -> LogicalPlan {
+        LogicalPlan::Qualify {
+            input: Box::new(self),
+            alias: alias.into(),
+        }
+    }
+
+    /// Natural-join with another plan.
+    pub fn natural_join(self, right: LogicalPlan) -> LogicalPlan {
+        LogicalPlan::Join {
+            left: Box::new(self),
+            right: Box::new(right),
+            kind: JoinKind::Natural,
+        }
+    }
+
+    /// Theta-join with another plan.
+    pub fn theta_join(self, right: LogicalPlan, pred: Expr) -> LogicalPlan {
+        LogicalPlan::Join {
+            left: Box::new(self),
+            right: Box::new(right),
+            kind: JoinKind::Theta(pred),
+        }
+    }
+
+    /// Wrap in duplicate elimination.
+    pub fn distinct(self) -> LogicalPlan {
+        LogicalPlan::Distinct {
+            input: Box::new(self),
+        }
+    }
+}

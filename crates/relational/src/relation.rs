@@ -1,0 +1,308 @@
+//! Relations: a schema plus a bag of tuples.
+
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use gsj_common::{GsjError, Result, Value};
+use std::fmt;
+
+/// A relation instance (bag semantics, like SQL).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Relation {
+    schema: Schema,
+    tuples: Vec<Tuple>,
+}
+
+impl Relation {
+    /// An empty relation of the given schema.
+    pub fn empty(schema: Schema) -> Self {
+        Relation {
+            schema,
+            tuples: Vec::new(),
+        }
+    }
+
+    /// Build from tuples; every tuple must match the schema arity.
+    pub fn new(schema: Schema, tuples: Vec<Tuple>) -> Result<Self> {
+        if let Some(bad) = tuples.iter().find(|t| t.arity() != schema.arity()) {
+            return Err(GsjError::Schema(format!(
+                "tuple arity {} does not match schema `{}` arity {}",
+                bad.arity(),
+                schema.name(),
+                schema.arity()
+            )));
+        }
+        Ok(Relation { schema, tuples })
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The tuples.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True when no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Append a tuple, checking arity.
+    pub fn push(&mut self, t: Tuple) -> Result<()> {
+        if t.arity() != self.schema.arity() {
+            return Err(GsjError::Schema(format!(
+                "tuple arity {} does not match schema `{}` arity {}",
+                t.arity(),
+                self.schema.name(),
+                self.schema.arity()
+            )));
+        }
+        self.tuples.push(t);
+        Ok(())
+    }
+
+    /// Push raw values.
+    pub fn push_values(&mut self, values: Vec<Value>) -> Result<()> {
+        self.push(Tuple::new(values))
+    }
+
+    /// One column's values, by attribute name.
+    pub fn column(&self, attr: &str) -> Result<Vec<Value>> {
+        let i = self.schema.require(attr)?;
+        Ok(self.tuples.iter().map(|t| t.get(i).clone()).collect())
+    }
+
+    /// Replace the schema name/alias, qualifying attribute names
+    /// (`SQL: R as T`).
+    pub fn qualified(&self, alias: &str) -> Relation {
+        Relation {
+            schema: self.schema.qualify(alias),
+            tuples: self.tuples.clone(),
+        }
+    }
+
+    /// Take the tuples out (consuming accessor for the executor).
+    pub fn into_parts(self) -> (Schema, Vec<Tuple>) {
+        (self.schema, self.tuples)
+    }
+
+    /// Parse a relation from CSV text (header row = attribute names;
+    /// RFC-4180-style quoting; empty cells = NULL; cell types inferred
+    /// via [`Value::parse_infer`]).
+    pub fn from_csv(name: &str, csv: &str) -> Result<Relation> {
+        fn split_line(line: &str) -> Vec<String> {
+            let mut cells = Vec::new();
+            let mut cur = String::new();
+            let mut chars = line.chars().peekable();
+            let mut quoted = false;
+            while let Some(c) = chars.next() {
+                match c {
+                    '"' if quoted => {
+                        if chars.peek() == Some(&'"') {
+                            chars.next();
+                            cur.push('"');
+                        } else {
+                            quoted = false;
+                        }
+                    }
+                    '"' if cur.is_empty() => quoted = true,
+                    ',' if !quoted => {
+                        cells.push(std::mem::take(&mut cur));
+                    }
+                    c => cur.push(c),
+                }
+            }
+            cells.push(cur);
+            cells
+        }
+        let mut lines = csv.lines().filter(|l| !l.trim().is_empty());
+        let header = lines
+            .next()
+            .ok_or_else(|| GsjError::Parse("empty CSV".into()))?;
+        let attrs: Vec<String> = split_line(header);
+        let schema = Schema::new(name.to_string(), attrs)?;
+        let mut rel = Relation::empty(schema);
+        for (lineno, line) in lines.enumerate() {
+            let cells = split_line(line);
+            if cells.len() != rel.schema().arity() {
+                return Err(GsjError::Parse(format!(
+                    "CSV row {} has {} cells, expected {}",
+                    lineno + 2,
+                    cells.len(),
+                    rel.schema().arity()
+                )));
+            }
+            rel.push_values(cells.iter().map(|c| Value::parse_infer(c)).collect())?;
+        }
+        Ok(rel)
+    }
+
+    /// Render as CSV (RFC-4180-style quoting; NULL cells are empty).
+    pub fn to_csv(&self) -> String {
+        let quote = |s: &str| -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .schema
+                .attrs()
+                .iter()
+                .map(|a| quote(a))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for t in &self.tuples {
+            let row: Vec<String> = t
+                .values()
+                .iter()
+                .map(|v| if v.is_null() { String::new() } else { quote(&v.to_string()) })
+                .collect();
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as an aligned text table (for examples and experiment
+    /// binaries).
+    pub fn to_table(&self) -> String {
+        let headers: Vec<&str> = self.schema.attrs().iter().map(|s| s.as_str()).collect();
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+        let rows: Vec<Vec<String>> = self
+            .tuples
+            .iter()
+            .map(|t| t.values().iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join(" | ")
+        };
+        let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+        out.push_str(&fmt_row(&header_cells, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 3 * widths.len().saturating_sub(1)));
+        out.push('\n');
+        for row in &rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}({}) [{} tuples]",
+            self.schema.name(),
+            self.schema.attrs().join(", "),
+            self.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn product() -> Relation {
+        let mut r = Relation::empty(Schema::of("product", &["pid", "risk"]));
+        r.push_values(vec![Value::str("fd1"), Value::str("medium")]).unwrap();
+        r.push_values(vec![Value::str("fd2"), Value::str("high")]).unwrap();
+        r
+    }
+
+    #[test]
+    fn push_checks_arity() {
+        let mut r = product();
+        assert!(r.push_values(vec![Value::Int(1)]).is_err());
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn column_extraction() {
+        let r = product();
+        assert_eq!(
+            r.column("risk").unwrap(),
+            vec![Value::str("medium"), Value::str("high")]
+        );
+        assert!(r.column("absent").is_err());
+    }
+
+    #[test]
+    fn qualified_renames_attrs() {
+        let r = product().qualified("T");
+        assert_eq!(r.schema().attrs(), &["T.pid".to_string(), "T.risk".to_string()]);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn table_rendering_contains_cells() {
+        let text = product().to_table();
+        assert!(text.contains("pid") && text.contains("fd2") && text.contains("medium"));
+    }
+
+    #[test]
+    fn csv_rendering_quotes_and_nulls() {
+        let mut r = Relation::empty(Schema::of("t", &["a", "b"]));
+        r.push_values(vec![Value::str("x,y"), Value::Null]).unwrap();
+        r.push_values(vec![Value::str("quo\"te"), Value::Int(3)]).unwrap();
+        let csv = r.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "a,b");
+        assert_eq!(lines[1], "\"x,y\",");
+        assert_eq!(lines[2], "\"quo\"\"te\",3");
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let mut r = Relation::empty(Schema::of("t", &["id", "name", "score"]));
+        r.push_values(vec![Value::Int(1), Value::str("a,b"), Value::Float(0.5)])
+            .unwrap();
+        r.push_values(vec![Value::Int(2), Value::Null, Value::Int(7)]).unwrap();
+        let parsed = Relation::from_csv("t", &r.to_csv()).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed.tuples()[0].get(1), &Value::str("a,b"));
+        assert!(parsed.tuples()[1].get(1).is_null());
+        assert_eq!(parsed.tuples()[0].get(2), &Value::Float(0.5));
+    }
+
+    #[test]
+    fn csv_rejects_ragged_rows() {
+        assert!(Relation::from_csv("t", "a,b\n1\n").is_err());
+        assert!(Relation::from_csv("t", "").is_err());
+    }
+
+    #[test]
+    fn new_validates_all_tuples() {
+        let bad = Relation::new(
+            Schema::of("x", &["a"]),
+            vec![Tuple::new(vec![Value::Int(1), Value::Int(2)])],
+        );
+        assert!(bad.is_err());
+    }
+}

@@ -1,0 +1,122 @@
+//! Quickstart: the smallest end-to-end semantic-join session.
+//!
+//! Builds a tiny product database and knowledge graph by hand, trains the
+//! extraction scheme, and runs the paper's Q1 in gSQL:
+//!
+//! ```text
+//! select risk, company
+//! from product e-join G <company, loc> as T
+//! where T.pid = fd1 and T.loc = UK
+//! ```
+//!
+//! Run with: `cargo run -p gsj-examples --bin quickstart --release`
+
+use gsj_common::Value;
+use gsj_core::config::RExtConfig;
+use gsj_core::gsql::exec::{GsqlEngine, Strategy};
+use gsj_core::profile::{GraphProfile, RelationSpec};
+use gsj_core::rext::Rext;
+use gsj_core::typed::TypedConfig;
+use gsj_graph::LabeledGraph;
+use gsj_her::HerConfig;
+use gsj_relational::{Database, Relation, Schema};
+use std::sync::Arc;
+
+fn main() {
+    // --- The relational side: a product table --------------------------
+    let mut product = Relation::empty(Schema::of("product", &["pid", "pname", "kind", "risk"]));
+    for (pid, pname, kind, risk) in [
+        ("fd1", "GreenLeaf ESG", "Funds", "medium"),
+        ("fd2", "Beta Industrials", "Stocks", "high"),
+        ("fd3", "GreenLeaf 100", "Funds", "low"),
+        ("fd4", "RainForest Capital", "Stocks", "medium"),
+    ] {
+        product
+            .push_values(vec![
+                Value::str(pid),
+                Value::str(pname),
+                Value::str(kind),
+                Value::str(risk),
+            ])
+            .unwrap();
+    }
+    let mut db = Database::new();
+    db.insert(product);
+
+    // --- The graph side: products with issuers and registered locations
+    let mut g = LabeledGraph::new();
+    let names = [
+        "GreenLeaf ESG",
+        "Beta Industrials",
+        "GreenLeaf 100",
+        "RainForest Capital",
+    ];
+    let kinds = ["Funds", "Stocks", "Funds", "Stocks"];
+    let issuers = ["company1", "company1", "company2", "company2"];
+    let locs = ["UK", "UK", "US", "US"];
+    for i in 0..4 {
+        let p = g.add_vertex(&format!("pid{}", i + 1));
+        let n = g.add_vertex(names[i]);
+        g.add_edge(p, "name", n);
+        let k = g.add_vertex(kinds[i]);
+        g.add_edge(p, "kind", k);
+        let c = g.add_vertex(issuers[i]);
+        g.add_edge(p, "issue", c);
+        let l = g.add_vertex(locs[i]);
+        // Note the vocabulary gap the paper motivates: the graph says
+        // `regloc`, the user will ask for `loc`.
+        g.add_edge(c, "regloc", l);
+    }
+
+    // --- Offline: train RExt and profile the graph ---------------------
+    println!("training RExt (LSTM language model on random walks)...");
+    let rext = Arc::new(Rext::train(&g, RExtConfig::standard()).expect("training"));
+    let her = HerConfig {
+        min_score: 0.3,
+        ..HerConfig::default()
+    };
+    let profile = GraphProfile::build(
+        &g,
+        &db,
+        vec![RelationSpec::new("product", "pid", &["company", "loc"])],
+        &rext,
+        &her,
+        Some(&TypedConfig::default()),
+    )
+    .expect("profiling");
+    println!(
+        "profiled: {} matches, extracted schema {:?}",
+        profile.extraction("product").unwrap().matches.len(),
+        profile
+            .extraction("product")
+            .unwrap()
+            .discovery
+            .schema
+            .attrs()
+    );
+
+    // --- Online: gSQL ---------------------------------------------------
+    let mut engine = GsqlEngine::new(db);
+    engine.set_id_attr("product", "pid");
+    engine.set_her_config(her);
+    engine.add_graph("G", g);
+    engine.set_rext("G", rext);
+    engine.set_profile("G", profile);
+
+    let q1 = "select risk, company from product e-join G <company, loc> as T \
+              where T.pid = fd1 and T.loc = UK";
+    println!("\nQ1: {q1}");
+    let parsed = engine.parse(q1).unwrap();
+    println!("well-behaved: {}", engine.is_well_behaved(&parsed));
+    let result = engine.run(q1, Strategy::Optimized).expect("query");
+    println!("\n{}", result.to_table());
+
+    // The full enriched view, for context.
+    let all = engine
+        .run(
+            "select pid, pname, company, loc from product e-join G <company, loc> as T",
+            Strategy::Optimized,
+        )
+        .expect("query");
+    println!("enriched product relation:\n{}", all.to_table());
+}

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Splice measured experiment output into EXPERIMENTS.md.
+
+Reads experiment_results.txt (the output of `run_all`) and replaces the
+MEASURED_* placeholders in EXPERIMENTS.md with fenced code blocks holding
+the corresponding sections.
+"""
+import re
+import sys
+
+RESULTS = "experiment_results.txt"
+TARGET = "EXPERIMENTS.md"
+
+SECTIONS = {
+    "MEASURED_TABLE2": "exp_table2",
+    "MEASURED_5A": "exp_fig5a",
+    "MEASURED_5B": "exp_fig5b",
+    "MEASURED_5C": "exp_fig5c",
+    "MEASURED_5D": "exp_fig5d",
+    "MEASURED_5E": "exp_fig5e",
+    "MEASURED_5F": "exp_fig5f",
+    "MEASURED_5G": "exp_fig5g",
+    "MEASURED_TABLE3": "exp_table3",
+    "MEASURED_OFFLINE": "exp_offline",
+    "MEASURED_E2E": "exp_e2e",
+    "MEASURED_5H": "exp_fig5h",
+}
+
+
+def section(text: str, binary: str) -> str:
+    pattern = rf"##### running {binary} .*?#####\n(.*?)(?=\n##### running |\nall experiments|\Z)"
+    m = re.search(pattern, text, re.S)
+    if not m:
+        return "*(section missing from experiment_results.txt)*"
+    body = m.group(1).strip()
+    # Drop progress lines.
+    lines = [l for l in body.splitlines() if not l.strip().endswith("done")]
+    return "```text\n" + "\n".join(lines).strip() + "\n```"
+
+
+def main() -> None:
+    results = open(RESULTS).read()
+    doc = open(TARGET).read()
+    for placeholder, binary in SECTIONS.items():
+        doc = doc.replace(placeholder, section(results, binary))
+    open(TARGET, "w").write(doc)
+    missing = re.findall(r"MEASURED_\w+", doc)
+    if missing:
+        print(f"WARNING: unresolved placeholders: {missing}", file=sys.stderr)
+    print("EXPERIMENTS.md updated")
+
+
+if __name__ == "__main__":
+    main()

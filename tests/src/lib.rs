@@ -1,0 +1,42 @@
+//! # gsj-tests
+//!
+//! Cross-crate integration tests for the gsj workspace live in this
+//! package's `tests/` directory. The library itself only hosts shared
+//! helpers for those tests.
+
+use gsj_core::config::{PathKind, RExtConfig};
+use gsj_datagen::{Collection, Scale};
+use gsj_nn::LmConfig;
+
+/// A fast RExt configuration for integration tests: random-path variant
+/// (no LM training) unless a test specifically exercises guidance.
+pub fn fast_rext_config() -> RExtConfig {
+    RExtConfig {
+        k: 3,
+        h: 12,
+        m: 4,
+        path: PathKind::Random,
+        threads: 1,
+        seed: 7,
+        ..RExtConfig::default()
+    }
+}
+
+/// A small but real LM-guided configuration.
+pub fn guided_rext_config() -> RExtConfig {
+    RExtConfig {
+        path: PathKind::LmGuided,
+        lm: LmConfig {
+            embed_dim: 16,
+            hidden: 32,
+            epochs: 3,
+            ..LmConfig::default()
+        },
+        ..fast_rext_config()
+    }
+}
+
+/// Build one tiny collection by name.
+pub fn tiny(name: &str) -> Collection {
+    gsj_datagen::collections::build(name, Scale::tiny(), 42).expect("known collection")
+}
