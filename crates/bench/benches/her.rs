@@ -9,9 +9,7 @@ fn bench_her(c: &mut Criterion) {
     let col = collections::build("Movie", Scale(60), 3).unwrap();
     let cfg = col.her_config();
     c.bench_function("her_match_full", |b| {
-        b.iter(|| {
-            std::hint::black_box(her_match(&col.graph, col.entity_relation(), &cfg).unwrap())
-        })
+        b.iter(|| std::hint::black_box(her_match(&col.graph, col.entity_relation(), &cfg).unwrap()))
     });
     // Localized index over the entity vertices only (~10% of the graph).
     c.bench_function("her_match_local_entities", |b| {

@@ -13,7 +13,10 @@ fn bench_pattern_match(c: &mut Criterion) {
         .map(|i| {
             let mut p = Path::new(VertexId(i));
             for j in 0..=(i % 3) {
-                p.push(labels[((i + j) % 10) as usize], VertexId(100_000 + i * 4 + j));
+                p.push(
+                    labels[((i + j) % 10) as usize],
+                    VertexId(100_000 + i * 4 + j),
+                );
             }
             p
         })

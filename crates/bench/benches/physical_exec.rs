@@ -1,0 +1,84 @@
+//! Criterion microbench: the logical interpreter vs the physical
+//! operator path on the same plans — the lowering overhead plus the
+//! row-index (non-cloning) hash-join build tables.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gsj_common::Value;
+use gsj_relational::physical::{execute_physical, lower, ExecContext};
+use gsj_relational::{execute, CmpOp, Database, Expr, LogicalPlan, Relation, Schema};
+
+fn table(name: &str, rows: usize, key_mod: usize) -> Relation {
+    let mut r = Relation::empty(Schema::of(name, &["k", name]));
+    for i in 0..rows {
+        r.push_values(vec![
+            Value::Int((i % key_mod) as i64),
+            Value::str(format!("{name}-{i}")),
+        ])
+        .unwrap();
+    }
+    r
+}
+
+fn join_db(n: usize) -> Database {
+    let mut db = Database::new();
+    db.insert(table("l", n, n / 2));
+    db.insert(table("r", n, n / 2));
+    db
+}
+
+/// Scan ⋈ scan (natural hash join), filtered and projected: the shape
+/// the gSQL fold produces for plain relational queries.
+fn pipeline_plan() -> LogicalPlan {
+    LogicalPlan::scan("l")
+        .natural_join(LogicalPlan::scan("r"))
+        .select(Expr::cmp(CmpOp::Ge, Expr::col("k"), Expr::lit(2i64)))
+        .project(&["k"])
+}
+
+/// Equi theta join with a residual conjunct: exercises key mining at
+/// lower time vs per-execution mining in the interpreter.
+fn theta_plan() -> LogicalPlan {
+    LogicalPlan::scan("l").qualify("L").theta_join(
+        LogicalPlan::scan("r").qualify("R"),
+        Expr::cmp(CmpOp::Eq, Expr::col("L.k"), Expr::col("R.k")).and(Expr::cmp(
+            CmpOp::Ne,
+            Expr::col("L.l"),
+            Expr::col("R.r"),
+        )),
+    )
+}
+
+fn bench_exec_paths(c: &mut Criterion) {
+    for (plan_name, plan) in [("pipeline", pipeline_plan()), ("theta", theta_plan())] {
+        let mut group = c.benchmark_group(format!("physical_exec/{plan_name}"));
+        for &n in &[1_000usize, 10_000] {
+            let db = join_db(n);
+            group.bench_with_input(BenchmarkId::new("logical", n), &db, |b, db| {
+                b.iter(|| std::hint::black_box(execute(&plan, db).unwrap()))
+            });
+            group.bench_with_input(BenchmarkId::new("physical", n), &db, |b, db| {
+                b.iter(|| {
+                    let physical = lower(&plan, db).unwrap();
+                    let mut ctx = ExecContext::new();
+                    std::hint::black_box(execute_physical(&physical, db, &mut ctx).unwrap())
+                })
+            });
+            // Lowered once, executed many times (the prepared-plan case).
+            let lowered = lower(&plan, &db).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new("physical_prelowered", n),
+                &(db, lowered),
+                |b, (db, lowered)| {
+                    b.iter(|| {
+                        let mut ctx = ExecContext::new();
+                        std::hint::black_box(execute_physical(lowered, db, &mut ctx).unwrap())
+                    })
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_exec_paths);
+criterion_main!(benches);

@@ -7,8 +7,14 @@ use gsj_datagen::{collections, Scale};
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "Drugs".into());
-    let scale = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(40);
-    let seed = std::env::args().nth(3).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let scale = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40);
+    let seed = std::env::args()
+        .nth(3)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
     let col = collections::build(&name, Scale(scale), seed).expect("collection");
     let prep = prepared(&col, ExpConfig::standard().rext);
     let kws = col.spec.reference_keywords();
@@ -47,14 +53,22 @@ fn main() {
                     .collect()
             })
             .collect();
-        println!("SELECTED attr={} score={:.3} patterns={pats:?}", c.attr, c.score);
+        println!(
+            "SELECTED attr={} score={:.3} patterns={pats:?}",
+            c.attr, c.score
+        );
     }
     let dg = prep.rext.extract(&col.graph, &prep.matches, &disc).unwrap();
     println!("\nDG sample:\n{}", sample(&dg, 5));
     println!("truth sample:\n{}", sample(&col.truth, 5));
-    let predicted =
-        enrichment_join_precomputed(col.entity_relation(), &col.spec.id_attr, &prep.matches, &dg, None)
-            .unwrap();
+    let predicted = enrichment_join_precomputed(
+        col.entity_relation(),
+        &col.spec.id_attr,
+        &prep.matches,
+        &dg,
+        None,
+    )
+    .unwrap();
     for k in &kws {
         if !predicted.schema().contains(k) {
             println!("attr {k}: MISSING from prediction");
@@ -82,10 +96,7 @@ fn main() {
                 .iter()
                 .map(|l| col.graph.symbols().resolve(*l).to_string())
                 .collect();
-            println!(
-                "  {labels:?} -> {}",
-                col.graph.vertex_label_str(p.end())
-            );
+            println!("  {labels:?} -> {}", col.graph.vertex_label_str(p.end()));
         }
     }
 }

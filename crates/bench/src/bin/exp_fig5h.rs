@@ -15,8 +15,14 @@ use gsj_her::her_match;
 
 fn main() {
     let scale = scale_from_env(150);
-    banner("Fig 5(h) — IncExt: vary |ΔG| (all datasets)", "Fig 5(h) / Exp-4");
-    println!("scale = {} (speedup of IncExt over scratch re-extraction)\n", scale.0);
+    banner(
+        "Fig 5(h) — IncExt: vary |ΔG| (all datasets)",
+        "Fig 5(h) / Exp-4",
+    );
+    println!(
+        "scale = {} (speedup of IncExt over scratch re-extraction)\n",
+        scale.0
+    );
     let fractions = [0.05, 0.15, 0.25, 0.35, 0.45];
 
     let mut t = Table::new(&["collection", "5%", "15%", "25%", "35%", "45%", "crossover"]);
@@ -34,7 +40,10 @@ fn main() {
                 "h_x",
             )
             .unwrap();
-        let dg = prep.rext.extract(&col.graph, &prep.matches, &discovery).unwrap();
+        let dg = prep
+            .rext
+            .extract(&col.graph, &prep.matches, &discovery)
+            .unwrap();
         let initial = Extraction {
             discovery,
             matches: prep.matches.clone(),
@@ -63,8 +72,7 @@ fn main() {
             // re-extraction on the updated graph — the paper's comparator
             // ("RExt that re-computes HER matches and extracted data").
             let (_, scratch_secs) = timed(|| {
-                let matches =
-                    her_match(&g, col.entity_relation(), &col.her_config()).unwrap();
+                let matches = her_match(&g, col.entity_relation(), &col.her_config()).unwrap();
                 let disc = prep
                     .rext
                     .discover(

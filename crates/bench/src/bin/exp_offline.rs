@@ -39,9 +39,7 @@ fn main() {
     ]);
     for name in collections::ALL {
         let col = collections::build(name, scale, 5).unwrap();
-        let (rext, train_secs) = timed(|| {
-            Rext::train(&col.graph, RExtConfig::standard()).unwrap()
-        });
+        let (rext, train_secs) = timed(|| Rext::train(&col.graph, RExtConfig::standard()).unwrap());
         let (profile, extract_secs) = timed(|| {
             GraphProfile::build(
                 &col.graph,

@@ -18,7 +18,10 @@ fn main() {
         .map(gsj_datagen::Scale)
         .unwrap_or_else(|| scale_from_env(300));
     banner("Table II — dataset collections", "Table II of the paper");
-    println!("scale = {} (synthetic stand-ins; see DESIGN.md §2)\n", scale.0);
+    println!(
+        "scale = {} (synthetic stand-ins; see DESIGN.md §2)\n",
+        scale.0
+    );
 
     let cols = collections::build_all(scale, 1);
     let mut t = Table::new(&[

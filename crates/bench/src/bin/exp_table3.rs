@@ -19,7 +19,10 @@ use gsj_datagen::queries::workload;
 
 fn main() {
     let scale = scale_from_env(120);
-    banner("Table III — relative accuracy of heuristic joins", "Table III");
+    banner(
+        "Table III — relative accuracy of heuristic joins",
+        "Table III",
+    );
     println!("scale = {}\n", scale.0);
 
     let mut per_collection: Vec<(String, f64, usize)> = Vec::new();
@@ -101,7 +104,11 @@ fn main() {
         f3(avg(&nwb_scores)),
         "0.81".into(),
     ]);
-    t.row(vec!["enrichment".into(), f3(avg(&enrich_scores)), "0.89".into()]);
+    t.row(vec![
+        "enrichment".into(),
+        f3(avg(&enrich_scores)),
+        "0.89".into(),
+    ]);
     t.row(vec!["link".into(), f3(avg(&link_scores)), "0.81".into()]);
     println!("{}", t.render());
 

@@ -31,7 +31,10 @@ fn main() {
             "h_x",
         )
         .unwrap();
-    let dg = prep.rext.extract(&col.graph, &prep.matches, &discovery).unwrap();
+    let dg = prep
+        .rext
+        .extract(&col.graph, &prep.matches, &discovery)
+        .unwrap();
     let initial = Extraction {
         discovery,
         matches: prep.matches.clone(),
@@ -51,7 +54,10 @@ fn main() {
     println!("pattern zone: {} vertices in {z_secs:.3}s", zone.len());
     let matched: std::collections::HashSet<_> = initial.matches.vertices().collect();
     let affected_matched = matched.iter().filter(|v| zone.contains(v)).count();
-    println!("matched: {}; affected matched: {affected_matched}", matched.len());
+    println!(
+        "matched: {}; affected matched: {affected_matched}",
+        matched.len()
+    );
     let (_, inc_secs) = timed(|| {
         inc_update_graph(
             &prep.rext,

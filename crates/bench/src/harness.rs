@@ -59,8 +59,8 @@ pub struct Prepared {
 pub fn prepared(col: &Collection, rext_cfg: RExtConfig) -> Prepared {
     let t0 = Instant::now();
     let rext = Rext::train(&col.graph, rext_cfg).expect("valid config");
-    let matches = her_match(&col.graph, col.entity_relation(), &col.her_config())
-        .expect("id attr exists");
+    let matches =
+        her_match(&col.graph, col.entity_relation(), &col.her_config()).expect("id attr exists");
     Prepared {
         rext,
         matches,
@@ -86,7 +86,11 @@ pub struct RecoverOutcome {
 /// against ground truth.
 pub fn recover_f_measure(col: &Collection, prep: &Prepared, exp: &ExpConfig) -> RecoverOutcome {
     let all_kws = col.spec.reference_keywords();
-    let m = if exp.m == 0 { all_kws.len() } else { exp.m.min(all_kws.len()) };
+    let m = if exp.m == 0 {
+        all_kws.len()
+    } else {
+        exp.m.min(all_kws.len())
+    };
     let mut keywords: Vec<String> = all_kws[..m].to_vec();
     keywords.extend(exp.extra_keywords.iter().cloned());
     // The attribute budget follows the number of dropped columns under
@@ -120,7 +124,9 @@ pub fn recover_f_measure(col: &Collection, prep: &Prepared, exp: &ExpConfig) -> 
     let discover_time = t0.elapsed();
 
     let t1 = Instant::now();
-    let dg = rext.extract(&col.graph, &matches, &discovery).expect("extract");
+    let dg = rext
+        .extract(&col.graph, &matches, &discovery)
+        .expect("extract");
     let extract_time = t1.elapsed();
 
     let predicted = enrichment_join_precomputed(s, id, &matches, &dg, None).expect("join");

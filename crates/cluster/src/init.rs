@@ -16,10 +16,7 @@ pub fn kmeanspp(points: &[Vec<f32>], k: usize, rng: &mut SmallRng) -> Vec<Vec<f3
     let k = k.min(points.len());
     let mut centroids: Vec<Vec<f32>> = Vec::with_capacity(k);
     centroids.push(points[rng.random_range(0..points.len())].clone());
-    let mut d2: Vec<f32> = points
-        .iter()
-        .map(|p| sq_dist(p, &centroids[0]))
-        .collect();
+    let mut d2: Vec<f32> = points.iter().map(|p| sq_dist(p, &centroids[0])).collect();
     while centroids.len() < k {
         let total: f64 = d2.iter().map(|&d| d as f64).sum();
         let next = if total <= 0.0 {

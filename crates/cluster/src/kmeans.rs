@@ -96,7 +96,9 @@ pub fn kmeans(points: &[Vec<f32>], cfg: &KmeansConfig) -> Clustering {
     let mut centroids = kmeanspp(points, cfg.k, &mut rng);
     let mut assignments = vec![0usize; points.len()];
     let threads = if cfg.threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     } else {
         cfg.threads
     };
@@ -110,15 +112,12 @@ pub fn kmeans(points: &[Vec<f32>], cfg: &KmeansConfig) -> Clustering {
         inertia = if threads > 1 && points.len() >= 4 * threads {
             let chunk = points.len().div_ceil(threads);
             let point_chunks: Vec<&[Vec<f32>]> = points.chunks(chunk).collect();
-            let mut assign_chunks: Vec<&mut [usize]> =
-                assignments.chunks_mut(chunk).collect();
+            let mut assign_chunks: Vec<&mut [usize]> = assignments.chunks_mut(chunk).collect();
             let centroids_ref = &centroids;
             crossbeam::thread::scope(|s| {
                 let mut handles = Vec::new();
                 for (pts, asg) in point_chunks.into_iter().zip(assign_chunks.drain(..)) {
-                    handles.push(
-                        s.spawn(move |_| assign_chunk(pts, centroids_ref, asg)),
-                    );
+                    handles.push(s.spawn(move |_| assign_chunk(pts, centroids_ref, asg)));
                 }
                 handles
                     .into_iter()
@@ -225,13 +224,7 @@ mod tests {
                 ..base.clone()
             },
         );
-        let parallel = kmeans(
-            &points,
-            &KmeansConfig {
-                threads: 4,
-                ..base
-            },
-        );
+        let parallel = kmeans(&points, &KmeansConfig { threads: 4, ..base });
         assert_eq!(serial.assignments, parallel.assignments);
         assert!((serial.inertia - parallel.inertia).abs() < 1e-6);
     }

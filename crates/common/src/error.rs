@@ -60,10 +60,7 @@ mod tests {
 
     #[test]
     fn errors_are_comparable() {
-        assert_eq!(
-            GsjError::Schema("x".into()),
-            GsjError::Schema("x".into())
-        );
+        assert_eq!(GsjError::Schema("x".into()), GsjError::Schema("x".into()));
         assert_ne!(GsjError::Schema("x".into()), GsjError::Eval("x".into()));
     }
 }

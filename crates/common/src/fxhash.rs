@@ -111,6 +111,9 @@ mod tests {
     #[test]
     fn byte_tail_is_hashed() {
         // Inputs that differ only in the non-8-aligned tail must differ.
-        assert_ne!(hash_of(&b"abcdefgh1".as_slice()), hash_of(&b"abcdefgh2".as_slice()));
+        assert_ne!(
+            hash_of(&b"abcdefgh1".as_slice()),
+            hash_of(&b"abcdefgh2".as_slice())
+        );
     }
 }

@@ -134,9 +134,7 @@ impl PartialEq for Value {
             (Value::Null, Value::Null) => true,
             (Value::Bool(a), Value::Bool(b)) => a == b,
             (Value::Int(a), Value::Int(b)) => a == b,
-            (Value::Float(a), Value::Float(b)) => {
-                Self::float_bits(*a) == Self::float_bits(*b)
-            }
+            (Value::Float(a), Value::Float(b)) => Self::float_bits(*a) == Self::float_bits(*b),
             (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
                 (*a as f64) == *b
             }
@@ -188,13 +186,10 @@ impl Ord for Value {
             (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
             (Value::Int(a), Value::Int(b)) => a.cmp(b),
             (Value::Str(a), Value::Str(b)) => a.cmp(b),
-            (a, b)
-                if a.type_rank() == 2 && b.type_rank() == 2 =>
-            {
+            (a, b) if a.type_rank() == 2 && b.type_rank() == 2 => {
                 let (x, y) = (a.as_f64().unwrap(), b.as_f64().unwrap());
-                x.partial_cmp(&y).unwrap_or_else(|| {
-                    Self::float_bits(x).cmp(&Self::float_bits(y))
-                })
+                x.partial_cmp(&y)
+                    .unwrap_or_else(|| Self::float_bits(x).cmp(&Self::float_bits(y)))
             }
             (a, b) => a.type_rank().cmp(&b.type_rank()),
         }

@@ -56,21 +56,20 @@ impl Discovery {
 /// pattern clustering and keep each pattern only in the cluster holding
 /// the majority of its paths (ties → lowest cluster id). Clusters that
 /// lose all their patterns vanish (`m' ≤ H`).
-pub fn refine_patterns(
-    paths: &[Path],
-    assignments: &[usize],
-    h: usize,
-) -> Vec<Vec<PathPattern>> {
+pub fn refine_patterns(paths: &[Path], assignments: &[usize], h: usize) -> Vec<Vec<PathPattern>> {
     debug_assert_eq!(paths.len(), assignments.len());
     // counter[pattern][cluster] = #paths of that pattern in that cluster.
     let mut counters: FxHashMap<PathPattern, FxHashMap<usize, usize>> = FxHashMap::default();
     for (p, &c) in paths.iter().zip(assignments) {
-        *counters.entry(p.pattern()).or_default().entry(c).or_insert(0) += 1;
+        *counters
+            .entry(p.pattern())
+            .or_default()
+            .entry(c)
+            .or_insert(0) += 1;
     }
     let mut clusters: Vec<Vec<PathPattern>> = vec![Vec::new(); h];
     // Deterministic iteration: sort patterns.
-    let mut patterns: Vec<(PathPattern, FxHashMap<usize, usize>)> =
-        counters.into_iter().collect();
+    let mut patterns: Vec<(PathPattern, FxHashMap<usize, usize>)> = counters.into_iter().collect();
     patterns.sort_by(|a, b| a.0.cmp(&b.0));
     for (pattern, by_cluster) in patterns {
         let winner = by_cluster
@@ -88,12 +87,7 @@ pub fn refine_patterns(
 /// Experiment hook (Fig 5(f)): randomly reassign a fraction of points to a
 /// uniformly random *other* cluster before refinement, to measure RExt's
 /// robustness to clustering noise.
-pub fn inject_cluster_noise(
-    assignments: &mut [usize],
-    h: usize,
-    fraction: f64,
-    seed: u64,
-) {
+pub fn inject_cluster_noise(assignments: &mut [usize], h: usize, fraction: f64, seed: u64) {
     if h < 2 {
         return;
     }

@@ -33,10 +33,7 @@ pub fn embed_pairs(
     word: &dyn WordEmbedder,
     seq: &dyn SequenceEmbedder,
 ) -> Vec<Vec<f32>> {
-    paths
-        .iter()
-        .map(|p| embed_pair(g, p, word, seq))
-        .collect()
+    paths.iter().map(|p| embed_pair(g, p, word, seq)).collect()
 }
 
 #[cfg(test)]

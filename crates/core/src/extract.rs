@@ -202,8 +202,7 @@ mod tests {
     fn fresh_paths_used_for_uncached_vertices() {
         let (g, pid1, mut disc, word) = setting();
         let cached = disc.paths.remove(&pid1).unwrap();
-        let rel =
-            extract_relation(&g, [pid1], &disc, &word, move |_| cached.clone()).unwrap();
+        let rel = extract_relation(&g, [pid1], &disc, &word, move |_| cached.clone()).unwrap();
         assert_eq!(rel.tuples()[0].get(1), &Value::str("UK"));
     }
 

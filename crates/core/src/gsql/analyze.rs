@@ -70,7 +70,10 @@ pub fn query_origin(q: &Query, id_attrs: &FxHashMap<String, String>) -> Origin {
                 let lname = lbase.clone().unwrap_or_default();
                 aliases.push((lname, lbase));
                 let rbase = source_base(right, id_attrs);
-                let rname = right_alias.clone().or_else(|| rbase.clone()).unwrap_or_default();
+                let rname = right_alias
+                    .clone()
+                    .or_else(|| rbase.clone())
+                    .unwrap_or_default();
                 aliases.push((rname, rbase));
             }
         }
@@ -255,8 +258,7 @@ mod tests {
 
     #[test]
     fn id_plus_foreign_attr_is_id_of() {
-        let q = parse_query("select customer.cid, product.risk from customer, product")
-            .unwrap();
+        let q = parse_query("select customer.cid, product.risk from customer, product").unwrap();
         assert_eq!(query_origin(&q, &ids()), Origin::IdOf("customer".into()));
     }
 

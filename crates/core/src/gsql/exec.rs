@@ -1,6 +1,6 @@
-//! gSQL execution: rewriting queries into relational operations over the
-//! engine's catalog plus the semantic-join machinery, under three
-//! strategies (Section IV).
+//! The gSQL engine facade: rewriting queries into relational operations
+//! over the engine's catalog plus the semantic-join machinery, under
+//! three strategies (Section IV).
 //!
 //! - [`Strategy::Baseline`] — the conceptual-level method: every semantic
 //!   join calls HER and RExt online.
@@ -11,22 +11,27 @@
 //!   back to heuristic joins.
 //! - [`Strategy::Heuristic`] — heuristic joins are forced for *all*
 //!   semantic joins (the Exp-2(II) protocol).
+//!
+//! The work happens in two sibling modules: [`super::plan`] turns the
+//! AST into a [`super::plan::QueryPlan`] with semantic joins as
+//! first-class physical operators and executes it with per-operator
+//! counters; [`super::strategies`] holds the strategy → implementation
+//! rewrites. This module keeps the engine state and the public
+//! `run` / `run_query` / `explain` surface, and adds
+//! [`GsqlEngine::explain_analyze`] for counter-annotated plans.
 
 use super::analyze::{is_well_behaved, source_base};
-use super::ast::{FromItem, Projection, Query, Source};
+use super::ast::{FromItem, Query, Source};
 use super::parser::parse_query;
-use crate::join::{
-    connectivity_relation, enrichment_join, enrichment_join_precomputed, link_join,
-};
+use super::strategies;
 use crate::profile::GraphProfile;
 use crate::rext::Rext;
-use gsj_common::{FxHashMap, FxHashSet, GsjError, Result, Value};
-use gsj_graph::{LabeledGraph, VertexId};
+use gsj_common::{FxHashMap, GsjError, Result};
+use gsj_graph::LabeledGraph;
 use gsj_her::relation_er::ErConfig;
 use gsj_her::HerConfig;
-use gsj_relational::exec::theta_join;
-use gsj_relational::plan::AggSpec;
-use gsj_relational::{Database, Expr, LogicalPlan, Relation, Schema};
+use gsj_relational::physical::ExecContext;
+use gsj_relational::{Database, Relation, Schema};
 use std::sync::Arc;
 
 /// Which implementation answers the semantic joins.
@@ -46,13 +51,13 @@ pub enum Strategy {
 pub struct GsqlEngine {
     /// The relational database `D`.
     pub db: Database,
-    graphs: FxHashMap<String, LabeledGraph>,
-    id_attrs: FxHashMap<String, String>,
-    rexts: FxHashMap<String, Arc<Rext>>,
-    profiles: FxHashMap<String, GraphProfile>,
-    her_cfg: HerConfig,
-    er_cfg: ErConfig,
-    k: usize,
+    pub(super) graphs: FxHashMap<String, LabeledGraph>,
+    pub(super) id_attrs: FxHashMap<String, String>,
+    pub(super) rexts: FxHashMap<String, Arc<Rext>>,
+    pub(super) profiles: FxHashMap<String, GraphProfile>,
+    pub(super) her_cfg: HerConfig,
+    pub(super) er_cfg: ErConfig,
+    pub(super) k: usize,
 }
 
 impl GsqlEngine {
@@ -145,93 +150,20 @@ impl GsqlEngine {
 
     /// Execute a parsed query.
     pub fn run_query(&self, q: &Query, strategy: Strategy) -> Result<Relation> {
-        // 1. Evaluate FROM items.
-        let mut items: Vec<Relation> = Vec::with_capacity(q.from.len());
-        for (i, item) in q.from.iter().enumerate() {
-            items.push(self.eval_from_item(item, i, strategy)?);
-        }
-        if items.is_empty() {
-            return Err(GsjError::Parse("empty FROM clause".into()));
-        }
+        Ok(self.run_query_stats(q, strategy)?.0)
+    }
 
-        // 2. Bind WHERE conjuncts against the full combined schema: bare
-        //    identifiers that resolve nowhere become string literals (the
-        //    paper writes `T.pid = fd1`).
-        let mut all_attrs: Vec<String> = Vec::new();
-        for r in &items {
-            all_attrs.extend(r.schema().attrs().iter().cloned());
-        }
-        let full_schema = Schema::new("q".to_string(), all_attrs).map_err(|e| {
-            GsjError::Schema(format!(
-                "FROM items must have distinct attribute names (add aliases): {e}"
-            ))
-        })?;
-        let conjuncts: Vec<Expr> = match &q.where_clause {
-            None => Vec::new(),
-            Some(w) => split_conjuncts(w)
-                .into_iter()
-                .map(|c| bind_expr(c, &full_schema))
-                .collect::<Result<_>>()?,
-        };
-        let mut applied = vec![false; conjuncts.len()];
-
-        // 3. Fold the items left-to-right with predicate pushdown.
-        let mut acc = items.remove(0);
-        acc = apply_applicable(acc, &conjuncts, &mut applied)?;
-        for item in items {
-            let item = apply_applicable(item, &conjuncts, &mut applied)?;
-            // Conjuncts usable as the join predicate: resolvable on the
-            // combined schema, not yet applied.
-            let mut combined_attrs = acc.schema().attrs().to_vec();
-            combined_attrs.extend(item.schema().attrs().iter().cloned());
-            let combined = Schema::new("j".to_string(), combined_attrs)?;
-            let mut join_pred: Option<Expr> = None;
-            for (c, done) in conjuncts.iter().zip(applied.iter_mut()) {
-                if *done || !resolves(c, &combined) {
-                    continue;
-                }
-                *done = true;
-                join_pred = Some(match join_pred {
-                    None => c.clone(),
-                    Some(p) => p.and(c.clone()),
-                });
-            }
-            let pred = join_pred.unwrap_or_else(|| Expr::lit(true));
-            acc = theta_join(&acc, &item, &pred)?;
-        }
-
-        // 4. Any remaining conjunct must resolve now.
-        for (c, done) in conjuncts.iter().zip(applied.iter()) {
-            if !*done {
-                if !resolves(c, acc.schema()) {
-                    return Err(GsjError::NotFound(format!(
-                        "WHERE references unknown columns: {:?}",
-                        c.columns()
-                    )));
-                }
-                let plan = LogicalPlan::Values(acc).select(c.clone());
-                acc = gsj_relational::execute(&plan, &self.db)?;
-            }
-        }
-
-        // 5. Projection / aggregation, then ORDER BY / LIMIT.
-        let mut rel = self.project(q, acc)?;
-        if !q.order_by.is_empty() {
-            let plan = LogicalPlan::Sort {
-                input: Box::new(LogicalPlan::Values(rel)),
-                by: q.order_by.clone(),
-                desc: q.order_desc,
-            };
-            rel = gsj_relational::execute(&plan, &self.db)?;
-        }
-        if let Some(n) = q.limit {
-            let plan = LogicalPlan::Limit {
-                input: Box::new(LogicalPlan::Values(rel)),
-                n,
-            };
-            rel = gsj_relational::execute(&plan, &self.db)?;
-        }
-        Ok(rel)
+    /// Execute a parsed query, returning the result together with the
+    /// per-operator execution counters.
+    pub fn run_query_stats(
+        &self,
+        q: &Query,
+        strategy: Strategy,
+    ) -> Result<(Relation, ExecContext)> {
+        let plan = self.plan_query(q, strategy)?;
+        let mut ctx = ExecContext::new();
+        let rel = self.execute_plan(&plan, &mut ctx)?;
+        Ok((rel, ctx))
     }
 
     /// An EXPLAIN-style description of how the query would be executed
@@ -245,6 +177,19 @@ impl GsqlEngine {
         out
     }
 
+    /// `EXPLAIN ANALYZE`: actually execute the query under `strategy` and
+    /// append the per-operator counters — rows in/out, build/probe sizes
+    /// for hash joins, and wall time — to the plan description.
+    pub fn explain_analyze(&self, q: &Query, strategy: Strategy) -> Result<String> {
+        let (rel, ctx) = self.run_query_stats(q, strategy)?;
+        Ok(format!(
+            "{}result: {} row(s)\n\n{}",
+            self.explain(q, strategy),
+            rel.len(),
+            ctx.render()
+        ))
+    }
+
     fn explain_query(&self, q: &Query, strategy: Strategy, depth: usize, out: &mut String) {
         use std::fmt::Write as _;
         let pad = "  ".repeat(depth);
@@ -255,7 +200,10 @@ impl GsqlEngine {
                         let _ = writeln!(
                             out,
                             "{pad}scan {name}{}",
-                            alias.as_deref().map(|a| format!(" as {a}")).unwrap_or_default()
+                            alias
+                                .as_deref()
+                                .map(|a| format!(" as {a}"))
+                                .unwrap_or_default()
                         );
                     }
                     Source::Sub(sub) => {
@@ -270,22 +218,15 @@ impl GsqlEngine {
                     ..
                 } => {
                     let base = source_base(source, &self.id_attrs);
-                    let covered = base
-                        .as_deref()
-                        .and_then(|b| self.profiles.get(graph).map(|p| p.covers(b, keywords)))
-                        .unwrap_or(false);
-                    let how = match strategy {
-                        Strategy::Baseline => "online HER + RExt (conceptual baseline)",
-                        Strategy::Heuristic => "heuristic join (schema match + ER)",
-                        Strategy::Optimized if covered => {
-                            if matches!(source, Source::Base(_)) {
-                                "static rewrite: S ⋈ f(D,G) ⋈ h(D,G)"
-                            } else {
-                                "dynamic rewrite: Q ⋈ f(D,G) ⋈ h(D,G)"
-                            }
-                        }
-                        Strategy::Optimized => "heuristic join (A ⊄ A_R → not well-behaved)",
-                    };
+                    let how = strategies::choose_ejoin(
+                        self,
+                        strategy,
+                        base.as_deref(),
+                        graph,
+                        keywords,
+                        matches!(source, Source::Base(_)),
+                    )
+                    .describe();
                     let _ = writeln!(
                         out,
                         "{pad}e-join {graph}<{}> over {} — {how}",
@@ -296,14 +237,12 @@ impl GsqlEngine {
                         self.explain_query(sub, strategy, depth + 1, out);
                     }
                 }
-                FromItem::LJoin { left, graph, right, .. } => {
+                FromItem::LJoin {
+                    left, graph, right, ..
+                } => {
                     let lbase = source_base(left, &self.id_attrs);
                     let rbase = source_base(right, &self.id_attrs);
-                    let how = match strategy {
-                        Strategy::Baseline => "online HER + bidirectional BFS",
-                        Strategy::Heuristic => "heuristic: ER to gτ(G) + connectivity",
-                        Strategy::Optimized => "pre-matched f(D,G) + g_L connectivity cache",
-                    };
+                    let how = strategies::choose_ljoin(strategy).describe();
                     let _ = writeln!(
                         out,
                         "{pad}l-join <{graph}> {} × {} (k = {}) — {how}",
@@ -322,98 +261,12 @@ impl GsqlEngine {
         );
     }
 
-    fn project(&self, q: &Query, input: Relation) -> Result<Relation> {
-        if q.projections == vec![Projection::Star] {
-            return Ok(input);
-        }
-        let has_agg = q
-            .projections
-            .iter()
-            .any(|p| matches!(p, Projection::Agg { .. }));
-        if has_agg {
-            // Explicit GROUP BY wins; otherwise SQL-style implicit
-            // grouping: non-aggregate select columns become the group
-            // keys.
-            let explicit: Vec<String> = q
-                .group_by
-                .iter()
-                .map(|c| {
-                    Expr::resolve_column(input.schema(), c)
-                        .map(|pos| input.schema().attrs()[pos].clone())
-                })
-                .collect::<Result<_>>()?;
-            let mut group_by = Vec::new();
-            let mut aggs = Vec::new();
-            let mut out_names = Vec::new();
-            for p in &q.projections {
-                match p {
-                    Projection::Col { name, alias } => {
-                        let pos = Expr::resolve_column(input.schema(), name)?;
-                        let resolved = input.schema().attrs()[pos].clone();
-                        if !explicit.is_empty() && !explicit.contains(&resolved) {
-                            return Err(GsjError::Schema(format!(
-                                "column `{name}` must appear in GROUP BY"
-                            )));
-                        }
-                        group_by.push(resolved);
-                        out_names.push(alias.clone().unwrap_or_else(|| name.clone()));
-                    }
-                    Projection::Agg { func, col, alias } => {
-                        let resolved = if col == "*" {
-                            "*".to_string()
-                        } else {
-                            let pos = Expr::resolve_column(input.schema(), col)?;
-                            input.schema().attrs()[pos].clone()
-                        };
-                        let default_name = format!("{func}_{}", Schema::base_name(&resolved));
-                        let name = alias.clone().unwrap_or(default_name);
-                        aggs.push(AggSpec::new(*func, resolved, name.clone()));
-                        out_names.push(name);
-                    }
-                    Projection::Star => {
-                        return Err(GsjError::Unsupported(
-                            "cannot mix * with aggregates".into(),
-                        ))
-                    }
-                }
-            }
-            let plan = LogicalPlan::Aggregate {
-                input: Box::new(LogicalPlan::Values(input)),
-                group_by,
-                aggs,
-            };
-            let rel = gsj_relational::execute(&plan, &self.db)?;
-            return rename_attrs(rel, &out_names);
-        }
-        // Plain projection with optional renaming.
-        let mut positions = Vec::new();
-        let mut names = Vec::new();
-        for p in &q.projections {
-            if let Projection::Col { name, alias } = p {
-                positions.push(Expr::resolve_column(input.schema(), name)?);
-                names.push(alias.clone().unwrap_or_else(|| name.clone()));
-            }
-        }
-        let schema = Schema::new(input.schema().name().to_string(), names)?;
-        let mut out = Relation::empty(schema);
-        for t in input.tuples() {
-            out.push(t.project(&positions))?;
-        }
-        Ok(out)
-    }
-
-    fn eval_source(&self, source: &Source, strategy: Strategy) -> Result<Relation> {
-        match source {
-            Source::Base(name) => Ok(self.db.get(name)?.clone()),
-            Source::Sub(q) => self.run_query(q, strategy),
-        }
-    }
-
     /// The id attribute *as present in* a source's output schema.
-    fn actual_id_attr(&self, rel: &Relation, base: &str) -> Result<String> {
-        let id = self.id_attrs.get(base).ok_or_else(|| {
-            GsjError::Config(format!("no id attribute registered for `{base}`"))
-        })?;
+    pub(super) fn actual_id_attr(&self, rel: &Relation, base: &str) -> Result<String> {
+        let id = self
+            .id_attrs
+            .get(base)
+            .ok_or_else(|| GsjError::Config(format!("no id attribute registered for `{base}`")))?;
         rel.schema()
             .attrs()
             .iter()
@@ -426,312 +279,11 @@ impl GsqlEngine {
             })
     }
 
-    fn the_graph(&self, name: &str) -> Result<&LabeledGraph> {
+    pub(super) fn the_graph(&self, name: &str) -> Result<&LabeledGraph> {
         self.graphs
             .get(name)
             .ok_or_else(|| GsjError::NotFound(format!("graph `{name}`")))
     }
-
-    fn eval_from_item(
-        &self,
-        item: &FromItem,
-        index: usize,
-        strategy: Strategy,
-    ) -> Result<Relation> {
-        match item {
-            FromItem::Plain { source, alias } => {
-                let rel = self.eval_source(source, strategy)?;
-                let name = alias.clone().unwrap_or_else(|| match source {
-                    Source::Base(b) => b.clone(),
-                    Source::Sub(_) => format!("sub{index}"),
-                });
-                Ok(rel.qualified(&name))
-            }
-            FromItem::EJoin {
-                source,
-                graph,
-                keywords,
-                alias,
-            } => {
-                let rel = self.eval_source(source, strategy)?;
-                let base = source_base(source, &self.id_attrs).ok_or_else(|| {
-                    GsjError::Unsupported(
-                        "e-join source is not traceable to a base relation".into(),
-                    )
-                })?;
-                let joined = self.eval_ejoin(&rel, &base, graph, keywords, strategy)?;
-                Ok(match alias {
-                    Some(a) => joined.qualified(a),
-                    None => joined,
-                })
-            }
-            FromItem::LJoin {
-                left,
-                graph,
-                right,
-                right_alias,
-            } => self.eval_ljoin(left, graph, right, right_alias.as_deref(), strategy),
-        }
-    }
-
-    fn eval_ejoin(
-        &self,
-        rel: &Relation,
-        base: &str,
-        graph: &str,
-        keywords: &[String],
-        strategy: Strategy,
-    ) -> Result<Relation> {
-        let id_attr = self.actual_id_attr(rel, base)?;
-        let g = self.the_graph(graph)?;
-        match strategy {
-            Strategy::Baseline => {
-                let rext = self.rexts.get(graph).ok_or_else(|| {
-                    GsjError::Config(format!("no RExt registered for graph `{graph}`"))
-                })?;
-                let (joined, _state) =
-                    enrichment_join(rel, &id_attr, g, keywords, rext, &self.her_cfg)?;
-                Ok(joined)
-            }
-            Strategy::Optimized => {
-                let profile = self.profiles.get(graph).ok_or_else(|| {
-                    GsjError::Config(format!("no profile for graph `{graph}`"))
-                })?;
-                if profile.covers(base, keywords) {
-                    let ex = profile.extraction(base)?;
-                    enrichment_join_precomputed(
-                        rel,
-                        &id_attr,
-                        &ex.matches,
-                        &ex.dg,
-                        Some(keywords),
-                    )
-                } else {
-                    // Not well-behaved → heuristic (Section IV-B).
-                    crate::heuristic::heuristic_enrichment(
-                        rel,
-                        Some(&id_attr),
-                        keywords,
-                        &profile.typed,
-                        &self.er_cfg,
-                    )
-                }
-            }
-            Strategy::Heuristic => {
-                let profile = self.profiles.get(graph).ok_or_else(|| {
-                    GsjError::Config(format!("no profile for graph `{graph}`"))
-                })?;
-                crate::heuristic::heuristic_enrichment(
-                    rel,
-                    Some(&id_attr),
-                    keywords,
-                    &profile.typed,
-                    &self.er_cfg,
-                )
-            }
-        }
-    }
-
-    fn eval_ljoin(
-        &self,
-        left: &Source,
-        graph: &str,
-        right: &Source,
-        right_alias: Option<&str>,
-        strategy: Strategy,
-    ) -> Result<Relation> {
-        let lbase = source_base(left, &self.id_attrs).ok_or_else(|| {
-            GsjError::Unsupported("l-join left source not traceable".into())
-        })?;
-        let rbase = source_base(right, &self.id_attrs).ok_or_else(|| {
-            GsjError::Unsupported("l-join right source not traceable".into())
-        })?;
-        let lalias = lbase.clone();
-        let ralias = match right_alias {
-            Some(a) => a.to_string(),
-            None if rbase != lbase => rbase.clone(),
-            None => {
-                return Err(GsjError::Parse(
-                    "self l-join requires an alias for the right side".into(),
-                ))
-            }
-        };
-        let lrel = self.eval_source(left, strategy)?.qualified(&lalias);
-        let rrel = self.eval_source(right, strategy)?.qualified(&ralias);
-        let lid = self.actual_id_attr(&lrel, &lbase)?;
-        let rid = self.actual_id_attr(&rrel, &rbase)?;
-        let g = self.the_graph(graph)?;
-        match strategy {
-            Strategy::Baseline => {
-                link_join(&lrel, &lid, &rrel, &rid, g, self.k, &self.her_cfg)
-            }
-            Strategy::Optimized => {
-                let profile = self.profiles.get(graph).ok_or_else(|| {
-                    GsjError::Config(format!("no profile for graph `{graph}`"))
-                })?;
-                let m1 = &profile.extraction(&lbase)?.matches;
-                let m2 = &profile.extraction(&rbase)?.matches;
-                // Distinct matched vertices actually present in each side.
-                let lpos = lrel.schema().require(&lid)?;
-                let rpos = rrel.schema().require(&rid)?;
-                let mut lv: Vec<VertexId> = lrel
-                    .tuples()
-                    .iter()
-                    .filter_map(|t| m1.vertex_of(t.get(lpos)))
-                    .collect();
-                lv.sort();
-                lv.dedup();
-                let mut rv: Vec<VertexId> = rrel
-                    .tuples()
-                    .iter()
-                    .filter_map(|t| m2.vertex_of(t.get(rpos)))
-                    .collect();
-                rv.sort();
-                rv.dedup();
-                let signature = link_signature(graph, &lbase, &rbase, self.k, &lv, &rv);
-                let gl = match profile.cached_link(&signature) {
-                    Some(rel) => rel,
-                    None => {
-                        let rel = connectivity_relation(g, &lv, &rv, self.k, "g_l");
-                        profile.cache_link(signature, rel.clone());
-                        rel
-                    }
-                };
-                let pairs: FxHashSet<(i64, i64)> = gl
-                    .tuples()
-                    .iter()
-                    .filter_map(|t| Some((t.get(0).as_int()?, t.get(1).as_int()?)))
-                    .collect();
-                // Emit tuple pairs whose matched vertices are connected.
-                let mut attrs = lrel.schema().attrs().to_vec();
-                attrs.extend(rrel.schema().attrs().iter().cloned());
-                let schema = Schema::new(format!("{lalias}_lj_{ralias}"), attrs)?;
-                let mut out = Relation::empty(schema);
-                for t1 in lrel.tuples() {
-                    let Some(v1) = m1.vertex_of(t1.get(lpos)) else { continue };
-                    for t2 in rrel.tuples() {
-                        let Some(v2) = m2.vertex_of(t2.get(rpos)) else { continue };
-                        if pairs.contains(&(v1.0 as i64, v2.0 as i64)) {
-                            out.push(t1.concat(t2))?;
-                        }
-                    }
-                }
-                Ok(out)
-            }
-            Strategy::Heuristic => {
-                let profile = self.profiles.get(graph).ok_or_else(|| {
-                    GsjError::Config(format!("no profile for graph `{graph}`"))
-                })?;
-                crate::heuristic::heuristic_link(
-                    &lrel,
-                    Some(&lid),
-                    &rrel,
-                    Some(&rid),
-                    &profile.typed,
-                    g,
-                    self.k,
-                    &self.er_cfg,
-                )
-            }
-        }
-    }
-}
-
-/// `g_L` cache key: graph, bases, k, and the participating vertex sets.
-fn link_signature(
-    graph: &str,
-    lbase: &str,
-    rbase: &str,
-    k: usize,
-    lv: &[VertexId],
-    rv: &[VertexId],
-) -> String {
-    use std::hash::{Hash, Hasher};
-    let mut h = gsj_common::FxHasher::default();
-    lv.hash(&mut h);
-    rv.hash(&mut h);
-    format!("{graph}|{lbase}|{rbase}|{k}|{:x}", h.finish())
-}
-
-/// Split a predicate into top-level conjuncts.
-fn split_conjuncts(e: &Expr) -> Vec<Expr> {
-    match e {
-        Expr::And(a, b) => {
-            let mut out = split_conjuncts(a);
-            out.extend(split_conjuncts(b));
-            out
-        }
-        other => vec![other.clone()],
-    }
-}
-
-/// Do all column references of `e` resolve in `schema`?
-fn resolves(e: &Expr, schema: &Schema) -> bool {
-    e.columns()
-        .iter()
-        .all(|c| Expr::resolve_column(schema, c).is_ok())
-}
-
-/// Rewrite unresolvable *bare* identifiers into string literals; error on
-/// unresolvable qualified names.
-fn bind_expr(e: Expr, schema: &Schema) -> Result<Expr> {
-    Ok(match e {
-        Expr::Col(name) => {
-            if Expr::resolve_column(schema, &name).is_ok() {
-                Expr::Col(name)
-            } else if !name.contains('.') {
-                Expr::Lit(Value::str(name))
-            } else {
-                return Err(GsjError::NotFound(format!("column `{name}`")));
-            }
-        }
-        Expr::Lit(v) => Expr::Lit(v),
-        Expr::Cmp(op, l, r) => Expr::Cmp(
-            op,
-            Box::new(bind_expr(*l, schema)?),
-            Box::new(bind_expr(*r, schema)?),
-        ),
-        Expr::Bin(op, l, r) => Expr::Bin(
-            op,
-            Box::new(bind_expr(*l, schema)?),
-            Box::new(bind_expr(*r, schema)?),
-        ),
-        Expr::And(l, r) => Expr::And(
-            Box::new(bind_expr(*l, schema)?),
-            Box::new(bind_expr(*r, schema)?),
-        ),
-        Expr::Or(l, r) => Expr::Or(
-            Box::new(bind_expr(*l, schema)?),
-            Box::new(bind_expr(*r, schema)?),
-        ),
-        Expr::Not(x) => Expr::Not(Box::new(bind_expr(*x, schema)?)),
-        Expr::IsNull(x) => Expr::IsNull(Box::new(bind_expr(*x, schema)?)),
-    })
-}
-
-/// Apply every not-yet-applied conjunct that fully resolves on `rel`.
-fn apply_applicable(
-    rel: Relation,
-    conjuncts: &[Expr],
-    applied: &mut [bool],
-) -> Result<Relation> {
-    let mut rel = rel;
-    for (c, done) in conjuncts.iter().zip(applied.iter_mut()) {
-        if *done || !resolves(c, rel.schema()) {
-            continue;
-        }
-        *done = true;
-        let plan = LogicalPlan::Values(rel).select(c.clone());
-        rel = gsj_relational::execute(&plan, &Database::new())?;
-    }
-    Ok(rel)
-}
-
-/// Rename a relation's attributes positionally.
-fn rename_attrs(rel: Relation, names: &[String]) -> Result<Relation> {
-    let (schema, tuples) = rel.into_parts();
-    let new = Schema::new(schema.name().to_string(), names.to_vec())?;
-    Relation::new(new, tuples)
 }
 
 #[cfg(test)]
@@ -740,15 +292,14 @@ mod tests {
     use crate::config::{PathKind, RExtConfig};
     use crate::profile::RelationSpec;
     use crate::typed::TypedConfig;
+    use gsj_common::Value;
 
     /// The Fig.-1 setting, small enough for unit tests: customers and
     /// products in D; a product knowledge graph and a social graph.
     fn engine() -> GsqlEngine {
         let mut db = Database::new();
-        let mut customer = Relation::empty(Schema::of(
-            "customer",
-            &["cid", "name", "credit", "bal"],
-        ));
+        let mut customer =
+            Relation::empty(Schema::of("customer", &["cid", "name", "credit", "bal"]));
         for (cid, name, credit, bal) in [
             ("cid01", "Bob Jones", "fair", 500_000),
             ("cid02", "Bob Brown", "good", 110_000),
@@ -865,7 +416,9 @@ mod tests {
         .unwrap();
         engine.add_graph("G", g).add_graph("Gs", gs);
         engine.set_rext("G", rext).set_rext("Gs", rext_s);
-        engine.set_profile("G", profile).set_profile("Gs", profile_s);
+        engine
+            .set_profile("G", profile)
+            .set_profile("Gs", profile_s);
         engine.set_k(2);
         engine
     }
@@ -1004,10 +557,16 @@ mod tests {
     fn string_literals_and_bare_idents_agree() {
         let e = engine();
         let bare = e
-            .run("select * from customer where credit = good", Strategy::Optimized)
+            .run(
+                "select * from customer where credit = good",
+                Strategy::Optimized,
+            )
             .unwrap();
         let quoted = e
-            .run("select * from customer where credit = 'good'", Strategy::Optimized)
+            .run(
+                "select * from customer where credit = 'good'",
+                Strategy::Optimized,
+            )
             .unwrap();
         assert_eq!(bare.len(), quoted.len());
     }
@@ -1025,7 +584,10 @@ mod tests {
         assert_eq!(r.tuples()[0].get(1), &Value::Int(500_000));
         assert_eq!(r.tuples()[1].get(1), &Value::Int(110_000));
         let asc = e
-            .run("select cid from customer order by cid limit 1", Strategy::Optimized)
+            .run(
+                "select cid from customer order by cid limit 1",
+                Strategy::Optimized,
+            )
             .unwrap();
         assert_eq!(asc.tuples()[0].get(0), &Value::str("cid01"));
     }
@@ -1058,7 +620,9 @@ mod tests {
         let plan = e.explain(&q, Strategy::Optimized);
         assert!(plan.contains("static rewrite"), "{plan}");
         assert!(plan.contains("well-behaved: true"), "{plan}");
-        let q2 = e.parse("select * from product e-join G <issuer> as T").unwrap();
+        let q2 = e
+            .parse("select * from product e-join G <issuer> as T")
+            .unwrap();
         let plan2 = e.explain(&q2, Strategy::Optimized);
         assert!(plan2.contains("heuristic"), "{plan2}");
         let q3 = e
@@ -1069,9 +633,110 @@ mod tests {
     }
 
     #[test]
+    fn explain_baseline_names_online_method() {
+        let e = engine();
+        let q = e
+            .parse("select risk from product e-join G <company> as T")
+            .unwrap();
+        let plan = e.explain(&q, Strategy::Baseline);
+        assert!(plan.contains("online HER + RExt"), "{plan}");
+    }
+
+    #[test]
+    fn explain_analyze_reports_operator_counters() {
+        let e = engine();
+        let q = e
+            .parse(
+                "select T1.pid, T2.pid from \
+                 product e-join G <company> as T1, product e-join G <company> as T2 \
+                 where T1.pid = fd1 and T1.company = T2.company and T2.pid <> fd1",
+            )
+            .unwrap();
+        let report = e.explain_analyze(&q, Strategy::Optimized).unwrap();
+        // Plan section plus counters for the semantic joins, the pushed
+        // filter, and the hash join of the fold.
+        assert!(report.contains("static rewrite"), "{report}");
+        assert!(
+            report.contains("EJoin(G<company> over product, static)"),
+            "{report}"
+        );
+        assert!(report.contains("HashJoin("), "{report}");
+        assert!(report.contains("Filter(T1.pid)"), "{report}");
+        assert!(report.contains("rows_in"), "{report}");
+        assert!(report.contains("result: 1 row(s)"), "{report}");
+    }
+
+    #[test]
+    fn explain_analyze_covers_link_joins() {
+        let e = engine();
+        let q = e
+            .parse(
+                "select * from customer l-join <Gs> customer as customerB \
+                 where customer.cid = cid02",
+            )
+            .unwrap();
+        let report = e.explain_analyze(&q, Strategy::Optimized).unwrap();
+        assert!(
+            report.contains("LJoin(<Gs> customer × customer, k=2, g_L cache)"),
+            "{report}"
+        );
+        assert!(report.contains("Filter(customer.cid)"), "{report}");
+    }
+
+    #[test]
+    fn run_query_stats_counts_rows() {
+        let e = engine();
+        let q = e
+            .parse("select name from customer where credit = good")
+            .unwrap();
+        let (rel, ctx) = e.run_query_stats(&q, Strategy::Optimized).unwrap();
+        assert_eq!(rel.len(), 2);
+        let filter = ctx
+            .ops()
+            .iter()
+            .find(|o| o.label.starts_with("Filter"))
+            .unwrap();
+        assert_eq!(filter.rows_in, 4);
+        assert_eq!(filter.rows_out, 2);
+        let scan = ctx
+            .ops()
+            .iter()
+            .find(|o| o.label.starts_with("Scan(customer"))
+            .unwrap();
+        assert_eq!(scan.rows_out, 4);
+    }
+
+    #[test]
+    fn planned_strategies_match_execution() {
+        use super::super::plan::ItemPlan;
+        use super::super::strategies::EJoinImpl;
+        let e = engine();
+        let q = e
+            .parse("select risk from product e-join G <company, loc> as T")
+            .unwrap();
+        let plan = e.plan_query(&q, Strategy::Optimized).unwrap();
+        assert_eq!(plan.items.len(), 1);
+        match &plan.items[0] {
+            ItemPlan::EJoin(p) => assert_eq!(p.imp, EJoinImpl::Static),
+            other => panic!("expected EJoin plan, got {other:?}"),
+        }
+        // Heuristic strategy forces the heuristic implementation.
+        let plan_h = e.plan_query(&q, Strategy::Heuristic).unwrap();
+        match &plan_h.items[0] {
+            ItemPlan::EJoin(p) => {
+                assert_eq!(p.imp, EJoinImpl::Heuristic { fallback: false })
+            }
+            other => panic!("expected EJoin plan, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn unknown_graph_is_an_error() {
         let e = engine();
-        let r = e.run("select * from product e-join NoSuch <x> as T", Strategy::Baseline);
+        let r = e.run(
+            "select * from product e-join NoSuch <x> as T",
+            Strategy::Baseline,
+        );
         assert!(r.is_err());
     }
 }

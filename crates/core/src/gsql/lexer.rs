@@ -26,8 +26,8 @@ pub enum Token {
 }
 
 const KEYWORDS: &[&str] = &[
-    "select", "from", "where", "as", "and", "or", "not", "is", "null", "true", "false",
-    "count", "sum", "avg", "min", "max", "order", "by", "limit", "asc", "desc", "group",
+    "select", "from", "where", "as", "and", "or", "not", "is", "null", "true", "false", "count",
+    "sum", "avg", "min", "max", "order", "by", "limit", "asc", "desc", "group",
 ];
 
 /// Tokenize gSQL text. Angle brackets `<...>` double as the keyword-list
@@ -52,11 +52,17 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
             // e-join / l-join: a one-letter ident followed by "-join".
             if (word == "e" || word == "l")
                 && chars.get(i) == Some(&'-')
-                && chars.get(i + 1..i + 5).map(|s| s.iter().collect::<String>())
+                && chars
+                    .get(i + 1..i + 5)
+                    .map(|s| s.iter().collect::<String>())
                     == Some("join".to_string())
             {
                 i += 5;
-                tokens.push(if word == "e" { Token::EJoin } else { Token::LJoin });
+                tokens.push(if word == "e" {
+                    Token::EJoin
+                } else {
+                    Token::LJoin
+                });
                 continue;
             }
             let lower = word.to_lowercase();

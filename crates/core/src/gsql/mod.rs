@@ -19,7 +19,11 @@ pub mod ast;
 pub mod exec;
 pub mod lexer;
 pub mod parser;
+pub mod plan;
+pub mod strategies;
 
 pub use ast::{FromItem, Projection, Query, Source};
 pub use exec::{GsqlEngine, Strategy};
 pub use parser::parse_query;
+pub use plan::{ItemPlan, QueryPlan};
+pub use strategies::{EJoinImpl, LJoinImpl};

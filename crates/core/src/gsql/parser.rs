@@ -80,7 +80,9 @@ impl Parser {
     fn ident(&mut self) -> Result<String> {
         match self.next() {
             Some(Token::Ident(s)) => Ok(s),
-            other => Err(GsjError::Parse(format!("expected identifier, found {other:?}"))),
+            other => Err(GsjError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -186,12 +188,20 @@ impl Parser {
                     self.column_name()?
                 };
                 self.expect_sym(")")?;
-                let alias = if self.eat_kw("as") { Some(self.ident()?) } else { None };
+                let alias = if self.eat_kw("as") {
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
                 return Ok(Projection::Agg { func, col, alias });
             }
         }
         let name = self.column_name()?;
-        let alias = if self.eat_kw("as") { Some(self.ident()?) } else { None };
+        let alias = if self.eat_kw("as") {
+            Some(self.ident()?)
+        } else {
+            None
+        };
         Ok(Projection::Col { name, alias })
     }
 
@@ -219,7 +229,11 @@ impl Parser {
                     keywords.push(self.ident()?);
                 }
                 self.expect_sym(">")?;
-                let alias = if self.eat_kw("as") { Some(self.ident()?) } else { None };
+                let alias = if self.eat_kw("as") {
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
                 Ok(FromItem::EJoin {
                     source,
                     graph,
@@ -233,7 +247,11 @@ impl Parser {
                 let graph = self.ident()?;
                 self.expect_sym(">")?;
                 let right = self.source()?;
-                let right_alias = if self.eat_kw("as") { Some(self.ident()?) } else { None };
+                let right_alias = if self.eat_kw("as") {
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
                 Ok(FromItem::LJoin {
                     left: source,
                     graph,
@@ -242,7 +260,11 @@ impl Parser {
                 })
             }
             _ => {
-                let alias = if self.eat_kw("as") { Some(self.ident()?) } else { None };
+                let alias = if self.eat_kw("as") {
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
                 Ok(FromItem::Plain { source, alias })
             }
         }
@@ -363,7 +385,11 @@ impl Parser {
             }
             Some(Token::Sym("-")) => {
                 let e = self.factor()?;
-                Ok(Expr::Bin(BinOp::Sub, Box::new(Expr::lit(0i64)), Box::new(e)))
+                Ok(Expr::Bin(
+                    BinOp::Sub,
+                    Box::new(Expr::lit(0i64)),
+                    Box::new(e),
+                ))
             }
             Some(Token::Ident(first)) => {
                 if self.eat_sym(".") {
@@ -486,10 +512,7 @@ mod tests {
 
     #[test]
     fn parses_is_null_and_parens() {
-        let q = parse_query(
-            "select * from t where (a = 1 or b = 2) and c is not null",
-        )
-        .unwrap();
+        let q = parse_query("select * from t where (a = 1 or b = 2) and c is not null").unwrap();
         assert!(q.where_clause.is_some());
     }
 

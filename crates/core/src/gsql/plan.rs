@@ -1,0 +1,533 @@
+//! gSQL planning and plan execution.
+//!
+//! [`GsqlEngine::plan_query`] turns a parsed [`Query`] into a
+//! [`QueryPlan`] whose FROM items are physical: semantic joins appear as
+//! first-class operators ([`ItemPlan::EJoin`], [`ItemPlan::LJoin`]) with
+//! the implementation chosen up front by the strategy rewrites in
+//! [`super::strategies`]. [`GsqlEngine::execute_plan`] then runs the
+//! plan through the instrumented relational helpers
+//! ([`gsj_relational::physical`]), so every operator — scans, semantic
+//! joins, pushed-down filters, the left-to-right theta-join fold,
+//! aggregation, sort, limit — records rows in/out and wall time into an
+//! [`ExecContext`] for `EXPLAIN ANALYZE`.
+
+use super::analyze::source_base;
+use super::ast::{FromItem, Projection, Query, Source};
+use super::exec::{GsqlEngine, Strategy};
+use super::strategies::{self, EJoinImpl, LJoinImpl};
+use gsj_common::{GsjError, Result, Value};
+use gsj_relational::physical::{self, ExecContext};
+use gsj_relational::plan::AggSpec;
+use gsj_relational::{Expr, Relation, Schema};
+use std::time::Instant;
+
+/// A planned query: the original AST plus one physical item per FROM
+/// entry, with every semantic join's implementation already chosen.
+#[derive(Debug, Clone)]
+pub struct QueryPlan {
+    /// The parsed query (projections, WHERE, ORDER BY, ... drive the
+    /// relational tail of the pipeline).
+    pub query: Query,
+    /// One physical operator per FROM item.
+    pub items: Vec<ItemPlan>,
+    /// The strategy the plan was built for.
+    pub strategy: Strategy,
+}
+
+/// A planned FROM-item source.
+#[derive(Debug, Clone)]
+pub enum SourcePlan {
+    /// A base relation scanned from the catalog.
+    Base(String),
+    /// A planned sub-query.
+    Sub(Box<QueryPlan>),
+}
+
+/// A planned enrichment join.
+#[derive(Debug, Clone)]
+pub struct EJoinPlan {
+    /// The input source.
+    pub source: SourcePlan,
+    /// The traced base relation (carries the id attribute).
+    pub base: String,
+    /// The graph joined against.
+    pub graph: String,
+    /// Requested enrichment keywords `G<A>`.
+    pub keywords: Vec<String>,
+    /// Output alias.
+    pub alias: Option<String>,
+    /// The chosen implementation.
+    pub imp: EJoinImpl,
+}
+
+/// A planned link join.
+#[derive(Debug, Clone)]
+pub struct LJoinPlan {
+    /// Left source and its traced base / qualification alias.
+    pub left: SourcePlan,
+    /// Left traced base relation.
+    pub lbase: String,
+    /// Left qualification alias.
+    pub lalias: String,
+    /// Right source.
+    pub right: SourcePlan,
+    /// Right traced base relation.
+    pub rbase: String,
+    /// Right qualification alias.
+    pub ralias: String,
+    /// The graph providing connectivity.
+    pub graph: String,
+    /// The chosen implementation.
+    pub imp: LJoinImpl,
+}
+
+/// One physical FROM item.
+#[derive(Debug, Clone)]
+pub enum ItemPlan {
+    /// A plain (non-semantic) source, qualified under `name`.
+    Plain {
+        /// The source.
+        source: SourcePlan,
+        /// Qualification alias.
+        name: String,
+    },
+    /// An enrichment join.
+    EJoin(EJoinPlan),
+    /// A link join.
+    LJoin(LJoinPlan),
+}
+
+impl ItemPlan {
+    /// One-line description (the FROM-item lines of `EXPLAIN ANALYZE`).
+    pub fn describe(&self, k: usize) -> String {
+        match self {
+            ItemPlan::Plain { source, name } => match source {
+                SourcePlan::Base(b) => format!("Scan({b} as {name})"),
+                SourcePlan::Sub(_) => format!("Subquery(as {name})"),
+            },
+            ItemPlan::EJoin(p) => format!(
+                "EJoin({}<{}> over {}, {})",
+                p.graph,
+                p.keywords.join(", "),
+                p.base,
+                p.imp.tag()
+            ),
+            ItemPlan::LJoin(p) => format!(
+                "LJoin(<{}> {} × {}, k={}, {})",
+                p.graph,
+                p.lbase,
+                p.rbase,
+                k,
+                p.imp.tag()
+            ),
+        }
+    }
+}
+
+impl GsqlEngine {
+    /// Plan a parsed query under a strategy: every FROM item becomes a
+    /// physical [`ItemPlan`] with its semantic-join implementation fixed.
+    pub fn plan_query(&self, q: &Query, strategy: Strategy) -> Result<QueryPlan> {
+        let mut items = Vec::with_capacity(q.from.len());
+        for (i, item) in q.from.iter().enumerate() {
+            items.push(self.plan_from_item(item, i, strategy)?);
+        }
+        Ok(QueryPlan {
+            query: q.clone(),
+            items,
+            strategy,
+        })
+    }
+
+    fn plan_source(&self, source: &Source, strategy: Strategy) -> Result<SourcePlan> {
+        Ok(match source {
+            Source::Base(name) => SourcePlan::Base(name.clone()),
+            Source::Sub(sub) => SourcePlan::Sub(Box::new(self.plan_query(sub, strategy)?)),
+        })
+    }
+
+    fn plan_from_item(
+        &self,
+        item: &FromItem,
+        index: usize,
+        strategy: Strategy,
+    ) -> Result<ItemPlan> {
+        match item {
+            FromItem::Plain { source, alias } => {
+                let name = alias.clone().unwrap_or_else(|| match source {
+                    Source::Base(b) => b.clone(),
+                    Source::Sub(_) => format!("sub{index}"),
+                });
+                Ok(ItemPlan::Plain {
+                    source: self.plan_source(source, strategy)?,
+                    name,
+                })
+            }
+            FromItem::EJoin {
+                source,
+                graph,
+                keywords,
+                alias,
+            } => {
+                let base = source_base(source, &self.id_attrs).ok_or_else(|| {
+                    GsjError::Unsupported(
+                        "e-join source is not traceable to a base relation".into(),
+                    )
+                })?;
+                let imp = strategies::choose_ejoin(
+                    self,
+                    strategy,
+                    Some(&base),
+                    graph,
+                    keywords,
+                    matches!(source, Source::Base(_)),
+                );
+                Ok(ItemPlan::EJoin(EJoinPlan {
+                    source: self.plan_source(source, strategy)?,
+                    base,
+                    graph: graph.clone(),
+                    keywords: keywords.clone(),
+                    alias: alias.clone(),
+                    imp,
+                }))
+            }
+            FromItem::LJoin {
+                left,
+                graph,
+                right,
+                right_alias,
+            } => {
+                let lbase = source_base(left, &self.id_attrs).ok_or_else(|| {
+                    GsjError::Unsupported("l-join left source not traceable".into())
+                })?;
+                let rbase = source_base(right, &self.id_attrs).ok_or_else(|| {
+                    GsjError::Unsupported("l-join right source not traceable".into())
+                })?;
+                let lalias = lbase.clone();
+                let ralias = match right_alias.as_deref() {
+                    Some(a) => a.to_string(),
+                    None if rbase != lbase => rbase.clone(),
+                    None => {
+                        return Err(GsjError::Parse(
+                            "self l-join requires an alias for the right side".into(),
+                        ))
+                    }
+                };
+                Ok(ItemPlan::LJoin(LJoinPlan {
+                    left: self.plan_source(left, strategy)?,
+                    lbase,
+                    lalias,
+                    right: self.plan_source(right, strategy)?,
+                    rbase,
+                    ralias,
+                    graph: graph.clone(),
+                    imp: strategies::choose_ljoin(strategy),
+                }))
+            }
+        }
+    }
+
+    fn eval_source_plan(&self, sp: &SourcePlan, ctx: &mut ExecContext) -> Result<Relation> {
+        match sp {
+            SourcePlan::Base(name) => Ok(self.db.get(name)?.clone()),
+            SourcePlan::Sub(plan) => self.execute_plan(plan, ctx),
+        }
+    }
+
+    fn eval_item_plan(&self, item: &ItemPlan, ctx: &mut ExecContext) -> Result<Relation> {
+        match item {
+            ItemPlan::Plain { source, name } => {
+                let t0 = Instant::now();
+                let rel = self.eval_source_plan(source, ctx)?.qualified(name);
+                physical::record_external(item.describe(self.k), rel.len(), rel.len(), t0, ctx);
+                Ok(rel)
+            }
+            ItemPlan::EJoin(p) => {
+                let rel = self.eval_source_plan(&p.source, ctx)?;
+                let t0 = Instant::now();
+                let joined = strategies::eval_ejoin(self, p, &rel)?;
+                physical::record_external(item.describe(self.k), rel.len(), joined.len(), t0, ctx);
+                Ok(match &p.alias {
+                    Some(a) => joined.qualified(a),
+                    None => joined,
+                })
+            }
+            ItemPlan::LJoin(p) => {
+                let lrel = self.eval_source_plan(&p.left, ctx)?.qualified(&p.lalias);
+                let rrel = self.eval_source_plan(&p.right, ctx)?.qualified(&p.ralias);
+                let t0 = Instant::now();
+                let out = strategies::eval_ljoin(self, p, &lrel, &rrel)?;
+                physical::record_external(
+                    item.describe(self.k),
+                    lrel.len() + rrel.len(),
+                    out.len(),
+                    t0,
+                    ctx,
+                );
+                Ok(out)
+            }
+        }
+    }
+
+    /// Execute a plan, recording per-operator counters into `ctx`.
+    pub fn execute_plan(&self, plan: &QueryPlan, ctx: &mut ExecContext) -> Result<Relation> {
+        let q = &plan.query;
+
+        // 1. Evaluate FROM items.
+        let mut items: Vec<Relation> = Vec::with_capacity(plan.items.len());
+        for item in &plan.items {
+            items.push(self.eval_item_plan(item, ctx)?);
+        }
+        if items.is_empty() {
+            return Err(GsjError::Parse("empty FROM clause".into()));
+        }
+
+        // 2. Bind WHERE conjuncts against the full combined schema: bare
+        //    identifiers that resolve nowhere become string literals (the
+        //    paper writes `T.pid = fd1`).
+        let mut all_attrs: Vec<String> = Vec::new();
+        for r in &items {
+            all_attrs.extend(r.schema().attrs().iter().cloned());
+        }
+        let full_schema = Schema::new("q".to_string(), all_attrs).map_err(|e| {
+            GsjError::Schema(format!(
+                "FROM items must have distinct attribute names (add aliases): {e}"
+            ))
+        })?;
+        let conjuncts: Vec<Expr> = match &q.where_clause {
+            None => Vec::new(),
+            Some(w) => split_conjuncts(w)
+                .into_iter()
+                .map(|c| bind_expr(c, &full_schema))
+                .collect::<Result<_>>()?,
+        };
+        let mut applied = vec![false; conjuncts.len()];
+
+        // 3. Fold the items left-to-right with predicate pushdown.
+        let mut acc = items.remove(0);
+        acc = apply_applicable(acc, &conjuncts, &mut applied, ctx)?;
+        for item in items {
+            let item = apply_applicable(item, &conjuncts, &mut applied, ctx)?;
+            // Conjuncts usable as the join predicate: resolvable on the
+            // combined schema, not yet applied.
+            let mut combined_attrs = acc.schema().attrs().to_vec();
+            combined_attrs.extend(item.schema().attrs().iter().cloned());
+            let combined = Schema::new("j".to_string(), combined_attrs)?;
+            let mut join_pred: Option<Expr> = None;
+            for (c, done) in conjuncts.iter().zip(applied.iter_mut()) {
+                if *done || !resolves(c, &combined) {
+                    continue;
+                }
+                *done = true;
+                join_pred = Some(match join_pred {
+                    None => c.clone(),
+                    Some(p) => p.and(c.clone()),
+                });
+            }
+            let pred = join_pred.unwrap_or_else(|| Expr::lit(true));
+            let label = format!("{} ⋈ {}", acc.schema().name(), item.schema().name());
+            acc = physical::join_rel(&acc, &item, &pred, label, ctx)?;
+        }
+
+        // 4. Any remaining conjunct must resolve now.
+        for (c, done) in conjuncts.iter().zip(applied.iter()) {
+            if !*done {
+                if !resolves(c, acc.schema()) {
+                    return Err(GsjError::NotFound(format!(
+                        "WHERE references unknown columns: {:?}",
+                        c.columns()
+                    )));
+                }
+                acc = physical::filter_rel(acc, c, filter_label(c), ctx)?;
+            }
+        }
+
+        // 5. Projection / aggregation, then ORDER BY / LIMIT.
+        let mut rel = self.project_plan(q, acc, ctx)?;
+        if !q.order_by.is_empty() {
+            let label = format!(
+                "Sort({}{})",
+                q.order_by.join(", "),
+                if q.order_desc { " desc" } else { "" }
+            );
+            rel = physical::sort_rel(rel, &q.order_by, q.order_desc, label, ctx)?;
+        }
+        if let Some(n) = q.limit {
+            rel = physical::limit_rel(rel, n, format!("Limit({n})"), ctx)?;
+        }
+        Ok(rel)
+    }
+
+    fn project_plan(&self, q: &Query, input: Relation, ctx: &mut ExecContext) -> Result<Relation> {
+        if q.projections == vec![Projection::Star] {
+            return Ok(input);
+        }
+        let has_agg = q
+            .projections
+            .iter()
+            .any(|p| matches!(p, Projection::Agg { .. }));
+        if has_agg {
+            // Explicit GROUP BY wins; otherwise SQL-style implicit
+            // grouping: non-aggregate select columns become the group
+            // keys.
+            let explicit: Vec<String> = q
+                .group_by
+                .iter()
+                .map(|c| {
+                    Expr::resolve_column(input.schema(), c)
+                        .map(|pos| input.schema().attrs()[pos].clone())
+                })
+                .collect::<Result<_>>()?;
+            let mut group_by = Vec::new();
+            let mut aggs = Vec::new();
+            let mut out_names = Vec::new();
+            for p in &q.projections {
+                match p {
+                    Projection::Col { name, alias } => {
+                        let pos = Expr::resolve_column(input.schema(), name)?;
+                        let resolved = input.schema().attrs()[pos].clone();
+                        if !explicit.is_empty() && !explicit.contains(&resolved) {
+                            return Err(GsjError::Schema(format!(
+                                "column `{name}` must appear in GROUP BY"
+                            )));
+                        }
+                        group_by.push(resolved);
+                        out_names.push(alias.clone().unwrap_or_else(|| name.clone()));
+                    }
+                    Projection::Agg { func, col, alias } => {
+                        let resolved = if col == "*" {
+                            "*".to_string()
+                        } else {
+                            let pos = Expr::resolve_column(input.schema(), col)?;
+                            input.schema().attrs()[pos].clone()
+                        };
+                        let default_name = format!("{func}_{}", Schema::base_name(&resolved));
+                        let name = alias.clone().unwrap_or(default_name);
+                        aggs.push(AggSpec::new(*func, resolved, name.clone()));
+                        out_names.push(name);
+                    }
+                    Projection::Star => {
+                        return Err(GsjError::Unsupported("cannot mix * with aggregates".into()))
+                    }
+                }
+            }
+            let label = format!("Aggregate(group_by=[{}])", group_by.join(", "));
+            let rel = physical::aggregate_rel(&input, &group_by, &aggs, label, ctx)?;
+            return rename_attrs(rel, &out_names);
+        }
+        // Plain projection with optional renaming.
+        let t0 = Instant::now();
+        let mut positions = Vec::new();
+        let mut names = Vec::new();
+        for p in &q.projections {
+            if let Projection::Col { name, alias } = p {
+                positions.push(Expr::resolve_column(input.schema(), name)?);
+                names.push(alias.clone().unwrap_or_else(|| name.clone()));
+            }
+        }
+        let schema = Schema::new(input.schema().name().to_string(), names.clone())?;
+        let mut out = Relation::empty(schema);
+        for t in input.tuples() {
+            out.push(t.project(&positions))?;
+        }
+        physical::record_external(
+            format!("Project({})", names.join(", ")),
+            input.len(),
+            out.len(),
+            t0,
+            ctx,
+        );
+        Ok(out)
+    }
+}
+
+fn filter_label(c: &Expr) -> String {
+    let cols = c.columns();
+    if cols.is_empty() {
+        "Filter".to_string()
+    } else {
+        format!("Filter({})", cols.join(", "))
+    }
+}
+
+/// Split a predicate into top-level conjuncts.
+fn split_conjuncts(e: &Expr) -> Vec<Expr> {
+    match e {
+        Expr::And(a, b) => {
+            let mut out = split_conjuncts(a);
+            out.extend(split_conjuncts(b));
+            out
+        }
+        other => vec![other.clone()],
+    }
+}
+
+/// Do all column references of `e` resolve in `schema`?
+fn resolves(e: &Expr, schema: &Schema) -> bool {
+    e.columns()
+        .iter()
+        .all(|c| Expr::resolve_column(schema, c).is_ok())
+}
+
+/// Rewrite unresolvable *bare* identifiers into string literals; error on
+/// unresolvable qualified names.
+fn bind_expr(e: Expr, schema: &Schema) -> Result<Expr> {
+    Ok(match e {
+        Expr::Col(name) => {
+            if Expr::resolve_column(schema, &name).is_ok() {
+                Expr::Col(name)
+            } else if !name.contains('.') {
+                Expr::Lit(Value::str(name))
+            } else {
+                return Err(GsjError::NotFound(format!("column `{name}`")));
+            }
+        }
+        Expr::Lit(v) => Expr::Lit(v),
+        Expr::Cmp(op, l, r) => Expr::Cmp(
+            op,
+            Box::new(bind_expr(*l, schema)?),
+            Box::new(bind_expr(*r, schema)?),
+        ),
+        Expr::Bin(op, l, r) => Expr::Bin(
+            op,
+            Box::new(bind_expr(*l, schema)?),
+            Box::new(bind_expr(*r, schema)?),
+        ),
+        Expr::And(l, r) => Expr::And(
+            Box::new(bind_expr(*l, schema)?),
+            Box::new(bind_expr(*r, schema)?),
+        ),
+        Expr::Or(l, r) => Expr::Or(
+            Box::new(bind_expr(*l, schema)?),
+            Box::new(bind_expr(*r, schema)?),
+        ),
+        Expr::Not(x) => Expr::Not(Box::new(bind_expr(*x, schema)?)),
+        Expr::IsNull(x) => Expr::IsNull(Box::new(bind_expr(*x, schema)?)),
+    })
+}
+
+/// Apply every not-yet-applied conjunct that fully resolves on `rel`
+/// (predicate pushdown), recording each filter.
+fn apply_applicable(
+    rel: Relation,
+    conjuncts: &[Expr],
+    applied: &mut [bool],
+    ctx: &mut ExecContext,
+) -> Result<Relation> {
+    let mut rel = rel;
+    for (c, done) in conjuncts.iter().zip(applied.iter_mut()) {
+        if *done || !resolves(c, rel.schema()) {
+            continue;
+        }
+        *done = true;
+        rel = physical::filter_rel(rel, c, filter_label(c), ctx)?;
+    }
+    Ok(rel)
+}
+
+/// Rename a relation's attributes positionally.
+fn rename_attrs(rel: Relation, names: &[String]) -> Result<Relation> {
+    let (schema, tuples) = rel.into_parts();
+    let new = Schema::new(schema.name().to_string(), names.to_vec())?;
+    Relation::new(new, tuples)
+}

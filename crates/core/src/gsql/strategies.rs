@@ -1,0 +1,272 @@
+//! Strategy selection as plan rewrites (Section IV).
+//!
+//! [`choose_ejoin`] / [`choose_ljoin`] map an execution [`Strategy`] plus
+//! the well-behavedness evidence (keyword coverage by `A_R`, base vs
+//! sub-query source) to a concrete implementation — [`EJoinImpl`] /
+//! [`LJoinImpl`] — recorded in the query plan. `EXPLAIN` prints the same
+//! [`EJoinImpl::describe`] strings, so what the plan says is what runs.
+//!
+//! The implementations themselves ([`eval_ejoin`], [`eval_ljoin`]) wrap
+//! the semantic-join machinery in [`crate::join`] and
+//! [`crate::heuristic`].
+
+use super::exec::{GsqlEngine, Strategy};
+use super::plan::{EJoinPlan, LJoinPlan};
+use crate::join::{connectivity_relation, enrichment_join, enrichment_join_precomputed, link_join};
+use gsj_common::{FxHashSet, GsjError, Result};
+use gsj_graph::VertexId;
+use gsj_relational::{Relation, Schema};
+
+/// How an enrichment join will be answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EJoinImpl {
+    /// Conceptual baseline: HER + RExt at query time.
+    Online,
+    /// Static rewrite over the materialized `f(D,G)` / `h(D,G)`.
+    Static,
+    /// Dynamic rewrite: the sub-query result joined with `f(D,G)` /
+    /// `h(D,G)`.
+    Dynamic,
+    /// Heuristic join; `fallback` is true when `Optimized` degraded here
+    /// because the join is not well-behaved (`A ⊄ A_R`).
+    Heuristic { fallback: bool },
+}
+
+impl EJoinImpl {
+    /// The `EXPLAIN` description.
+    pub fn describe(self) -> &'static str {
+        match self {
+            EJoinImpl::Online => "online HER + RExt (conceptual baseline)",
+            EJoinImpl::Static => "static rewrite: S ⋈ f(D,G) ⋈ h(D,G)",
+            EJoinImpl::Dynamic => "dynamic rewrite: Q ⋈ f(D,G) ⋈ h(D,G)",
+            EJoinImpl::Heuristic { fallback: false } => "heuristic join (schema match + ER)",
+            EJoinImpl::Heuristic { fallback: true } => {
+                "heuristic join (A ⊄ A_R → not well-behaved)"
+            }
+        }
+    }
+
+    /// Short tag for `EXPLAIN ANALYZE` operator labels.
+    pub fn tag(self) -> &'static str {
+        match self {
+            EJoinImpl::Online => "online",
+            EJoinImpl::Static => "static",
+            EJoinImpl::Dynamic => "dynamic",
+            EJoinImpl::Heuristic { .. } => "heuristic",
+        }
+    }
+}
+
+/// How a link join will be answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LJoinImpl {
+    /// Conceptual baseline: HER matching + bidirectional BFS per pair.
+    Online,
+    /// Pre-matched `f(D,G)` vertices + the `g_L` connectivity cache.
+    Cached,
+    /// Heuristic: ER against `gτ(G)` + connectivity.
+    Heuristic,
+}
+
+impl LJoinImpl {
+    /// The `EXPLAIN` description.
+    pub fn describe(self) -> &'static str {
+        match self {
+            LJoinImpl::Online => "online HER + bidirectional BFS",
+            LJoinImpl::Cached => "pre-matched f(D,G) + g_L connectivity cache",
+            LJoinImpl::Heuristic => "heuristic: ER to gτ(G) + connectivity",
+        }
+    }
+
+    /// Short tag for `EXPLAIN ANALYZE` operator labels.
+    pub fn tag(self) -> &'static str {
+        match self {
+            LJoinImpl::Online => "online",
+            LJoinImpl::Cached => "g_L cache",
+            LJoinImpl::Heuristic => "heuristic",
+        }
+    }
+}
+
+/// Rewrite an enrichment join to its implementation under `strategy`.
+/// `base` is the traced base relation (None when untraceable) and
+/// `source_is_base` distinguishes static from dynamic rewrites.
+pub fn choose_ejoin(
+    engine: &GsqlEngine,
+    strategy: Strategy,
+    base: Option<&str>,
+    graph: &str,
+    keywords: &[String],
+    source_is_base: bool,
+) -> EJoinImpl {
+    match strategy {
+        Strategy::Baseline => EJoinImpl::Online,
+        Strategy::Heuristic => EJoinImpl::Heuristic { fallback: false },
+        Strategy::Optimized => {
+            let covered = base
+                .and_then(|b| engine.profiles.get(graph).map(|p| p.covers(b, keywords)))
+                .unwrap_or(false);
+            if covered {
+                if source_is_base {
+                    EJoinImpl::Static
+                } else {
+                    EJoinImpl::Dynamic
+                }
+            } else {
+                EJoinImpl::Heuristic { fallback: true }
+            }
+        }
+    }
+}
+
+/// Rewrite a link join to its implementation under `strategy`.
+pub fn choose_ljoin(strategy: Strategy) -> LJoinImpl {
+    match strategy {
+        Strategy::Baseline => LJoinImpl::Online,
+        Strategy::Optimized => LJoinImpl::Cached,
+        Strategy::Heuristic => LJoinImpl::Heuristic,
+    }
+}
+
+/// Execute a planned enrichment join over an evaluated source relation.
+pub(super) fn eval_ejoin(e: &GsqlEngine, p: &EJoinPlan, rel: &Relation) -> Result<Relation> {
+    let id_attr = e.actual_id_attr(rel, &p.base)?;
+    let g = e.the_graph(&p.graph)?;
+    match p.imp {
+        EJoinImpl::Online => {
+            let rext = e.rexts.get(&p.graph).ok_or_else(|| {
+                GsjError::Config(format!("no RExt registered for graph `{}`", p.graph))
+            })?;
+            let (joined, _state) =
+                enrichment_join(rel, &id_attr, g, &p.keywords, rext, &e.her_cfg)?;
+            Ok(joined)
+        }
+        EJoinImpl::Static | EJoinImpl::Dynamic => {
+            let profile = e
+                .profiles
+                .get(&p.graph)
+                .ok_or_else(|| GsjError::Config(format!("no profile for graph `{}`", p.graph)))?;
+            let ex = profile.extraction(&p.base)?;
+            enrichment_join_precomputed(rel, &id_attr, &ex.matches, &ex.dg, Some(&p.keywords))
+        }
+        EJoinImpl::Heuristic { .. } => {
+            let profile = e
+                .profiles
+                .get(&p.graph)
+                .ok_or_else(|| GsjError::Config(format!("no profile for graph `{}`", p.graph)))?;
+            crate::heuristic::heuristic_enrichment(
+                rel,
+                Some(&id_attr),
+                &p.keywords,
+                &profile.typed,
+                &e.er_cfg,
+            )
+        }
+    }
+}
+
+/// Execute a planned link join over its two evaluated (and already
+/// qualified) sides.
+pub(super) fn eval_ljoin(
+    e: &GsqlEngine,
+    p: &LJoinPlan,
+    lrel: &Relation,
+    rrel: &Relation,
+) -> Result<Relation> {
+    let lid = e.actual_id_attr(lrel, &p.lbase)?;
+    let rid = e.actual_id_attr(rrel, &p.rbase)?;
+    let g = e.the_graph(&p.graph)?;
+    match p.imp {
+        LJoinImpl::Online => link_join(lrel, &lid, rrel, &rid, g, e.k, &e.her_cfg),
+        LJoinImpl::Cached => {
+            let profile = e
+                .profiles
+                .get(&p.graph)
+                .ok_or_else(|| GsjError::Config(format!("no profile for graph `{}`", p.graph)))?;
+            let m1 = &profile.extraction(&p.lbase)?.matches;
+            let m2 = &profile.extraction(&p.rbase)?.matches;
+            // Distinct matched vertices actually present in each side.
+            let lpos = lrel.schema().require(&lid)?;
+            let rpos = rrel.schema().require(&rid)?;
+            let mut lv: Vec<VertexId> = lrel
+                .tuples()
+                .iter()
+                .filter_map(|t| m1.vertex_of(t.get(lpos)))
+                .collect();
+            lv.sort();
+            lv.dedup();
+            let mut rv: Vec<VertexId> = rrel
+                .tuples()
+                .iter()
+                .filter_map(|t| m2.vertex_of(t.get(rpos)))
+                .collect();
+            rv.sort();
+            rv.dedup();
+            let signature = link_signature(&p.graph, &p.lbase, &p.rbase, e.k, &lv, &rv);
+            let gl = match profile.cached_link(&signature) {
+                Some(rel) => rel,
+                None => {
+                    let rel = connectivity_relation(g, &lv, &rv, e.k, "g_l");
+                    profile.cache_link(signature, rel.clone());
+                    rel
+                }
+            };
+            let pairs: FxHashSet<(i64, i64)> = gl
+                .tuples()
+                .iter()
+                .filter_map(|t| Some((t.get(0).as_int()?, t.get(1).as_int()?)))
+                .collect();
+            // Emit tuple pairs whose matched vertices are connected.
+            let mut attrs = lrel.schema().attrs().to_vec();
+            attrs.extend(rrel.schema().attrs().iter().cloned());
+            let schema = Schema::new(format!("{}_lj_{}", p.lalias, p.ralias), attrs)?;
+            let mut out = Relation::empty(schema);
+            for t1 in lrel.tuples() {
+                let Some(v1) = m1.vertex_of(t1.get(lpos)) else {
+                    continue;
+                };
+                for t2 in rrel.tuples() {
+                    let Some(v2) = m2.vertex_of(t2.get(rpos)) else {
+                        continue;
+                    };
+                    if pairs.contains(&(v1.0 as i64, v2.0 as i64)) {
+                        out.push(t1.concat(t2))?;
+                    }
+                }
+            }
+            Ok(out)
+        }
+        LJoinImpl::Heuristic => {
+            let profile = e
+                .profiles
+                .get(&p.graph)
+                .ok_or_else(|| GsjError::Config(format!("no profile for graph `{}`", p.graph)))?;
+            crate::heuristic::heuristic_link(
+                lrel,
+                Some(&lid),
+                rrel,
+                Some(&rid),
+                &profile.typed,
+                g,
+                e.k,
+                &e.er_cfg,
+            )
+        }
+    }
+}
+
+/// `g_L` cache key: graph, bases, k, and the participating vertex sets.
+fn link_signature(
+    graph: &str,
+    lbase: &str,
+    rbase: &str,
+    k: usize,
+    lv: &[VertexId],
+    rv: &[VertexId],
+) -> String {
+    use std::hash::{Hash, Hasher};
+    let mut h = gsj_common::FxHasher::default();
+    lv.hash(&mut h);
+    rv.hash(&mut h);
+    format!("{graph}|{lbase}|{rbase}|{k}|{:x}", h.finish())
+}

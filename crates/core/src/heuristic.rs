@@ -124,7 +124,10 @@ pub fn heuristic_link(
         let pairs = match_relations(s, &g_tau.relation, id, Some("vid"), er_cfg)?;
         let mut vids = vec![None; s.len()];
         for (i, j) in pairs {
-            let v = g_tau.relation.tuples()[j].get(vid_pos).as_int().unwrap_or(-1);
+            let v = g_tau.relation.tuples()[j]
+                .get(vid_pos)
+                .as_int()
+                .unwrap_or(-1);
             if v >= 0 {
                 vids[i] = Some(VertexId(v as u32));
             }
@@ -146,7 +149,9 @@ pub fn heuristic_link(
         for (t2, ov2) in s2.tuples().iter().zip(&v2) {
             let Some(b) = ov2 else { continue };
             let key = if a <= b { (*a, *b) } else { (*b, *a) };
-            let connected = *memo.entry(key).or_insert_with(|| within_k_hops(g, *a, *b, k));
+            let connected = *memo
+                .entry(key)
+                .or_insert_with(|| within_k_hops(g, *a, *b, k));
             if connected {
                 out.push(t1.concat(t2))?;
             }
@@ -198,7 +203,11 @@ mod tests {
                 "product",
                 &["vid", "name", "company"],
                 vec![
-                    vec![Value::Int(4), Value::str("RainForest"), Value::str("company2")],
+                    vec![
+                        Value::Int(4),
+                        Value::str("RainForest"),
+                        Value::str("company2"),
+                    ],
                     vec![Value::Int(2), Value::str("Beta"), Value::str("company1")],
                 ],
             ),
@@ -281,9 +290,11 @@ mod tests {
         }
         g.add_edge(ids[4], "rel", ids[2]);
         let mut s1 = Relation::empty(Schema::of("a", &["a.pid", "a.name"]));
-        s1.push_values(vec![Value::str("x"), Value::str("RainForest")]).unwrap();
+        s1.push_values(vec![Value::str("x"), Value::str("RainForest")])
+            .unwrap();
         let mut s2 = Relation::empty(Schema::of("b", &["b.pid", "b.name"]));
-        s2.push_values(vec![Value::str("y"), Value::str("Beta")]).unwrap();
+        s2.push_values(vec![Value::str("y"), Value::str("Beta")])
+            .unwrap();
         let r = heuristic_link(
             &s1,
             Some("a.pid"),

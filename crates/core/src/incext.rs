@@ -142,7 +142,11 @@ pub fn inc_update_graph(
     let t0 = std::time::Instant::now();
     let affected_zone = pattern_affected_zone(g, &report.touched, &prev.discovery);
     if debug {
-        eprintln!("[inc] zone: {:?} ({} vertices)", t0.elapsed(), affected_zone.len());
+        eprintln!(
+            "[inc] zone: {:?} ({} vertices)",
+            t0.elapsed(),
+            affected_zone.len()
+        );
     }
     // HER depends on the (hops-bounded) vicinity, not on patterns: a
     // separate, shallow ball gates match re-computation.
@@ -180,12 +184,13 @@ pub fn inc_update_graph(
         her_match_local(g, &sub, her_cfg, candidates)?
     };
     if debug {
-        eprintln!("[inc] her: {:?} ({} redo rows)", t0.elapsed(), redo_rows.len());
+        eprintln!(
+            "[inc] her: {:?} ({} redo rows)",
+            t0.elapsed(),
+            redo_rows.len()
+        );
     }
-    let redo_tids: FxHashSet<Value> = redo_rows
-        .iter()
-        .map(|t| t.get(id_pos).clone())
-        .collect();
+    let redo_tids: FxHashSet<Value> = redo_rows.iter().map(|t| t.get(id_pos).clone()).collect();
 
     // --- Merge into the new match relation.
     let mut new_matches = MatchRelation::new();
@@ -233,7 +238,11 @@ pub fn inc_update_graph(
         .collect();
     ordered.sort();
     if debug {
-        eprintln!("[inc] pre-extract: {:?} ({} vertices)", t0.elapsed(), ordered.len());
+        eprintln!(
+            "[inc] pre-extract: {:?} ({} vertices)",
+            t0.elapsed(),
+            ordered.len()
+        );
     }
     let fresh = rext.extract_vertices(g, &ordered, &prev.discovery)?;
     if debug {

@@ -6,11 +6,11 @@
 
 use crate::incext::Extraction;
 use crate::rext::Rext;
-use gsj_common::Result;
+use gsj_common::{Result, Value};
 use gsj_graph::LabeledGraph;
 use gsj_her::{her_match, HerConfig, MatchRelation};
 use gsj_relational::exec::natural_join;
-use gsj_relational::Relation;
+use gsj_relational::{Relation, Schema};
 
 /// The conceptual-level enrichment join: calls HER and RExt online
 /// (Section IV-A "Baseline"). Returns the joined relation together with
@@ -29,7 +29,7 @@ pub fn enrichment_join(
     let schema_name = format!("h_{}", s.schema().name());
     let discovery = rext.discover(g, &matches, Some((s, id_attr)), keywords, &schema_name)?;
     let dg = rext.extract(g, &matches, &discovery)?;
-    let joined = join_three_way(s, id_attr, &matches, &dg)?;
+    let joined = join_three_way(s, id_attr, &matches, &keyword_view(&dg, keywords)?)?;
     Ok((
         joined,
         Extraction {
@@ -42,7 +42,7 @@ pub fn enrichment_join(
 
 /// The static/dynamic fast path: `S ⋈ f(D,G) ⋈ h(D,G)` over materialized
 /// relations, no HER/RExt at query time (Section IV-A). `keep_attrs`
-/// optionally projects `h` to the requested keywords (plus `vid`).
+/// optionally normalizes `h` to the requested keywords (plus `vid`).
 pub fn enrichment_join_precomputed(
     s: &Relation,
     id_attr: &str,
@@ -52,18 +52,33 @@ pub fn enrichment_join_precomputed(
 ) -> Result<Relation> {
     let dg_view = match keep_attrs {
         None => dg.clone(),
-        Some(attrs) => {
-            let mut cols: Vec<&str> = vec!["vid"];
-            for a in attrs {
-                if dg.schema().contains(a) {
-                    cols.push(a);
-                }
-            }
-            let plan = gsj_relational::LogicalPlan::Values(dg.clone()).project(&cols);
-            gsj_relational::execute(&plan, &gsj_relational::Database::new())?
-        }
+        Some(attrs) => keyword_view(dg, attrs)?,
     };
     join_three_way(s, id_attr, matches, &dg_view)
+}
+
+/// `h` restricted to the requested keywords, in request order. The output
+/// schema of `S ⋈_A G` carries every attribute of `A` (Section II-B), so a
+/// keyword the extraction scheme did not discover still becomes a column —
+/// all nulls — rather than silently disappearing.
+fn keyword_view(dg: &Relation, keywords: &[String]) -> Result<Relation> {
+    let mut attrs: Vec<String> = vec!["vid".into()];
+    attrs.extend(keywords.iter().cloned());
+    let positions: Vec<Option<usize>> = keywords.iter().map(|k| dg.schema().position(k)).collect();
+    let mut out = Relation::empty(Schema::new(dg.schema().name().to_string(), attrs)?);
+    let vid_pos = dg.schema().require("vid")?;
+    for t in dg.tuples() {
+        let mut row = Vec::with_capacity(1 + keywords.len());
+        row.push(t.get(vid_pos).clone());
+        for p in &positions {
+            row.push(match p {
+                Some(p) => t.get(*p).clone(),
+                None => Value::Null,
+            });
+        }
+        out.push_values(row)?;
+    }
+    Ok(out)
 }
 
 fn join_three_way(
@@ -86,17 +101,28 @@ mod tests {
 
     fn pieces() -> (Relation, MatchRelation, Relation) {
         let mut s = Relation::empty(Schema::of("product", &["pid", "risk"]));
-        s.push_values(vec![Value::str("fd1"), Value::str("medium")]).unwrap();
-        s.push_values(vec![Value::str("fd2"), Value::str("high")]).unwrap();
-        s.push_values(vec![Value::str("fd9"), Value::str("low")]).unwrap();
+        s.push_values(vec![Value::str("fd1"), Value::str("medium")])
+            .unwrap();
+        s.push_values(vec![Value::str("fd2"), Value::str("high")])
+            .unwrap();
+        s.push_values(vec![Value::str("fd9"), Value::str("low")])
+            .unwrap();
         let mut m = MatchRelation::new();
         m.push(Value::str("fd1"), VertexId(10));
         m.push(Value::str("fd2"), VertexId(20));
         let mut dg = Relation::empty(Schema::of("h_product", &["vid", "loc", "company"]));
-        dg.push_values(vec![Value::Int(10), Value::str("UK"), Value::str("company1")])
-            .unwrap();
-        dg.push_values(vec![Value::Int(20), Value::str("US"), Value::str("company2")])
-            .unwrap();
+        dg.push_values(vec![
+            Value::Int(10),
+            Value::str("UK"),
+            Value::str("company1"),
+        ])
+        .unwrap();
+        dg.push_values(vec![
+            Value::Int(20),
+            Value::str("US"),
+            Value::str("company2"),
+        ])
+        .unwrap();
         (s, m, dg)
     }
 
@@ -128,17 +154,14 @@ mod tests {
     }
 
     #[test]
-    fn unknown_keywords_are_ignored_in_projection() {
+    fn undiscovered_keywords_become_null_columns() {
+        // `S ⋈_A G` carries every requested attribute: keywords the
+        // extraction missed are all-null columns, not silent drops.
         let (s, m, dg) = pieces();
-        let r = enrichment_join_precomputed(
-            &s,
-            "pid",
-            &m,
-            &dg,
-            Some(&["nonexistent".to_string()]),
-        )
-        .unwrap();
+        let r = enrichment_join_precomputed(&s, "pid", &m, &dg, Some(&["nonexistent".to_string()]))
+            .unwrap();
         assert_eq!(r.len(), 2);
-        assert!(!r.schema().contains("nonexistent"));
+        let pos = r.schema().position("nonexistent").unwrap();
+        assert!(r.tuples().iter().all(|t| t.get(pos) == &Value::Null));
     }
 }

@@ -20,8 +20,22 @@ pub fn link_join(
     k: usize,
     her_cfg: &HerConfig,
 ) -> Result<Relation> {
-    let m1 = her_match(g, s1, &HerConfig { id_attr: id1.into(), ..her_cfg.clone() })?;
-    let m2 = her_match(g, s2, &HerConfig { id_attr: id2.into(), ..her_cfg.clone() })?;
+    let m1 = her_match(
+        g,
+        s1,
+        &HerConfig {
+            id_attr: id1.into(),
+            ..her_cfg.clone()
+        },
+    )?;
+    let m2 = her_match(
+        g,
+        s2,
+        &HerConfig {
+            id_attr: id2.into(),
+            ..her_cfg.clone()
+        },
+    )?;
     link_join_with_matches(s1, id1, &m1, s2, id2, &m2, g, k)
 }
 
@@ -50,9 +64,13 @@ pub fn link_join_with_matches(
     // Memoize per distinct vertex pair — many tuples can share vertices.
     let mut memo: FxHashMap<(VertexId, VertexId), bool> = FxHashMap::default();
     for t1 in s1.tuples() {
-        let Some(v1) = m1.vertex_of(t1.get(id1_pos)) else { continue };
+        let Some(v1) = m1.vertex_of(t1.get(id1_pos)) else {
+            continue;
+        };
         for t2 in s2.tuples() {
-            let Some(v2) = m2.vertex_of(t2.get(id2_pos)) else { continue };
+            let Some(v2) = m2.vertex_of(t2.get(id2_pos)) else {
+                continue;
+            };
             let key = if v1 <= v2 { (v1, v2) } else { (v2, v1) };
             let connected = *memo
                 .entry(key)
@@ -110,11 +128,13 @@ mod tests {
     }
 
     fn customers(names: &[&str], alias: &str) -> Relation {
-        let mut r = Relation::empty(Schema::new(
-            alias.to_string(),
-            vec![format!("{alias}.cid"), format!("{alias}.name")],
-        )
-        .unwrap());
+        let mut r = Relation::empty(
+            Schema::new(
+                alias.to_string(),
+                vec![format!("{alias}.cid"), format!("{alias}.name")],
+            )
+            .unwrap(),
+        );
         for (i, n) in names.iter().enumerate() {
             r.push_values(vec![Value::str(format!("c{i}")), Value::str(*n)])
                 .unwrap();
@@ -133,12 +153,10 @@ mod tests {
         m2.push(Value::str("c0"), vs[1]);
         m2.push(Value::str("c1"), vs[2]);
         m2.push(Value::str("c2"), vs[3]);
-        let r1 =
-            link_join_with_matches(&s1, "T1.cid", &m1, &s2, "T2.cid", &m2, &g, 1).unwrap();
+        let r1 = link_join_with_matches(&s1, "T1.cid", &m1, &s2, "T2.cid", &m2, &g, 1).unwrap();
         // k=1: only Ada.
         assert_eq!(r1.len(), 1);
-        let r2 =
-            link_join_with_matches(&s1, "T1.cid", &m1, &s2, "T2.cid", &m2, &g, 2).unwrap();
+        let r2 = link_join_with_matches(&s1, "T1.cid", &m1, &s2, "T2.cid", &m2, &g, 2).unwrap();
         // k=2: Ada and Guy; Eve never (disconnected).
         assert_eq!(r2.len(), 2);
     }
@@ -161,7 +179,10 @@ mod tests {
         let (g, vs) = social();
         let rel = connectivity_relation(&g, &[vs[0]], &[vs[1], vs[2], vs[3]], 2, "gl");
         assert_eq!(rel.len(), 2);
-        assert_eq!(rel.schema().attrs(), &["vid1".to_string(), "vid2".to_string()]);
+        assert_eq!(
+            rel.schema().attrs(),
+            &["vid1".to_string(), "vid2".to_string()]
+        );
     }
 
     #[test]
@@ -176,9 +197,11 @@ mod tests {
         g.add_edge(ada, "name", adan);
         g.add_edge(bob, "knows", ada);
         let mut s1 = Relation::empty(Schema::of("a", &["a.id", "a.name"]));
-        s1.push_values(vec![Value::str("x"), Value::str("Bob Smith")]).unwrap();
+        s1.push_values(vec![Value::str("x"), Value::str("Bob Smith")])
+            .unwrap();
         let mut s2 = Relation::empty(Schema::of("b", &["b.id", "b.name"]));
-        s2.push_values(vec![Value::str("y"), Value::str("Ada Lovelace")]).unwrap();
+        s2.push_values(vec![Value::str("y"), Value::str("Ada Lovelace")])
+            .unwrap();
         let r = link_join(&s1, "a.id", &s2, "b.id", &g, 1, &HerConfig::default()).unwrap();
         assert_eq!(r.len(), 1);
         assert_eq!(r.schema().arity(), 4);

@@ -123,7 +123,10 @@ fn grow(
             continue;
         }
         let p = dist[lm.token_of(e.label)];
-        match candidates.iter_mut().find(|(_, c, cd)| c.label == e.label && *cd == d) {
+        match candidates
+            .iter_mut()
+            .find(|(_, c, cd)| c.label == e.label && *cd == d)
+        {
             Some((_, c, _)) => {
                 if (e.label, e.to) < (c.label, c.to) {
                     *c = e;
@@ -164,18 +167,22 @@ fn grow(
         let mut next_session = session.fork();
         next_session.feed(edge.label);
         out.push(next_path.clone());
-        grow(g, lm, next_path, next_session, edge.to, (edge.label, dir), k, out);
+        grow(
+            g,
+            lm,
+            next_path,
+            next_session,
+            edge.to,
+            (edge.label, dir),
+            k,
+            out,
+        );
     }
 }
 
 /// The `RndPath` baseline: random next edges, no model.
-pub fn select_paths_random(
-    g: &LabeledGraph,
-    start: VertexId,
-    k: usize,
-    seed: u64,
-) -> Vec<Path> {
-    let mut rng = SmallRng::seed_from_u64(seed ^ (start.0 as u64).wrapping_mul(0x9e37_79b9)) ;
+pub fn select_paths_random(g: &LabeledGraph, start: VertexId, k: usize, seed: u64) -> Vec<Path> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ (start.0 as u64).wrapping_mul(0x9e37_79b9));
     let mut out = Vec::new();
     if !g.is_live(start) {
         return out;
@@ -194,9 +201,7 @@ pub fn select_paths_random(
         while path.len() < k {
             let options: Vec<(gsj_graph::Edge, Direction)> = g
                 .incident(current)
-                .filter(|(e, d)| {
-                    !path.would_cycle(e.to) && !is_sibling_bounce(Some(prev), e, *d)
-                })
+                .filter(|(e, d)| !path.would_cycle(e.to) && !is_sibling_bounce(Some(prev), e, *d))
                 .collect();
             if options.is_empty() {
                 break;
@@ -283,11 +288,12 @@ mod tests {
         let issue = g.symbols().get("issue").unwrap();
         let regloc = g.symbols().get("regloc").unwrap();
         assert!(
+            paths.iter().any(|p| p.labels() == [issue, regloc]),
+            "paths: {:?}",
             paths
                 .iter()
-                .any(|p| p.labels() == [issue, regloc]),
-            "paths: {:?}",
-            paths.iter().map(|p| p.labels().to_vec()).collect::<Vec<_>>()
+                .map(|p| p.labels().to_vec())
+                .collect::<Vec<_>>()
         );
     }
 

@@ -3,9 +3,7 @@
 //! Section III-A (see Fig. 4's workflow diagram).
 
 use crate::config::{EmbedKind, PathKind, RExtConfig, SeqKind};
-use crate::discover::{
-    inject_cluster_noise, refine_patterns, select_attributes, Discovery,
-};
+use crate::discover::{inject_cluster_noise, refine_patterns, select_attributes, Discovery};
 use crate::extract::extract_relation;
 use crate::ranking::TupleAttrEmbs;
 use gsj_cluster::{kmeans, KmeansConfig};
@@ -27,7 +25,9 @@ where
     F: Fn(&T) -> U + Sync,
 {
     let threads = if threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     } else {
         threads
     };
@@ -72,8 +72,8 @@ impl Rext {
     /// preprocessing of Exp-3(I)(a)).
     pub fn train(g: &LabeledGraph, cfg: RExtConfig) -> Result<Self> {
         cfg.validate()?;
-        let needs_lm = cfg.path == PathKind::LmGuided
-            || matches!(cfg.seq, SeqKind::Lstm100 | SeqKind::Lstm50);
+        let needs_lm =
+            cfg.path == PathKind::LmGuided || matches!(cfg.seq, SeqKind::Lstm100 | SeqKind::Lstm50);
         let lm = if needs_lm {
             let corpus = build_corpus(
                 g,
@@ -188,9 +188,8 @@ impl Rext {
         let mut vertices: Vec<VertexId> = matches.vertices().collect();
         vertices.sort();
         vertices.dedup();
-        let per_vertex: Vec<Vec<Path>> = parallel_map(&vertices, self.cfg.threads, |&v| {
-            self.select_paths(g, v)
-        });
+        let per_vertex: Vec<Vec<Path>> =
+            parallel_map(&vertices, self.cfg.threads, |&v| self.select_paths(g, v));
         let mut paths_map: FxHashMap<VertexId, Vec<Path>> = FxHashMap::default();
         let mut flat: Vec<Path> = Vec::new();
         for (v, paths) in vertices.iter().zip(per_vertex) {
@@ -234,9 +233,8 @@ impl Rext {
         // (4) Ranking and attribute selection. Naming embeddings combine
         // the path's edge labels with its end label (see
         // `discover::build_w_entries` for the rationale).
-        let name_embs: Vec<Vec<f32>> = parallel_map(&flat, self.cfg.threads, |p| {
-            naming_embedding(g, p, word)
-        });
+        let name_embs: Vec<Vec<f32>> =
+            parallel_map(&flat, self.cfg.threads, |p| naming_embedding(g, p, word));
         let keyword_embs: Vec<(String, Vec<f32>)> = keywords
             .iter()
             .map(|k| (k.clone(), self.word.embed(k)))
@@ -283,7 +281,9 @@ impl Rext {
         }
         let mut out = TupleAttrEmbs::default();
         for (tid, vid) in matches.pairs() {
-            let Some(&row) = by_tid.get(tid) else { continue };
+            let Some(&row) = by_tid.get(tid) else {
+                continue;
+            };
             let embs: Vec<Option<Vec<f32>>> = s.tuples()[row]
                 .values()
                 .iter()
@@ -307,13 +307,9 @@ impl Rext {
         matches: &MatchRelation,
         discovery: &Discovery,
     ) -> Result<Relation> {
-        extract_relation(
-            g,
-            matches.vertices(),
-            discovery,
-            self.word.as_ref(),
-            |v| self.select_paths(g, v),
-        )
+        extract_relation(g, matches.vertices(), discovery, self.word.as_ref(), |v| {
+            self.select_paths(g, v)
+        })
     }
 
     /// Algorithm 1 restricted to specific vertices with *fresh* path
@@ -354,11 +350,7 @@ impl Rext {
 /// attribute is named by where its paths end, and including earlier hops
 /// would let `treats_symptom` tokens hijack the `disease` cluster one hop
 /// further down the chain.
-pub(crate) fn naming_embedding(
-    g: &LabeledGraph,
-    path: &Path,
-    word: &dyn WordEmbedder,
-) -> Vec<f32> {
+pub(crate) fn naming_embedding(g: &LabeledGraph, path: &Path, word: &dyn WordEmbedder) -> Vec<f32> {
     let mut emb = word.embed(&g.vertex_label_str(path.end()));
     gsj_nn::vector::scale(&mut emb, 2.0);
     if let Some(&last) = path.labels().last() {
@@ -447,18 +439,11 @@ mod tests {
         let dg = rext.extract(&g, &matches, &disc).unwrap();
         assert_eq!(dg.len(), 4);
         // The loc attribute must recover the countries for most products.
-        if let Some(loc_col) = disc
-            .schema
-            .attrs()
-            .iter()
-            .find(|a| a.as_str() == "loc")
-        {
+        if let Some(loc_col) = disc.schema.attrs().iter().find(|a| a.as_str() == "loc") {
             let vals = dg.column(loc_col).unwrap();
             let recovered = vals
                 .iter()
-                .filter(|v| {
-                    matches!(v.as_str(), Some("UK" | "US" | "DE" | "FR"))
-                })
+                .filter(|v| matches!(v.as_str(), Some("UK" | "US" | "DE" | "FR")))
                 .count();
             assert!(recovered >= 3, "recovered {recovered} locs: {vals:?}");
         } else {

@@ -10,15 +10,15 @@ use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 
 const ADJECTIVES: &[&str] = &[
-    "Crimson", "Silver", "Golden", "Emerald", "Azure", "Ivory", "Obsidian", "Scarlet",
-    "Amber", "Cobalt", "Violet", "Copper", "Jade", "Onyx", "Pearl", "Ruby",
-    "Sapphire", "Topaz", "Coral", "Indigo", "Maroon", "Ochre", "Teal", "Umber",
+    "Crimson", "Silver", "Golden", "Emerald", "Azure", "Ivory", "Obsidian", "Scarlet", "Amber",
+    "Cobalt", "Violet", "Copper", "Jade", "Onyx", "Pearl", "Ruby", "Sapphire", "Topaz", "Coral",
+    "Indigo", "Maroon", "Ochre", "Teal", "Umber",
 ];
 
 const NOUNS: &[&str] = &[
-    "Falcon", "Harbor", "Meadow", "Summit", "Canyon", "Glacier", "Lagoon", "Prairie",
-    "Thicket", "Cascade", "Bluff", "Grove", "Hollow", "Mesa", "Ridge", "Basin",
-    "Fjord", "Delta", "Atoll", "Tundra", "Savanna", "Marsh", "Dune", "Reef",
+    "Falcon", "Harbor", "Meadow", "Summit", "Canyon", "Glacier", "Lagoon", "Prairie", "Thicket",
+    "Cascade", "Bluff", "Grove", "Hollow", "Mesa", "Ridge", "Basin", "Fjord", "Delta", "Atoll",
+    "Tundra", "Savanna", "Marsh", "Dune", "Reef",
 ];
 
 /// A generated collection: database, graph, ground truth, and the specs
@@ -170,9 +170,8 @@ pub fn build_collection(spec: CollectionSpec) -> Collection {
     // Entity relation schema: id, name, extras.
     let mut rel_attrs: Vec<String> = vec![spec.id_attr.clone(), "name".into()];
     rel_attrs.extend(spec.extra_attrs.iter().map(|(a, _, _)| a.clone()));
-    let mut entity_rel = Relation::empty(
-        Schema::new(spec.rel_name.clone(), rel_attrs).expect("distinct attrs"),
-    );
+    let mut entity_rel =
+        Relation::empty(Schema::new(spec.rel_name.clone(), rel_attrs).expect("distinct attrs"));
 
     // Ground truth schema: id + keywords.
     let mut truth_attrs = vec![spec.id_attr.clone()];
@@ -200,10 +199,8 @@ pub fn build_collection(spec: CollectionSpec) -> Collection {
         entity_rel.push_values(row).expect("arity");
 
         // Graph side.
-        let ev = gb.g.add_vertex(&format!(
-            "{}-{i}",
-            spec.type_name.to_lowercase()
-        ));
+        let ev =
+            gb.g.add_vertex(&format!("{}-{i}", spec.type_name.to_lowercase()));
         entity_vertices.push(ev);
         gb.g.add_edge(ev, "type", type_vertex);
         let name_v = gb.value_vertex(&name);
@@ -306,11 +303,13 @@ pub fn build_collection(spec: CollectionSpec) -> Collection {
     db.insert(entity_rel);
     if let Some(cross) = &spec.cross {
         if let Some(cr) = &cross.relation {
-            let mut rel = Relation::empty(Schema::new(
-                cr.name.clone(),
-                vec![cr.id1.clone(), cr.id2.clone(), cr.type_attr.clone()],
-            )
-            .expect("distinct attrs"));
+            let mut rel = Relation::empty(
+                Schema::new(
+                    cr.name.clone(),
+                    vec![cr.id1.clone(), cr.id2.clone(), cr.type_attr.clone()],
+                )
+                .expect("distinct attrs"),
+            );
             for (n, (a, b)) in links.iter().enumerate() {
                 rel.push_values(vec![
                     Value::str(format!("{}{a}", spec.id_prefix)),

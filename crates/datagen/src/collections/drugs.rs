@@ -20,8 +20,20 @@ pub fn spec(scale: Scale, seed: u64) -> CollectionSpec {
         extra_attrs: vec![("class".into(), "Class".into(), 6)],
         props: vec![
             PropSpec::direct("efficacy", "efficacy", "Effect", (n / 6).max(4)),
-            PropSpec::via("symptom", "efficacy", "treats_symptom", "Symptom", (n / 8).max(4)),
-            PropSpec::via("disease", "symptom", "symptom_of_disease", "Disease", (n / 10).max(3)),
+            PropSpec::via(
+                "symptom",
+                "efficacy",
+                "treats_symptom",
+                "Symptom",
+                (n / 8).max(4),
+            ),
+            PropSpec::via(
+                "disease",
+                "symptom",
+                "symptom_of_disease",
+                "Disease",
+                (n / 10).max(3),
+            ),
         ],
         noise_props: vec![
             PropSpec::direct("dosage", "dosage_form", "Form", 5),

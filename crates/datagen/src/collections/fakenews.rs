@@ -19,8 +19,18 @@ pub fn spec(scale: Scale, seed: u64) -> CollectionSpec {
             ("language".into(), "Lang".into(), 8),
         ],
         props: vec![
-            PropSpec::deep("topic", &["published", "categorized_as"], "Topic", (n / 10).max(5)),
-            PropSpec::deep("keyword", &["published", "headline_keyword"], "Keyword", (n / 5).max(8)),
+            PropSpec::deep(
+                "topic",
+                &["published", "categorized_as"],
+                "Topic",
+                (n / 10).max(5),
+            ),
+            PropSpec::deep(
+                "keyword",
+                &["published", "headline_keyword"],
+                "Keyword",
+                (n / 5).max(8),
+            ),
             PropSpec::direct("domain", "hosted_on_domain", "Domain", (n / 12).max(4))
                 .with_null_rate(0.1),
         ],

@@ -23,7 +23,12 @@ pub fn spec(scale: Scale, seed: u64) -> CollectionSpec {
             PropSpec::via("country", "studio", "studio_country", "Country", 12),
         ],
         noise_props: vec![
-            PropSpec::direct("runtime", "runs_for", "Minutes", 30),
+            // Value labels carry the keyword token ("Runtime12"), like
+            // every other property pool here: the hash embedder recovers
+            // concepts from label strings, not world knowledge (DESIGN
+            // §7.4), so "Minutes" values would make this property
+            // unrecoverable by construction.
+            PropSpec::direct("runtime", "runs_for", "Runtime", 30),
             PropSpec::deep("review", &["reviewed_in", "written_by"], "Critic", 20),
         ],
         cross: Some(CrossSpec {

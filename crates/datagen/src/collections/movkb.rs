@@ -22,7 +22,12 @@ pub fn spec(scale: Scale, seed: u64) -> CollectionSpec {
             // YAGO-style predicate names, deliberately farther from the
             // keywords than Movie's.
             PropSpec::direct("creator", "wasCreatedBy", "Creator", (n / 4).max(6)),
-            PropSpec::deep("location", &["wasFilmedIn", "isLocatedIn"], "Place", (n / 12).max(5)),
+            PropSpec::deep(
+                "location",
+                &["wasFilmedIn", "isLocatedIn"],
+                "Place",
+                (n / 12).max(5),
+            ),
             PropSpec::direct("award", "receivedAward", "Prize", 8).with_null_rate(0.35),
         ],
         noise_props: vec![

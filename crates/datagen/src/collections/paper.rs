@@ -19,7 +19,13 @@ pub fn spec(scale: Scale, seed: u64) -> CollectionSpec {
         props: vec![
             PropSpec::direct("volume", "in_volume", "Vol", 41),
             PropSpec::direct("author", "authored_by", "Author", (n / 3).max(8)),
-            PropSpec::via("affiliation", "author", "affiliated_with", "Institute", (n / 10).max(5)),
+            PropSpec::via(
+                "affiliation",
+                "author",
+                "affiliated_with",
+                "Institute",
+                (n / 10).max(5),
+            ),
         ],
         noise_props: vec![
             PropSpec::direct("pages", "spans_pages", "Pg", 30),

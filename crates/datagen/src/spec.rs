@@ -61,7 +61,13 @@ impl PropSpec {
     }
 
     /// A property chained off another property's value vertex.
-    pub fn via(keyword: &str, parent: &str, edge: &str, pool_prefix: &str, pool_size: usize) -> Self {
+    pub fn via(
+        keyword: &str,
+        parent: &str,
+        edge: &str,
+        pool_prefix: &str,
+        pool_size: usize,
+    ) -> Self {
         PropSpec {
             keyword: keyword.into(),
             edges: vec![edge.into()],

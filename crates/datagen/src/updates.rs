@@ -10,11 +10,7 @@ use rand::{RngExt, SeedableRng};
 /// Generate a balanced update batch touching `fraction` of `|G|`'s edges
 /// (half deletions of existing edges, half insertions of new edges with
 /// existing labels between existing vertices).
-pub fn balanced_updates(
-    g: &LabeledGraph,
-    fraction: f64,
-    seed: u64,
-) -> Vec<GraphUpdate> {
+pub fn balanced_updates(g: &LabeledGraph, fraction: f64, seed: u64) -> Vec<GraphUpdate> {
     let mut rng = SmallRng::seed_from_u64(seed);
     let vertices: Vec<VertexId> = g.vertices().collect();
     if vertices.len() < 2 || g.edge_count() == 0 {

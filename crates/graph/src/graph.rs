@@ -135,7 +135,10 @@ impl LabeledGraph {
     /// Remove a directed edge; returns `true` if it existed.
     pub fn remove_edge_sym(&mut self, src: VertexId, label: Symbol, dst: VertexId) -> bool {
         let fwd = Edge { label, to: dst };
-        let Some(pos) = self.out.get(src.index()).and_then(|es| es.iter().position(|e| *e == fwd))
+        let Some(pos) = self
+            .out
+            .get(src.index())
+            .and_then(|es| es.iter().position(|e| *e == fwd))
         else {
             return false;
         };
@@ -159,7 +162,10 @@ impl LabeledGraph {
         let mut touched = Vec::new();
         let outs = std::mem::take(&mut self.out[v.index()]);
         for e in outs {
-            let back = Edge { label: e.label, to: v };
+            let back = Edge {
+                label: e.label,
+                to: v,
+            };
             if let Some(pos) = self.inn[e.to.index()].iter().position(|x| *x == back) {
                 self.inn[e.to.index()].swap_remove(pos);
             }
@@ -168,7 +174,10 @@ impl LabeledGraph {
         }
         let inns = std::mem::take(&mut self.inn[v.index()]);
         for e in inns {
-            let fwd = Edge { label: e.label, to: v };
+            let fwd = Edge {
+                label: e.label,
+                to: v,
+            };
             if let Some(pos) = self.out[e.to.index()].iter().position(|x| *x == fwd) {
                 self.out[e.to.index()].swap_remove(pos);
             }

@@ -29,11 +29,7 @@ impl Path {
     /// # Panics
     /// Panics if the invariant `labels.len() + 1 == vertices.len()` fails.
     pub fn from_parts(vertices: Vec<VertexId>, labels: Vec<Symbol>) -> Self {
-        assert_eq!(
-            labels.len() + 1,
-            vertices.len(),
-            "path invariant violated"
-        );
+        assert_eq!(labels.len() + 1, vertices.len(), "path invariant violated");
         Path { vertices, labels }
     }
 

@@ -85,12 +85,15 @@ fn walk_sentence(
         let non_back: Vec<_> = incident
             .iter()
             .filter(|(e, d)| {
-                Some(e.to) != prev
-                    && prev_hop.is_none_or(|(pl, pd)| !(pl == e.label && pd != *d))
+                Some(e.to) != prev && prev_hop.is_none_or(|(pl, pd)| !(pl == e.label && pd != *d))
             })
             .copied()
             .collect();
-        let pool = if non_back.is_empty() { &incident } else { &non_back };
+        let pool = if non_back.is_empty() {
+            &incident
+        } else {
+            &non_back
+        };
         let (edge, dir) = *pool.choose(rng)?;
         sentence.push(edge.label);
         sentence.push(g.vertex_label(edge.to)?);
@@ -139,7 +142,11 @@ mod tests {
         let spoke = g.symbols().get("spoke").unwrap();
         for s in &corpus {
             // Odd positions are edge labels in a star: all "spoke".
-            assert!(s.len() >= 3 && s.len() % 2 == 1, "odd length, got {}", s.len());
+            assert!(
+                s.len() >= 3 && s.len() % 2 == 1,
+                "odd length, got {}",
+                s.len()
+            );
             for (i, sym) in s.iter().enumerate() {
                 if i % 2 == 1 {
                     assert_eq!(*sym, spoke);

@@ -32,11 +32,7 @@ pub fn k_hop_set(g: &LabeledGraph, start: VertexId, k: usize) -> FxHashSet<Verte
 }
 
 /// Distances (≤ k) from `start` to every vertex in its k-hop ball.
-pub fn k_hop_distances(
-    g: &LabeledGraph,
-    start: VertexId,
-    k: usize,
-) -> FxHashMap<VertexId, usize> {
+pub fn k_hop_distances(g: &LabeledGraph, start: VertexId, k: usize) -> FxHashMap<VertexId, usize> {
     let mut dist: FxHashMap<VertexId, usize> = FxHashMap::default();
     if !g.is_live(start) {
         return dist;
@@ -191,7 +187,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(7);
         for _ in 0..20 {
             let mut g = LabeledGraph::new();
-            let n = 30;
+            let n = 30usize;
             let vs: Vec<_> = (0..n).map(|i| g.add_vertex(&format!("x{i}"))).collect();
             for _ in 0..45 {
                 let a = vs[rng.random_range(0..n)];

@@ -133,10 +133,8 @@ fn her_match_indexed(
         let mut best: Option<(f64, VertexId)> = None;
         for v in index.candidates(&query_tokens) {
             let vicinity = &index.vicinity[&v];
-            let vicinity_tokens: FxHashSet<String> = vicinity
-                .iter()
-                .flat_map(|l| tokens(l))
-                .collect();
+            let vicinity_tokens: FxHashSet<String> =
+                vicinity.iter().flat_map(|l| tokens(l)).collect();
             let score = score_tuple(&values, vicinity, &vicinity_tokens, cfg.fuzzy_threshold);
             let better = match best {
                 None => score >= cfg.min_score,
@@ -217,8 +215,13 @@ mod tests {
     #[test]
     fn all_null_tuple_is_skipped() {
         let (g, mut s, _, _) = setting();
-        s.push_values(vec![Value::str("fdx"), Value::Null, Value::Null, Value::Null])
-            .unwrap();
+        s.push_values(vec![
+            Value::str("fdx"),
+            Value::Null,
+            Value::Null,
+            Value::Null,
+        ])
+        .unwrap();
         let m = her_match(&g, &s, &HerConfig::with_id("pid")).unwrap();
         assert_eq!(m.vertex_of(&Value::str("fdx")), None);
     }

@@ -110,7 +110,8 @@ mod tests {
     fn rel(name: &str, attrs: &[&str], rows: &[&[&str]]) -> Relation {
         let mut r = Relation::empty(Schema::of(name, attrs));
         for row in rows {
-            r.push_values(row.iter().map(|s| Value::str(*s)).collect()).unwrap();
+            r.push_values(row.iter().map(|s| Value::str(*s)).collect())
+                .unwrap();
         }
         r
     }
@@ -125,7 +126,10 @@ mod tests {
         let b = rel(
             "g_product",
             &["vid", "name", "company"],
-            &[&["pid4", "RainForest", "company2"], &["pid2", "Beta", "company1"]],
+            &[
+                &["pid4", "RainForest", "company2"],
+                &["pid2", "Beta", "company1"],
+            ],
         );
         let pairs =
             match_relations(&a, &b, Some("pid"), Some("vid"), &ErConfig::default()).unwrap();

@@ -174,9 +174,17 @@ impl LanguageModel {
         let v = by_norm.len() + SPECIALS;
 
         use crate::matrix::Matrix;
-        let embed = Param::new(Matrix::xavier(v, cfg.embed_dim, cfg.seed ^ 0x11).data().to_vec());
+        let embed = Param::new(
+            Matrix::xavier(v, cfg.embed_dim, cfg.seed ^ 0x11)
+                .data()
+                .to_vec(),
+        );
         let cell = LstmCell::new(cfg.embed_dim, cfg.hidden, cfg.seed ^ 0x22);
-        let why = Param::new(Matrix::xavier(v, cfg.hidden, cfg.seed ^ 0x33).data().to_vec());
+        let why = Param::new(
+            Matrix::xavier(v, cfg.hidden, cfg.seed ^ 0x33)
+                .data()
+                .to_vec(),
+        );
         let by = Param::new(vec![0.0; v]);
         LanguageModel {
             cfg,
@@ -291,11 +299,7 @@ impl LanguageModel {
             // dWhy += dlogits ⊗ h ; dh = Whyᵀ dlogits (+ carry).
             let h_t = &caches[t].h;
             for (r, &dl) in dlogits.iter().enumerate() {
-                crate::vector::add_scaled(
-                    &mut self.why.g[r * hid..(r + 1) * hid],
-                    dl,
-                    h_t,
-                );
+                crate::vector::add_scaled(&mut self.why.g[r * hid..(r + 1) * hid], dl, h_t);
                 self.by.g[r] += dl;
             }
             let mut dh = dh_next.clone();
@@ -342,7 +346,11 @@ impl LanguageModel {
                 let mut p = vec![0.0f32; v];
                 self.logits(&h, &mut p);
                 crate::vector::softmax(&mut p);
-                let target = if t + 1 < tokens.len() { tokens[t + 1] } else { EOS };
+                let target = if t + 1 < tokens.len() {
+                    tokens[t + 1]
+                } else {
+                    EOS
+                };
                 total -= (p[target].max(1e-12) as f64).ln();
                 count += 1;
             }
@@ -421,7 +429,10 @@ impl<'a> LmSession<'a> {
 
     /// Feed a raw token id.
     pub fn feed_token(&mut self, tok: TokenId) -> Vec<f32> {
-        let cache = self.model.cell.forward(self.model.embed_row(tok), &self.h, &self.c);
+        let cache = self
+            .model
+            .cell
+            .forward(self.model.embed_row(tok), &self.h, &self.c);
         self.h = cache.h.clone();
         self.c = cache_c(&cache);
         let mut p = vec![0.0f32; self.model.vocab_size()];

@@ -206,9 +206,7 @@ mod tests {
         let x = vec![0.3, -0.2, 0.7];
         let h0 = vec![0.1, -0.1];
         let c0 = vec![0.05, 0.2];
-        let loss = |cell: &LstmCell, x: &[f32]| -> f32 {
-            cell.forward(x, &h0, &c0).h.iter().sum()
-        };
+        let loss = |cell: &LstmCell, x: &[f32]| -> f32 { cell.forward(x, &h0, &c0).h.iter().sum() };
         let cache = cell.forward(&x, &h0, &c0);
         let dh = vec![1.0; 2];
         let dc = vec![0.0; 2];

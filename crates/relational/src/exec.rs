@@ -1,9 +1,16 @@
-//! The plan executor.
+//! The logical-plan interpreter and the shared operator kernels.
 //!
 //! Joins are hash-based: natural joins key on the common attributes, theta
 //! joins mine equi-conjuncts (`left.col = right.col`) from the predicate
 //! and hash on those, falling back to a nested loop only for genuinely
 //! non-equi predicates — the same discipline a production engine applies.
+//!
+//! The row-level kernels ([`hash_join_core`], [`nested_loop_core`],
+//! [`aggregate`]) live here and are shared with the physical
+//! executor ([`crate::physical`]), which wraps them with per-operator
+//! statistics. Join keys are extracted once, by [`hash_key`], as vectors
+//! of *borrowed* values — the build table maps borrowed keys to row
+//! indices instead of cloning every key `Value` eagerly.
 
 use crate::catalog::Database;
 use crate::expr::{AggFunc, CmpOp, Expr};
@@ -13,36 +20,13 @@ use crate::schema::Schema;
 use crate::tuple::Tuple;
 use gsj_common::{FxHashMap, GsjError, Result, Value};
 
-/// Execute a plan against a database.
+/// Execute a plan against a database with the row-at-a-time interpreter.
 pub fn execute(plan: &LogicalPlan, db: &Database) -> Result<Relation> {
     match plan {
         LogicalPlan::Scan(name) => Ok(db.get(name)?.clone()),
         LogicalPlan::Values(rel) => Ok(rel.clone()),
-        LogicalPlan::Select { input, pred } => {
-            let rel = execute(input, db)?;
-            let (schema, tuples) = rel.into_parts();
-            let mut kept = Vec::new();
-            for t in tuples {
-                if pred.holds(&schema, &t)? {
-                    kept.push(t);
-                }
-            }
-            Relation::new(schema, kept)
-        }
-        LogicalPlan::Project { input, cols } => {
-            let rel = execute(input, db)?;
-            let positions: Vec<usize> = cols
-                .iter()
-                .map(|c| Expr::resolve_column(rel.schema(), c))
-                .collect::<Result<_>>()?;
-            let out_attrs: Vec<String> = positions
-                .iter()
-                .map(|&i| rel.schema().attrs()[i].clone())
-                .collect();
-            let schema = Schema::new(rel.schema().name().to_string(), out_attrs)?;
-            let tuples = rel.tuples().iter().map(|t| t.project(&positions)).collect();
-            Relation::new(schema, tuples)
-        }
+        LogicalPlan::Select { input, pred } => filter(execute(input, db)?, pred),
+        LogicalPlan::Project { input, cols } => project(&execute(input, db)?, cols),
         LogicalPlan::Qualify { input, alias } => {
             let rel = execute(input, db)?;
             Ok(rel.qualified(alias))
@@ -55,77 +39,17 @@ pub fn execute(plan: &LogicalPlan, db: &Database) -> Result<Relation> {
                 JoinKind::Theta(pred) => theta_join(&l, &r, pred),
             }
         }
-        LogicalPlan::Union { left, right } => {
-            let l = execute(left, db)?;
-            let r = execute(right, db)?;
-            if l.schema().arity() != r.schema().arity() {
-                return Err(GsjError::Schema(format!(
-                    "union arity mismatch: {} vs {}",
-                    l.schema().arity(),
-                    r.schema().arity()
-                )));
-            }
-            let (schema, mut tuples) = l.into_parts();
-            tuples.extend(r.into_parts().1);
-            Relation::new(schema, tuples)
-        }
+        LogicalPlan::Union { left, right } => union(execute(left, db)?, execute(right, db)?),
         LogicalPlan::Difference { left, right } => {
-            let l = execute(left, db)?;
-            let r = execute(right, db)?;
-            if l.schema().arity() != r.schema().arity() {
-                return Err(GsjError::Schema(format!(
-                    "difference arity mismatch: {} vs {}",
-                    l.schema().arity(),
-                    r.schema().arity()
-                )));
-            }
-            let exclude: std::collections::HashSet<&Tuple> = r.tuples().iter().collect();
-            let kept: Vec<Tuple> = l
-                .tuples()
-                .iter()
-                .filter(|t| !exclude.contains(t))
-                .cloned()
-                .collect();
-            Relation::new(l.schema().clone(), kept)
+            difference(execute(left, db)?, &execute(right, db)?)
         }
-        LogicalPlan::Distinct { input } => {
-            let rel = execute(input, db)?;
-            let (schema, tuples) = rel.into_parts();
-            let mut seen: std::collections::HashSet<Tuple> = std::collections::HashSet::new();
-            let mut kept = Vec::new();
-            for t in tuples {
-                if seen.insert(t.clone()) {
-                    kept.push(t);
-                }
-            }
-            Relation::new(schema, kept)
-        }
+        LogicalPlan::Distinct { input } => Ok(distinct(execute(input, db)?)),
         LogicalPlan::Aggregate {
             input,
             group_by,
             aggs,
         } => aggregate(&execute(input, db)?, group_by, aggs),
-        LogicalPlan::Sort { input, by, desc } => {
-            let rel = execute(input, db)?;
-            let keys: Vec<usize> = by
-                .iter()
-                .map(|c| Expr::resolve_column(rel.schema(), c))
-                .collect::<Result<_>>()?;
-            let (schema, mut tuples) = rel.into_parts();
-            tuples.sort_by(|a, b| {
-                let ord = keys
-                    .iter()
-                    .map(|&i| a.get(i).cmp(b.get(i)))
-                    .find(|o| !o.is_eq())
-                    .unwrap_or(std::cmp::Ordering::Equal);
-                if *desc {
-                    ord.reverse()
-                } else {
-                    ord
-                }
-            });
-            Relation::new(schema, tuples)
-        }
+        LogicalPlan::Sort { input, by, desc } => sort(execute(input, db)?, by, *desc),
         LogicalPlan::Limit { input, n } => {
             let rel = execute(input, db)?;
             let (schema, mut tuples) = rel.into_parts();
@@ -135,90 +59,34 @@ pub fn execute(plan: &LogicalPlan, db: &Database) -> Result<Relation> {
     }
 }
 
-/// Natural hash join on all common attribute names. NULL keys never match
-/// (SQL semantics).
-pub fn natural_join(l: &Relation, r: &Relation) -> Result<Relation> {
-    let common = l.schema().common_attrs(r.schema());
-    if common.is_empty() {
-        return product(l, r);
-    }
-    let l_keys: Vec<usize> = common
-        .iter()
-        .map(|a| l.schema().require(a))
-        .collect::<Result<_>>()?;
-    let r_keys: Vec<usize> = common
-        .iter()
-        .map(|a| r.schema().require(a))
-        .collect::<Result<_>>()?;
-    let r_rest: Vec<usize> = (0..r.schema().arity())
-        .filter(|i| !r_keys.contains(i))
-        .collect();
-
-    let mut attrs: Vec<String> = l.schema().attrs().to_vec();
-    attrs.extend(r_rest.iter().map(|&i| r.schema().attrs()[i].clone()));
-    let schema = Schema::new(
-        format!("{}_join_{}", l.schema().name(), r.schema().name()),
-        attrs,
-    )?;
-
-    // Build on the smaller side.
-    let build_left = l.len() <= r.len();
-    let (build, probe, build_keys, probe_keys) = if build_left {
-        (l, r, &l_keys, &r_keys)
-    } else {
-        (r, l, &r_keys, &l_keys)
-    };
-    let mut table: FxHashMap<Vec<Value>, Vec<usize>> = FxHashMap::default();
-    for (i, t) in build.tuples().iter().enumerate() {
-        let key: Vec<Value> = build_keys.iter().map(|&k| t.get(k).clone()).collect();
-        if key.iter().any(Value::is_null) {
-            continue;
+/// The join key of `t` at `keys`, as borrowed values; `None` when any key
+/// cell is NULL (SQL semantics: NULL keys never match).
+#[inline]
+pub fn hash_key<'a>(t: &'a Tuple, keys: &[usize]) -> Option<Vec<&'a Value>> {
+    let mut out = Vec::with_capacity(keys.len());
+    for &k in keys {
+        let v = t.get(k);
+        if v.is_null() {
+            return None;
         }
-        table.entry(key).or_default().push(i);
+        out.push(v);
     }
-    let mut out = Vec::new();
-    for probe_t in probe.tuples() {
-        let key: Vec<Value> = probe_keys.iter().map(|&k| probe_t.get(k).clone()).collect();
-        if key.iter().any(Value::is_null) {
-            continue;
-        }
-        if let Some(matches) = table.get(&key) {
-            for &bi in matches {
-                let build_t = &build.tuples()[bi];
-                let (lt, rt) = if build_left {
-                    (build_t, probe_t)
-                } else {
-                    (probe_t, build_t)
-                };
-                let mut vals: Vec<Value> = lt.values().to_vec();
-                vals.extend(r_rest.iter().map(|&i| rt.get(i).clone()));
-                out.push(Tuple::new(vals));
-            }
-        }
-    }
-    Relation::new(schema, out)
+    Some(out)
 }
 
-/// Cartesian product; attribute names must stay distinct.
-pub fn product(l: &Relation, r: &Relation) -> Result<Relation> {
-    let mut attrs = l.schema().attrs().to_vec();
-    attrs.extend(r.schema().attrs().iter().cloned());
-    let schema = Schema::new(
-        format!("{}_x_{}", l.schema().name(), r.schema().name()),
-        attrs,
-    )
-    .map_err(|e| {
-        GsjError::Schema(format!(
-            "product requires distinct attribute names (qualify inputs first): {e}"
-        ))
-    })?;
-    let mut out = Vec::with_capacity(l.len() * r.len());
-    for lt in l.tuples() {
-        for rt in r.tuples() {
-            out.push(lt.concat(rt));
+/// Build-side hash index: borrowed key → row indices. No key `Value` is
+/// cloned; the map borrows from `tuples`.
+pub fn build_row_index<'a>(
+    tuples: &'a [Tuple],
+    keys: &[usize],
+) -> FxHashMap<Vec<&'a Value>, Vec<usize>> {
+    let mut table: FxHashMap<Vec<&'a Value>, Vec<usize>> = FxHashMap::default();
+    for (i, t) in tuples.iter().enumerate() {
+        if let Some(key) = hash_key(t, keys) {
+            table.entry(key).or_default().push(i);
         }
     }
-    Relation::new(schema, out)
+    table
 }
 
 /// Split a predicate into its top-level conjuncts.
@@ -233,35 +101,22 @@ fn conjuncts(pred: &Expr) -> Vec<&Expr> {
     }
 }
 
-/// Theta join. Equi-conjuncts whose two column sides resolve on opposite
-/// inputs become hash keys; the full predicate is still verified on each
-/// candidate pair.
-pub fn theta_join(l: &Relation, r: &Relation, pred: &Expr) -> Result<Relation> {
-    let mut attrs = l.schema().attrs().to_vec();
-    attrs.extend(r.schema().attrs().iter().cloned());
-    let schema = Schema::new(
-        format!("{}_tj_{}", l.schema().name(), r.schema().name()),
-        attrs,
-    )
-    .map_err(|e| {
-        GsjError::Schema(format!(
-            "theta join requires distinct attribute names (qualify inputs first): {e}"
-        ))
-    })?;
-
-    // Mine hashable equi pairs.
+/// Mine hashable equi-conjuncts (`l.col = r.col` with the two sides
+/// resolving on opposite inputs) out of a theta predicate. Returns
+/// parallel position vectors into the left and right schemas.
+pub fn equi_positions(pred: &Expr, ls: &Schema, rs: &Schema) -> (Vec<usize>, Vec<usize>) {
     let mut l_keys = Vec::new();
     let mut r_keys = Vec::new();
     for c in conjuncts(pred) {
         if let Expr::Cmp(CmpOp::Eq, a, b) = c {
             if let (Expr::Col(ca), Expr::Col(cb)) = (a.as_ref(), b.as_ref()) {
                 let (la, ra) = (
-                    Expr::resolve_column(l.schema(), ca).ok(),
-                    Expr::resolve_column(r.schema(), ca).ok(),
+                    Expr::resolve_column(ls, ca).ok(),
+                    Expr::resolve_column(rs, ca).ok(),
                 );
                 let (lb, rb) = (
-                    Expr::resolve_column(l.schema(), cb).ok(),
-                    Expr::resolve_column(r.schema(), cb).ok(),
+                    Expr::resolve_column(ls, cb).ok(),
+                    Expr::resolve_column(rs, cb).ok(),
                 );
                 match (la, ra, lb, rb) {
                     (Some(i), None, None, Some(j)) => {
@@ -277,46 +132,314 @@ pub fn theta_join(l: &Relation, r: &Relation, pred: &Expr) -> Result<Relation> {
             }
         }
     }
+    (l_keys, r_keys)
+}
 
-    let mut out = Vec::new();
-    if l_keys.is_empty() {
-        // Nested loop.
-        for lt in l.tuples() {
-            for rt in r.tuples() {
-                let joined = lt.concat(rt);
-                if pred.holds(&schema, &joined)? {
-                    out.push(joined);
-                }
-            }
-        }
-    } else {
-        let mut table: FxHashMap<Vec<Value>, Vec<usize>> = FxHashMap::default();
-        for (i, t) in l.tuples().iter().enumerate() {
-            let key: Vec<Value> = l_keys.iter().map(|&k| t.get(k).clone()).collect();
-            if key.iter().any(Value::is_null) {
-                continue;
-            }
-            table.entry(key).or_default().push(i);
-        }
-        for rt in r.tuples() {
-            let key: Vec<Value> = r_keys.iter().map(|&k| rt.get(k).clone()).collect();
-            if key.iter().any(Value::is_null) {
-                continue;
-            }
-            if let Some(matches) = table.get(&key) {
-                for &li in matches {
-                    let joined = l.tuples()[li].concat(rt);
-                    if pred.holds(&schema, &joined)? {
-                        out.push(joined);
+/// Build/probe cardinalities observed by one hash-join execution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JoinStats {
+    /// Rows hashed into the build table.
+    pub build_rows: usize,
+    /// Rows streamed through the probe side.
+    pub probe_rows: usize,
+}
+
+/// How a hash join combines its inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HashJoinMode {
+    /// Natural join: output = left attrs ++ right-minus-common; the
+    /// smaller input becomes the build side.
+    Natural,
+    /// Equi join mined from a theta predicate: output is the full
+    /// concatenation, the left input is the build side, and the residual
+    /// predicate is re-verified on every candidate pair.
+    Equi,
+}
+
+/// The single hash-join kernel behind [`natural_join`], [`theta_join`],
+/// and the physical `HashJoin` operator.
+pub fn hash_join_core(
+    l: &Relation,
+    r: &Relation,
+    l_keys: &[usize],
+    r_keys: &[usize],
+    mode: HashJoinMode,
+    residual: Option<&Expr>,
+    schema: Schema,
+) -> Result<(Relation, JoinStats)> {
+    match mode {
+        HashJoinMode::Natural => {
+            let r_rest: Vec<usize> = (0..r.schema().arity())
+                .filter(|i| !r_keys.contains(i))
+                .collect();
+            // Build on the smaller side.
+            let build_left = l.len() <= r.len();
+            let (build, probe, build_keys, probe_keys) = if build_left {
+                (l, r, l_keys, r_keys)
+            } else {
+                (r, l, r_keys, l_keys)
+            };
+            let table = build_row_index(build.tuples(), build_keys);
+            let mut out = Vec::new();
+            for probe_t in probe.tuples() {
+                let Some(key) = hash_key(probe_t, probe_keys) else {
+                    continue;
+                };
+                if let Some(matches) = table.get(&key) {
+                    for &bi in matches {
+                        let build_t = &build.tuples()[bi];
+                        let (lt, rt) = if build_left {
+                            (build_t, probe_t)
+                        } else {
+                            (probe_t, build_t)
+                        };
+                        let mut vals: Vec<Value> = lt.values().to_vec();
+                        vals.extend(r_rest.iter().map(|&i| rt.get(i).clone()));
+                        out.push(Tuple::new(vals));
                     }
                 }
+            }
+            let stats = JoinStats {
+                build_rows: build.len(),
+                probe_rows: probe.len(),
+            };
+            Ok((Relation::new(schema, out)?, stats))
+        }
+        HashJoinMode::Equi => {
+            let table = build_row_index(l.tuples(), l_keys);
+            let mut out = Vec::new();
+            for rt in r.tuples() {
+                let Some(key) = hash_key(rt, r_keys) else {
+                    continue;
+                };
+                if let Some(matches) = table.get(&key) {
+                    for &li in matches {
+                        let joined = l.tuples()[li].concat(rt);
+                        match residual {
+                            Some(pred) if !pred.holds(&schema, &joined)? => {}
+                            _ => out.push(joined),
+                        }
+                    }
+                }
+            }
+            let stats = JoinStats {
+                build_rows: l.len(),
+                probe_rows: r.len(),
+            };
+            Ok((Relation::new(schema, out)?, stats))
+        }
+    }
+}
+
+/// The nested-loop kernel: every pair, filtered by `pred` over the
+/// concatenated schema.
+pub fn nested_loop_core(
+    l: &Relation,
+    r: &Relation,
+    pred: &Expr,
+    schema: Schema,
+) -> Result<Relation> {
+    let mut out = Vec::new();
+    for lt in l.tuples() {
+        for rt in r.tuples() {
+            let joined = lt.concat(rt);
+            if pred.holds(&schema, &joined)? {
+                out.push(joined);
             }
         }
     }
     Relation::new(schema, out)
 }
 
-fn aggregate(rel: &Relation, group_by: &[String], aggs: &[AggSpec]) -> Result<Relation> {
+/// The concatenated-output schema of a theta-style join; errors when
+/// attribute names collide.
+pub(crate) fn concat_schema(l: &Relation, r: &Relation, sep: &str, what: &str) -> Result<Schema> {
+    let mut attrs = l.schema().attrs().to_vec();
+    attrs.extend(r.schema().attrs().iter().cloned());
+    Schema::new(
+        format!("{}{sep}{}", l.schema().name(), r.schema().name()),
+        attrs,
+    )
+    .map_err(|e| {
+        GsjError::Schema(format!(
+            "{what} requires distinct attribute names (qualify inputs first): {e}"
+        ))
+    })
+}
+
+/// Natural-join key positions (left, right) and merged output schema.
+pub(crate) type NaturalJoinParts = (Vec<usize>, Vec<usize>, Schema);
+
+/// The merged-output schema of a natural join, plus the key positions.
+pub(crate) fn natural_join_parts(l: &Relation, r: &Relation) -> Result<Option<NaturalJoinParts>> {
+    let common = l.schema().common_attrs(r.schema());
+    if common.is_empty() {
+        return Ok(None);
+    }
+    let l_keys: Vec<usize> = common
+        .iter()
+        .map(|a| l.schema().require(a))
+        .collect::<Result<_>>()?;
+    let r_keys: Vec<usize> = common
+        .iter()
+        .map(|a| r.schema().require(a))
+        .collect::<Result<_>>()?;
+    let mut attrs: Vec<String> = l.schema().attrs().to_vec();
+    attrs.extend(
+        (0..r.schema().arity())
+            .filter(|i| !r_keys.contains(i))
+            .map(|i| r.schema().attrs()[i].clone()),
+    );
+    let schema = Schema::new(
+        format!("{}_join_{}", l.schema().name(), r.schema().name()),
+        attrs,
+    )?;
+    Ok(Some((l_keys, r_keys, schema)))
+}
+
+/// Natural hash join on all common attribute names. NULL keys never match
+/// (SQL semantics).
+pub fn natural_join(l: &Relation, r: &Relation) -> Result<Relation> {
+    match natural_join_parts(l, r)? {
+        None => product(l, r),
+        Some((l_keys, r_keys, schema)) => {
+            Ok(hash_join_core(l, r, &l_keys, &r_keys, HashJoinMode::Natural, None, schema)?.0)
+        }
+    }
+}
+
+/// Cartesian product; attribute names must stay distinct.
+pub fn product(l: &Relation, r: &Relation) -> Result<Relation> {
+    let schema = concat_schema(l, r, "_x_", "product")?;
+    let mut out = Vec::with_capacity(l.len() * r.len());
+    for lt in l.tuples() {
+        for rt in r.tuples() {
+            out.push(lt.concat(rt));
+        }
+    }
+    Relation::new(schema, out)
+}
+
+/// Theta join. Equi-conjuncts whose two column sides resolve on opposite
+/// inputs become hash keys; the full predicate is still verified on each
+/// candidate pair.
+pub fn theta_join(l: &Relation, r: &Relation, pred: &Expr) -> Result<Relation> {
+    let schema = concat_schema(l, r, "_tj_", "theta join")?;
+    let (l_keys, r_keys) = equi_positions(pred, l.schema(), r.schema());
+    if l_keys.is_empty() {
+        nested_loop_core(l, r, pred, schema)
+    } else {
+        Ok(hash_join_core(
+            l,
+            r,
+            &l_keys,
+            &r_keys,
+            HashJoinMode::Equi,
+            Some(pred),
+            schema,
+        )?
+        .0)
+    }
+}
+
+/// σ_pred kernel.
+pub(crate) fn filter(rel: Relation, pred: &Expr) -> Result<Relation> {
+    let (schema, tuples) = rel.into_parts();
+    let mut kept = Vec::new();
+    for t in tuples {
+        if pred.holds(&schema, &t)? {
+            kept.push(t);
+        }
+    }
+    Relation::new(schema, kept)
+}
+
+/// π_cols kernel (bag projection with name resolution).
+pub(crate) fn project(rel: &Relation, cols: &[String]) -> Result<Relation> {
+    let positions: Vec<usize> = cols
+        .iter()
+        .map(|c| Expr::resolve_column(rel.schema(), c))
+        .collect::<Result<_>>()?;
+    let out_attrs: Vec<String> = positions
+        .iter()
+        .map(|&i| rel.schema().attrs()[i].clone())
+        .collect();
+    let schema = Schema::new(rel.schema().name().to_string(), out_attrs)?;
+    let tuples = rel.tuples().iter().map(|t| t.project(&positions)).collect();
+    Relation::new(schema, tuples)
+}
+
+/// Bag-union kernel (arity-checked, keeps the left schema).
+pub(crate) fn union(l: Relation, r: Relation) -> Result<Relation> {
+    if l.schema().arity() != r.schema().arity() {
+        return Err(GsjError::Schema(format!(
+            "union arity mismatch: {} vs {}",
+            l.schema().arity(),
+            r.schema().arity()
+        )));
+    }
+    let (schema, mut tuples) = l.into_parts();
+    tuples.extend(r.into_parts().1);
+    Relation::new(schema, tuples)
+}
+
+/// Bag-difference kernel `l − r`.
+pub(crate) fn difference(l: Relation, r: &Relation) -> Result<Relation> {
+    if l.schema().arity() != r.schema().arity() {
+        return Err(GsjError::Schema(format!(
+            "difference arity mismatch: {} vs {}",
+            l.schema().arity(),
+            r.schema().arity()
+        )));
+    }
+    let exclude: std::collections::HashSet<&Tuple> = r.tuples().iter().collect();
+    let kept: Vec<Tuple> = l
+        .tuples()
+        .iter()
+        .filter(|t| !exclude.contains(t))
+        .cloned()
+        .collect();
+    Relation::new(l.schema().clone(), kept)
+}
+
+/// Duplicate-elimination kernel (first occurrence wins).
+pub(crate) fn distinct(rel: Relation) -> Relation {
+    let (schema, tuples) = rel.into_parts();
+    let mut seen: std::collections::HashSet<Tuple> = std::collections::HashSet::new();
+    let mut kept = Vec::new();
+    for t in tuples {
+        if seen.insert(t.clone()) {
+            kept.push(t);
+        }
+    }
+    Relation::new(schema, kept).expect("distinct preserves arity")
+}
+
+/// Stable sort kernel.
+pub(crate) fn sort(rel: Relation, by: &[String], desc: bool) -> Result<Relation> {
+    let keys: Vec<usize> = by
+        .iter()
+        .map(|c| Expr::resolve_column(rel.schema(), c))
+        .collect::<Result<_>>()?;
+    let (schema, mut tuples) = rel.into_parts();
+    tuples.sort_by(|a, b| {
+        let ord = keys
+            .iter()
+            .map(|&i| a.get(i).cmp(b.get(i)))
+            .find(|o| !o.is_eq())
+            .unwrap_or(std::cmp::Ordering::Equal);
+        if desc {
+            ord.reverse()
+        } else {
+            ord
+        }
+    });
+    Relation::new(schema, tuples)
+}
+
+/// Grouping + aggregation kernel. Group keys are borrowed during
+/// hashing and cloned only once per *emitted* row.
+pub fn aggregate(rel: &Relation, group_by: &[String], aggs: &[AggSpec]) -> Result<Relation> {
     let group_pos: Vec<usize> = group_by
         .iter()
         .map(|c| Expr::resolve_column(rel.schema(), c))
@@ -339,11 +462,11 @@ fn aggregate(rel: &Relation, group_by: &[String], aggs: &[AggSpec]) -> Result<Re
     attrs.extend(aggs.iter().map(|a| a.alias.clone()));
     let schema = Schema::new(format!("{}_agg", rel.schema().name()), attrs)?;
 
-    // Group.
-    let mut groups: FxHashMap<Vec<Value>, Vec<&Tuple>> = FxHashMap::default();
-    let mut order: Vec<Vec<Value>> = Vec::new();
+    // Group on borrowed keys; `order` keeps first-seen group order.
+    let mut groups: FxHashMap<Vec<&Value>, Vec<&Tuple>> = FxHashMap::default();
+    let mut order: Vec<Vec<&Value>> = Vec::new();
     for t in rel.tuples() {
-        let key: Vec<Value> = group_pos.iter().map(|&i| t.get(i).clone()).collect();
+        let key: Vec<&Value> = group_pos.iter().map(|&i| t.get(i)).collect();
         let entry = groups.entry(key.clone()).or_default();
         if entry.is_empty() {
             order.push(key);
@@ -359,7 +482,7 @@ fn aggregate(rel: &Relation, group_by: &[String], aggs: &[AggSpec]) -> Result<Re
     let mut out = Vec::with_capacity(order.len());
     for key in order {
         let rows = &groups[&key];
-        let mut vals = key.clone();
+        let mut vals: Vec<Value> = key.iter().map(|&v| v.clone()).collect();
         for (spec, pos) in aggs.iter().zip(&agg_pos) {
             vals.push(eval_agg(spec.func, *pos, rows));
         }
@@ -401,8 +524,11 @@ fn eval_agg(func: AggFunc, pos: Option<usize>, rows: &[&Tuple]) -> Value {
                 Some(i) => i,
                 None => return Value::Null,
             };
-            let mut vals: Vec<&Value> =
-                rows.iter().map(|t| t.get(i)).filter(|v| !v.is_null()).collect();
+            let mut vals: Vec<&Value> = rows
+                .iter()
+                .map(|t| t.get(i))
+                .filter(|v| !v.is_null())
+                .collect();
             if vals.is_empty() {
                 return Value::Null;
             }
@@ -421,10 +547,8 @@ mod tests {
     use super::*;
 
     fn db() -> Database {
-        let mut customer = Relation::empty(Schema::of(
-            "customer",
-            &["cid", "name", "credit", "bal"],
-        ));
+        let mut customer =
+            Relation::empty(Schema::of("customer", &["cid", "name", "credit", "bal"]));
         for (cid, name, credit, bal) in [
             ("cid01", "Bob", "fair", 500),
             ("cid02", "Bob", "good", 110),
@@ -594,7 +718,10 @@ mod tests {
                 LogicalPlan::scan("customer").select(Expr::col_eq("credit", "excellent")),
             ),
             group_by: vec![],
-            aggs: vec![AggSpec::count_star("n"), AggSpec::new(AggFunc::Avg, "bal", "avg")],
+            aggs: vec![
+                AggSpec::count_star("n"),
+                AggSpec::new(AggFunc::Avg, "bal", "avg"),
+            ],
         };
         let r = execute(&plan, &db).unwrap();
         assert_eq!(r.len(), 1);
@@ -635,10 +762,28 @@ mod tests {
         // Natural self-join on all attrs is fine (it's an intersection)...
         assert!(execute(&plan, &db).is_ok());
         // ...but an unqualified theta self-join must be rejected.
-        let bad = LogicalPlan::scan("customer").theta_join(
-            LogicalPlan::scan("customer"),
-            Expr::lit(true),
-        );
+        let bad = LogicalPlan::scan("customer")
+            .theta_join(LogicalPlan::scan("customer"), Expr::lit(true));
         assert!(execute(&bad, &db).is_err());
+    }
+
+    #[test]
+    fn hash_key_rejects_null_and_borrows() {
+        let t = Tuple::new(vec![Value::Int(1), Value::Null, Value::str("x")]);
+        assert!(hash_key(&t, &[0, 2]).is_some());
+        assert!(hash_key(&t, &[0, 1]).is_none());
+        assert!(hash_key(&t, &[]).is_some());
+    }
+
+    #[test]
+    fn equi_positions_mines_cross_input_pairs() {
+        let ls = Schema::of("l", &["T1.a", "T1.b"]);
+        let rs = Schema::of("r", &["T2.a", "T2.c"]);
+        let pred = Expr::cmp(CmpOp::Eq, Expr::col("T1.a"), Expr::col("T2.a"))
+            .and(Expr::cmp(CmpOp::Eq, Expr::col("T2.c"), Expr::col("T1.b")))
+            .and(Expr::cmp(CmpOp::Lt, Expr::col("T1.b"), Expr::lit(5i64)));
+        let (lk, rk) = equi_positions(&pred, &ls, &rs);
+        assert_eq!(lk, vec![0, 1]);
+        assert_eq!(rk, vec![0, 1]);
     }
 }

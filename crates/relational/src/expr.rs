@@ -220,14 +220,18 @@ impl Expr {
                 if !lv {
                     return Ok(Value::Bool(false));
                 }
-                Ok(Value::Bool(r.eval(schema, tuple)?.as_bool().unwrap_or(false)))
+                Ok(Value::Bool(
+                    r.eval(schema, tuple)?.as_bool().unwrap_or(false),
+                ))
             }
             Expr::Or(l, r) => {
                 let lv = l.eval(schema, tuple)?.as_bool().unwrap_or(false);
                 if lv {
                     return Ok(Value::Bool(true));
                 }
-                Ok(Value::Bool(r.eval(schema, tuple)?.as_bool().unwrap_or(false)))
+                Ok(Value::Bool(
+                    r.eval(schema, tuple)?.as_bool().unwrap_or(false),
+                ))
             }
             Expr::Not(e) => Ok(Value::Bool(
                 !e.eval(schema, tuple)?.as_bool().unwrap_or(false),
@@ -272,14 +276,21 @@ mod tests {
     fn env() -> (Schema, Tuple) {
         (
             Schema::of("t", &["cid", "credit", "bal"]),
-            Tuple::new(vec![Value::str("cid02"), Value::str("good"), Value::Int(110)]),
+            Tuple::new(vec![
+                Value::str("cid02"),
+                Value::str("good"),
+                Value::Int(110),
+            ]),
         )
     }
 
     #[test]
     fn column_and_literal() {
         let (s, t) = env();
-        assert_eq!(Expr::col("credit").eval(&s, &t).unwrap(), Value::str("good"));
+        assert_eq!(
+            Expr::col("credit").eval(&s, &t).unwrap(),
+            Value::str("good")
+        );
         assert_eq!(Expr::lit(5i64).eval(&s, &t).unwrap(), Value::Int(5));
     }
 
@@ -288,7 +299,10 @@ mod tests {
         let s = Schema::of("T", &["T.cid", "T.credit"]);
         let t = Tuple::new(vec![Value::str("x"), Value::str("good")]);
         // Unqualified name resolves through the base-name fallback.
-        assert_eq!(Expr::col("credit").eval(&s, &t).unwrap(), Value::str("good"));
+        assert_eq!(
+            Expr::col("credit").eval(&s, &t).unwrap(),
+            Value::str("good")
+        );
         // Exact qualified match still works.
         assert_eq!(Expr::col("T.cid").eval(&s, &t).unwrap(), Value::str("x"));
         // A foreign qualifier must NOT resolve by base name.
@@ -346,16 +360,14 @@ mod tests {
     fn is_null_predicate() {
         let s = Schema::of("x", &["a"]);
         let t = Tuple::new(vec![Value::Null]);
-        assert!(Expr::IsNull(Box::new(Expr::col("a"))).holds(&s, &t).unwrap());
+        assert!(Expr::IsNull(Box::new(Expr::col("a")))
+            .holds(&s, &t)
+            .unwrap());
     }
 
     #[test]
     fn columns_are_collected() {
-        let e = Expr::col_eq("a", 1i64).and(Expr::cmp(
-            CmpOp::Lt,
-            Expr::col("b"),
-            Expr::col("c"),
-        ));
+        let e = Expr::col_eq("a", 1i64).and(Expr::cmp(CmpOp::Lt, Expr::col("b"), Expr::col("c")));
         let mut cols = e.columns();
         cols.sort();
         assert_eq!(cols, vec!["a", "b", "c"]);

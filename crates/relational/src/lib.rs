@@ -12,11 +12,16 @@
 //!   null-rejecting comparisons.
 //! - [`plan`] / [`exec`]: logical plans (select/project/join/aggregate/
 //!   set ops) with hash-based natural and equi joins.
+//! - [`physical`]: the physical operator layer — [`physical::lower`]
+//!   turns logical plans into explicit [`physical::PhysicalPlan`] trees
+//!   (hash vs nested-loop join chosen at plan time) executed with
+//!   per-operator counters in a [`physical::ExecContext`].
 //! - [`catalog`]: the named-relation database handed to the executor.
 
 pub mod catalog;
 pub mod exec;
 pub mod expr;
+pub mod physical;
 pub mod plan;
 pub mod relation;
 pub mod schema;
@@ -25,6 +30,9 @@ pub mod tuple;
 pub use catalog::Database;
 pub use exec::execute;
 pub use expr::{AggFunc, BinOp, CmpOp, Expr};
+pub use physical::{
+    execute_physical, execute_with_stats, lower, ExecContext, OpStats, PhysicalPlan,
+};
 pub use plan::{AggSpec, JoinKind, LogicalPlan};
 pub use relation::Relation;
 pub use schema::Schema;

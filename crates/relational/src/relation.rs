@@ -168,7 +168,13 @@ impl Relation {
             let row: Vec<String> = t
                 .values()
                 .iter()
-                .map(|v| if v.is_null() { String::new() } else { quote(&v.to_string()) })
+                .map(|v| {
+                    if v.is_null() {
+                        String::new()
+                    } else {
+                        quote(&v.to_string())
+                    }
+                })
                 .collect();
             out.push_str(&row.join(","));
             out.push('\n');
@@ -203,7 +209,9 @@ impl Relation {
         let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
         out.push_str(&fmt_row(&header_cells, &widths));
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 3 * widths.len().saturating_sub(1)));
+        out.push_str(
+            &"-".repeat(widths.iter().sum::<usize>() + 3 * widths.len().saturating_sub(1)),
+        );
         out.push('\n');
         for row in &rows {
             out.push_str(&fmt_row(row, &widths));
@@ -231,8 +239,10 @@ mod tests {
 
     fn product() -> Relation {
         let mut r = Relation::empty(Schema::of("product", &["pid", "risk"]));
-        r.push_values(vec![Value::str("fd1"), Value::str("medium")]).unwrap();
-        r.push_values(vec![Value::str("fd2"), Value::str("high")]).unwrap();
+        r.push_values(vec![Value::str("fd1"), Value::str("medium")])
+            .unwrap();
+        r.push_values(vec![Value::str("fd2"), Value::str("high")])
+            .unwrap();
         r
     }
 
@@ -256,7 +266,10 @@ mod tests {
     #[test]
     fn qualified_renames_attrs() {
         let r = product().qualified("T");
-        assert_eq!(r.schema().attrs(), &["T.pid".to_string(), "T.risk".to_string()]);
+        assert_eq!(
+            r.schema().attrs(),
+            &["T.pid".to_string(), "T.risk".to_string()]
+        );
         assert_eq!(r.len(), 2);
     }
 
@@ -270,7 +283,8 @@ mod tests {
     fn csv_rendering_quotes_and_nulls() {
         let mut r = Relation::empty(Schema::of("t", &["a", "b"]));
         r.push_values(vec![Value::str("x,y"), Value::Null]).unwrap();
-        r.push_values(vec![Value::str("quo\"te"), Value::Int(3)]).unwrap();
+        r.push_values(vec![Value::str("quo\"te"), Value::Int(3)])
+            .unwrap();
         let csv = r.to_csv();
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines[0], "a,b");
@@ -283,7 +297,8 @@ mod tests {
         let mut r = Relation::empty(Schema::of("t", &["id", "name", "score"]));
         r.push_values(vec![Value::Int(1), Value::str("a,b"), Value::Float(0.5)])
             .unwrap();
-        r.push_values(vec![Value::Int(2), Value::Null, Value::Int(7)]).unwrap();
+        r.push_values(vec![Value::Int(2), Value::Null, Value::Int(7)])
+            .unwrap();
         let parsed = Relation::from_csv("t", &r.to_csv()).unwrap();
         assert_eq!(parsed.len(), 2);
         assert_eq!(parsed.tuples()[0].get(1), &Value::str("a,b"));

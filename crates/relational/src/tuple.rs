@@ -60,7 +60,10 @@ mod tests {
     #[test]
     fn project_and_concat() {
         let t = Tuple::new(vec![Value::Int(1), Value::str("a"), Value::Bool(true)]);
-        assert_eq!(t.project(&[2, 0]).values(), &[Value::Bool(true), Value::Int(1)]);
+        assert_eq!(
+            t.project(&[2, 0]).values(),
+            &[Value::Bool(true), Value::Int(1)]
+        );
         let u = Tuple::new(vec![Value::Null]);
         let c = t.concat(&u);
         assert_eq!(c.arity(), 4);

@@ -37,7 +37,10 @@ fn build_db() -> Database {
             ])
             .unwrap();
     }
-    let mut product = Relation::empty(Schema::of("product", &["pid", "pname", "kind", "price", "risk"]));
+    let mut product = Relation::empty(Schema::of(
+        "product",
+        &["pid", "pname", "kind", "price", "risk"],
+    ));
     for (pid, name, kind, price, risk) in [
         ("fd1", "GL ESG", "Funds", 90i64, "medium"),
         ("fd2", "Beta", "Stocks", 120, "high"),
@@ -168,7 +171,10 @@ fn main() {
     let q1 = "select risk, company from product e-join G <company, loc> as T \
               where T.pid = fd1 and T.loc = UK";
     println!("\nQ1 (enrichment): {q1}");
-    println!("{}", engine.run(q1, Strategy::Optimized).unwrap().to_table());
+    println!(
+        "{}",
+        engine.run(q1, Strategy::Optimized).unwrap().to_table()
+    );
 
     // ---- Q2 -------------------------------------------------------------
     // Do Ada (cid04) and Bob (cid02) invest in stock of the same company?
@@ -179,12 +185,18 @@ fn main() {
               where T1.cid = cid04 and T2.cid = cid02 and T2.credit = good \
               and T1.company = T2.company";
     println!("Q2 (hidden link via extracted attribute): {q2}");
-    println!("{}", engine.run(q2, Strategy::Optimized).unwrap().to_table());
+    println!(
+        "{}",
+        engine.run(q2, Strategy::Optimized).unwrap().to_table()
+    );
 
     // ---- Q3 -------------------------------------------------------------
     let q3 = "select customerB.cid, customerB.cname, customerB.credit \
               from customer l-join <G2> customer as customerB \
               where customer.cid = cid02 and customerB.credit = good";
     println!("Q3 (link join over the social graph): {q3}");
-    println!("{}", engine.run(q3, Strategy::Optimized).unwrap().to_table());
+    println!(
+        "{}",
+        engine.run(q3, Strategy::Optimized).unwrap().to_table()
+    );
 }

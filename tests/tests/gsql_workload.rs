@@ -38,7 +38,10 @@ fn engine_for(col: &Collection) -> GsqlEngine {
 
 #[test]
 fn workload_composition_matches_spec() {
-    let cols: Vec<Collection> = gsj_datagen::collections::ALL.iter().map(|n| tiny(n)).collect();
+    let cols: Vec<Collection> = gsj_datagen::collections::ALL
+        .iter()
+        .map(|n| tiny(n))
+        .collect();
     let all: Vec<_> = cols.iter().flat_map(workload).collect();
     let c = composition(&all);
     assert_eq!(c.total, 36);
@@ -137,7 +140,11 @@ fn q1_of_the_paper_round_trips() {
     assert_eq!(r.len(), 1);
     assert_eq!(
         r.schema().attrs(),
-        &["name".to_string(), "director".to_string(), "country".to_string()]
+        &[
+            "name".to_string(),
+            "director".to_string(),
+            "country".to_string()
+        ]
     );
     // The director matches ground truth.
     let truth_director = col.truth.tuples()[0].get(1).clone();

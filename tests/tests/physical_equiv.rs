@@ -1,0 +1,196 @@
+//! Property tests: lowering a logical plan to the physical operator
+//! layer and executing it must produce exactly the relation the logical
+//! interpreter produces — same schema, same multiset of tuples — for
+//! arbitrary databases and plans.
+
+use gsj_common::{FxHashMap, Value};
+use gsj_relational::physical::execute_with_stats;
+use gsj_relational::plan::AggSpec;
+use gsj_relational::{
+    execute, AggFunc, CmpOp, Database, Expr, LogicalPlan, Relation, Schema, Tuple,
+};
+use proptest::prelude::*;
+
+/// Multiset view of a relation's tuples.
+fn counts(rel: &Relation) -> FxHashMap<Tuple, usize> {
+    let mut m: FxHashMap<Tuple, usize> = FxHashMap::default();
+    for t in rel.tuples() {
+        *m.entry(t.clone()).or_default() += 1;
+    }
+    m
+}
+
+/// Logical interpreter and physical executor agree on schema and tuple
+/// multiset (and, as implemented, on tuple order too).
+fn assert_equivalent(plan: &LogicalPlan, db: &Database) {
+    let expected = execute(plan, db).expect("logical execution");
+    let (got, ctx) = execute_with_stats(plan, db).expect("physical execution");
+    assert_eq!(
+        expected.schema().attrs(),
+        got.schema().attrs(),
+        "schema mismatch"
+    );
+    assert_eq!(counts(&expected), counts(&got), "tuple multiset mismatch");
+    assert_eq!(expected, got, "row order mismatch");
+    assert!(!ctx.ops().is_empty(), "no operators recorded");
+}
+
+fn relation(name: &str, attrs: &[&str], rows: &[Vec<Value>]) -> Relation {
+    let mut r = Relation::empty(Schema::of(name, attrs));
+    for row in rows {
+        r.push_values(row.clone()).unwrap();
+    }
+    r
+}
+
+/// Rows over (k, a): small key domain to force join matches, with
+/// occasional NULL keys to exercise null-rejection.
+fn keyed_rows(data: &[(i64, i64)]) -> Vec<Vec<Value>> {
+    data.iter()
+        .map(|&(k, a)| {
+            let key = if k == 0 { Value::Null } else { Value::Int(k) };
+            vec![key, Value::Int(a)]
+        })
+        .collect()
+}
+
+fn db_two_tables(left: &[(i64, i64)], right: &[(i64, i64)]) -> Database {
+    let mut db = Database::new();
+    db.insert(relation("l", &["k", "a"], &keyed_rows(left)));
+    db.insert(relation("r", &["k", "b"], &keyed_rows(right)));
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Scan → filter → project.
+    #[test]
+    fn select_project_equivalent(
+        rows in prop::collection::vec((0i64..6, -20i64..20), 0..24),
+        threshold in -20i64..20,
+    ) {
+        let db = db_two_tables(&rows, &[]);
+        let plan = LogicalPlan::scan("l")
+            .select(Expr::cmp(CmpOp::Ge, Expr::col("a"), Expr::lit(threshold)))
+            .project(&["a"]);
+        assert_equivalent(&plan, &db);
+    }
+
+    /// Natural join lowers to a hash join (or a product when schemas are
+    /// disjoint) with identical results.
+    #[test]
+    fn natural_join_equivalent(
+        left in prop::collection::vec((0i64..6, -20i64..20), 0..24),
+        right in prop::collection::vec((0i64..6, -20i64..20), 0..24),
+    ) {
+        let db = db_two_tables(&left, &right);
+        let plan = LogicalPlan::scan("l").natural_join(LogicalPlan::scan("r"));
+        assert_equivalent(&plan, &db);
+    }
+
+    /// Theta join with a minable equi-conjunct plus a residual predicate.
+    #[test]
+    fn equi_theta_join_equivalent(
+        left in prop::collection::vec((0i64..6, -20i64..20), 0..20),
+        right in prop::collection::vec((0i64..6, -20i64..20), 0..20),
+    ) {
+        let db = db_two_tables(&left, &right);
+        let pred = Expr::cmp(CmpOp::Eq, Expr::col("L.k"), Expr::col("R.k"))
+            .and(Expr::cmp(CmpOp::Lt, Expr::col("L.a"), Expr::col("R.b")));
+        let plan = LogicalPlan::scan("l")
+            .qualify("L")
+            .theta_join(LogicalPlan::scan("r").qualify("R"), pred);
+        assert_equivalent(&plan, &db);
+    }
+
+    /// Non-equi theta join falls back to a nested loop with identical
+    /// results.
+    #[test]
+    fn non_equi_theta_join_equivalent(
+        left in prop::collection::vec((0i64..6, -20i64..20), 0..16),
+        right in prop::collection::vec((0i64..6, -20i64..20), 0..16),
+    ) {
+        let db = db_two_tables(&left, &right);
+        let pred = Expr::cmp(CmpOp::Gt, Expr::col("L.a"), Expr::col("R.b"));
+        let plan = LogicalPlan::scan("l")
+            .qualify("L")
+            .theta_join(LogicalPlan::scan("r").qualify("R"), pred);
+        assert_equivalent(&plan, &db);
+    }
+
+    /// Aggregation over a join, then sort and limit.
+    #[test]
+    fn aggregate_sort_limit_equivalent(
+        left in prop::collection::vec((0i64..6, -20i64..20), 0..24),
+        right in prop::collection::vec((0i64..6, -20i64..20), 0..24),
+        n in 0usize..8,
+    ) {
+        let db = db_two_tables(&left, &right);
+        let plan = LogicalPlan::Limit {
+            input: Box::new(LogicalPlan::Sort {
+                input: Box::new(LogicalPlan::Aggregate {
+                    input: Box::new(
+                        LogicalPlan::scan("l").natural_join(LogicalPlan::scan("r")),
+                    ),
+                    group_by: vec!["k".into()],
+                    aggs: vec![
+                        AggSpec::count_star("n"),
+                        AggSpec::new(AggFunc::Sum, "a", "total"),
+                        AggSpec::new(AggFunc::Min, "b", "low"),
+                    ],
+                }),
+                by: vec!["k".into()],
+                desc: false,
+            }),
+            n,
+        };
+        assert_equivalent(&plan, &db);
+    }
+
+    /// Union, difference, and distinct.
+    #[test]
+    fn set_ops_equivalent(
+        left in prop::collection::vec((0i64..6, -4i64..4), 0..20),
+        right in prop::collection::vec((0i64..6, -4i64..4), 0..20),
+    ) {
+        let db = db_two_tables(&left, &right);
+        let l = LogicalPlan::scan("l");
+        let r = LogicalPlan::scan("r");
+        let union = LogicalPlan::Distinct {
+            input: Box::new(LogicalPlan::Union {
+                left: Box::new(l.clone()),
+                right: Box::new(r.clone()),
+            }),
+        };
+        assert_equivalent(&union, &db);
+        let diff = LogicalPlan::Difference {
+            left: Box::new(l),
+            right: Box::new(r),
+        };
+        assert_equivalent(&diff, &db);
+    }
+
+    /// Global aggregate (no GROUP BY) over a filtered scan, including the
+    /// empty-input one-row case.
+    #[test]
+    fn global_aggregate_equivalent(
+        rows in prop::collection::vec((0i64..6, -20i64..20), 0..16),
+        threshold in -25i64..25,
+    ) {
+        let db = db_two_tables(&rows, &[]);
+        let plan = LogicalPlan::Aggregate {
+            input: Box::new(
+                LogicalPlan::scan("l")
+                    .select(Expr::cmp(CmpOp::Lt, Expr::col("a"), Expr::lit(threshold))),
+            ),
+            group_by: vec![],
+            aggs: vec![
+                AggSpec::count_star("n"),
+                AggSpec::new(AggFunc::Avg, "a", "avg"),
+                AggSpec::new(AggFunc::Max, "a", "high"),
+            ],
+        };
+        assert_equivalent(&plan, &db);
+    }
+}

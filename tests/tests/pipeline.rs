@@ -53,8 +53,7 @@ fn recover_f1(collection: &str, guided: bool) -> f64 {
 fn her_matches_every_entity_on_all_collections() {
     for name in gsj_datagen::collections::ALL {
         let col = tiny(name);
-        let matches =
-            her_match(&col.graph, col.entity_relation(), &col.her_config()).unwrap();
+        let matches = her_match(&col.graph, col.entity_relation(), &col.her_config()).unwrap();
         let ratio = matches.len() as f64 / col.entity_relation().len() as f64;
         assert!(ratio > 0.95, "{name}: HER matched only {ratio:.2}");
         // And matches must point at the actual entity vertices.

@@ -1,0 +1,181 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the API subset its benches use: `Criterion::bench_function`,
+//! `benchmark_group` / `bench_with_input`, `Bencher::iter`,
+//! `BenchmarkId`, and the `criterion_group!` / `criterion_main!` macros.
+//! Measurement is a straightforward warmup + timed-batch loop reporting
+//! mean and min per iteration — no statistics machinery, but stable
+//! enough to compare operator implementations against each other.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers compile.
+pub use std::hint::black_box;
+
+/// Names one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// The timing loop handed to bench closures.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration of the last `iter` call.
+    mean_ns: f64,
+    /// Fastest single batch, nanoseconds per iteration.
+    min_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Run `f` under the timing loop.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up for ~50ms to stabilise caches and branch predictors.
+        let warmup = Duration::from_millis(50);
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while start.elapsed() < warmup {
+            black_box(f());
+            warm_iters += 1;
+        }
+        // Pick a batch size aiming at ~20ms per batch, then run 5 batches.
+        let per_iter = warmup.as_nanos() as f64 / warm_iters.max(1) as f64;
+        let batch = ((20_000_000.0 / per_iter.max(1.0)) as u64).clamp(1, 1_000_000);
+        let mut total_ns: u128 = 0;
+        let mut min_batch_ns = u128::MAX;
+        let batches = 5u64;
+        for _ in 0..batches {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let ns = t0.elapsed().as_nanos();
+            total_ns += ns;
+            min_batch_ns = min_batch_ns.min(ns);
+        }
+        self.iters = batches * batch;
+        self.mean_ns = total_ns as f64 / self.iters as f64;
+        self.min_ns = min_batch_ns as f64 / batch as f64;
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, mut f: F) {
+    let mut b = Bencher {
+        mean_ns: 0.0,
+        min_ns: 0.0,
+        iters: 0,
+    };
+    f(&mut b);
+    println!(
+        "{name:<48} mean {:>12}   min {:>12}   ({} iters)",
+        human(b.mean_ns),
+        human(b.min_ns),
+        b.iters
+    );
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup { name }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Run a benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.id), |b| f(b, input));
+        self
+    }
+
+    /// Run an unparameterised benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(&format!("{}/{name}", self.name), f);
+        self
+    }
+
+    /// Accepted for API compatibility; sampling is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; measurement time is fixed.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Collect bench functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,82 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::thread::scope` is used by this workspace; since Rust
+//! 1.63 the standard library provides scoped threads, so the vendored
+//! version is a thin adapter that keeps crossbeam's call shape
+//! (`scope(|s| ...)` returning `Result`, spawn closures taking the scope
+//! as an argument).
+
+pub mod thread {
+    use std::thread as stdthread;
+
+    /// Adapter over [`std::thread::Scope`] with crossbeam's API shape.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope stdthread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: stdthread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread and return its result.
+        pub fn join(self) -> stdthread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread; the closure receives the scope (crossbeam
+        /// style) so nested spawns keep working.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Create a scope for spawning borrowing threads. All spawned threads
+    /// are joined before this returns. The `Result` is always `Ok` here
+    /// (panics in joined threads surface through their handles, matching
+    /// how this workspace consumes the API).
+    pub fn scope<'env, F, R>(f: F) -> stdthread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(stdthread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_parallel_sum() {
+        let data: Vec<u64> = (0..100).collect();
+        let total: u64 = crate::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(30)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 4950);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let v = crate::thread::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 21).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(v, 42);
+    }
+}
