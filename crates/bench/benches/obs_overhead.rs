@@ -1,0 +1,134 @@
+//! Instrumentation-overhead microbench (DESIGN.md §10).
+//!
+//! Compares the hot loops that carry gsj-obs instrumentation — BFS
+//! frontier expansion and a hash-join probe — against uninstrumented
+//! copies, with tracing **off**. Documented threshold: the instrumented
+//! variants must stay within **2%** of the plain ones, which holds
+//! because the disabled span path is a single atomic load and the
+//! aggregate counters are bumped once per *call*, never inside the
+//! inner loops.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gsj_common::{FxHashMap, FxHashSet, Value};
+use gsj_graph::traversal::k_hop_set;
+use gsj_graph::{LabeledGraph, VertexId};
+use gsj_obs::LazyCounter;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::VecDeque;
+
+fn random_graph(n: usize, avg_deg: usize) -> (LabeledGraph, Vec<VertexId>) {
+    let mut g = LabeledGraph::new();
+    let vs: Vec<_> = (0..n).map(|i| g.add_vertex(&format!("v{i}"))).collect();
+    let mut rng = SmallRng::seed_from_u64(3);
+    for _ in 0..n * avg_deg / 2 {
+        let a = vs[rng.random_range(0..n)];
+        let b = vs[rng.random_range(0..n)];
+        if a != b {
+            g.add_edge(a, "e", b);
+        }
+    }
+    (g, vs)
+}
+
+/// `traversal::k_hop_set` with the metrics calls removed — the
+/// uninstrumented baseline for the BFS frontier expansion.
+fn k_hop_set_plain(g: &LabeledGraph, start: VertexId, k: usize) -> FxHashSet<VertexId> {
+    let mut seen: FxHashSet<VertexId> = FxHashSet::default();
+    if !g.is_live(start) {
+        return seen;
+    }
+    let mut frontier = VecDeque::new();
+    seen.insert(start);
+    frontier.push_back((start, 0usize));
+    while let Some((v, d)) = frontier.pop_front() {
+        if d == k {
+            continue;
+        }
+        for (e, _) in g.incident(v) {
+            if seen.insert(e.to) {
+                frontier.push_back((e.to, d + 1));
+            }
+        }
+    }
+    seen
+}
+
+fn bench_bfs_frontier(c: &mut Criterion) {
+    let (g, vs) = random_graph(20_000, 6);
+    let mut group = c.benchmark_group("bfs_frontier");
+    group.bench_function("plain", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 37) % vs.len();
+            std::hint::black_box(k_hop_set_plain(&g, vs[i], 3))
+        })
+    });
+    group.bench_function("instrumented", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 37) % vs.len();
+            std::hint::black_box(k_hop_set(&g, vs[i], 3))
+        })
+    });
+    group.finish();
+}
+
+static PROBE_CALLS: LazyCounter = LazyCounter::new("gsj_bench_probe_calls_total");
+static PROBE_MATCHES: LazyCounter = LazyCounter::new("gsj_bench_probe_matches_total");
+
+fn probe_table(n: usize) -> (FxHashMap<Value, Vec<usize>>, Vec<Value>) {
+    let mut build: FxHashMap<Value, Vec<usize>> = FxHashMap::default();
+    for i in 0..n {
+        build
+            .entry(Value::str(format!("key{}", i % (n / 4))))
+            .or_default()
+            .push(i);
+    }
+    let probes: Vec<Value> = (0..n)
+        .map(|i| Value::str(format!("key{}", i % n)))
+        .collect();
+    (build, probes)
+}
+
+/// The hash-join probe loop, uninstrumented.
+fn probe_plain(build: &FxHashMap<Value, Vec<usize>>, probes: &[Value]) -> usize {
+    let mut matches = 0usize;
+    for p in probes {
+        if let Some(rows) = build.get(p) {
+            matches += rows.len();
+        }
+    }
+    matches
+}
+
+/// The same probe loop carrying the instrumentation pattern used across
+/// the engine: one disabled span at call granularity, counters bumped
+/// once per call with the aggregated totals.
+fn probe_instrumented(build: &FxHashMap<Value, Vec<usize>>, probes: &[Value]) -> usize {
+    let _span = gsj_obs::span("bench.probe");
+    let mut matches = 0usize;
+    for p in probes {
+        if let Some(rows) = build.get(p) {
+            matches += rows.len();
+        }
+    }
+    PROBE_CALLS.inc();
+    PROBE_MATCHES.add(matches as u64);
+    matches
+}
+
+fn bench_hash_join_probe(c: &mut Criterion) {
+    let (build, probes) = probe_table(40_000);
+    let mut group = c.benchmark_group("hash_join_probe");
+    group.bench_function("plain", |b| {
+        b.iter(|| std::hint::black_box(probe_plain(&build, &probes)))
+    });
+    group.bench_function("instrumented", |b| {
+        b.iter(|| std::hint::black_box(probe_instrumented(&build, &probes)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bfs_frontier, bench_hash_join_probe);
+criterion_main!(benches);

@@ -6,6 +6,7 @@ use gsj_core::quality::f_measure;
 use gsj_datagen::{collections, Scale};
 
 fn main() {
+    let _obs = gsj_bench::obs_scope("diagnose");
     let name = std::env::args().nth(1).unwrap_or_else(|| "Drugs".into());
     let scale = std::env::args()
         .nth(2)

@@ -16,6 +16,7 @@ use gsj_datagen::collections;
 use gsj_datagen::queries::workload;
 
 fn main() {
+    let _obs = gsj_bench::obs_scope("exp_e2e");
     let scale = scale_from_env(60);
     banner("Exp-3(II) — end-to-end query evaluation", "Exp-3(II)");
     println!(

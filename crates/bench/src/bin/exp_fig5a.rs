@@ -10,6 +10,7 @@ use gsj_bench::{prepared, recover_f_measure, scale_from_env, variants, ExpConfig
 use gsj_datagen::collections;
 
 fn main() {
+    let _obs = gsj_bench::obs_scope("exp_fig5a");
     let scale = scale_from_env(150);
     banner("Fig 5(a) — RExt quality: vary H (Paper)", "Fig 5(a)");
     println!("scale = {}\n", scale.0);

@@ -9,6 +9,7 @@ use gsj_bench::{prepared, recover_f_measure, scale_from_env, variants, ExpConfig
 use gsj_datagen::collections;
 
 fn main() {
+    let _obs = gsj_bench::obs_scope("exp_fig5b");
     let scale = scale_from_env(100);
     banner("Fig 5(b) — RExt quality: vary m (Movie)", "Fig 5(b)");
     println!("scale = {}\n", scale.0);

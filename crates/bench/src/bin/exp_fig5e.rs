@@ -9,6 +9,7 @@ use gsj_bench::{prepared, recover_f_measure, scale_from_env, variants, ExpConfig
 use gsj_datagen::collections;
 
 fn main() {
+    let _obs = gsj_bench::obs_scope("exp_fig5e");
     let scale = scale_from_env(150);
     banner("Fig 5(e) — RExt efficiency: vary k (MovKB)", "Fig 5(e)");
     println!("scale = {} (seconds per extraction)\n", scale.0);

@@ -10,6 +10,7 @@ use gsj_core::config::RExtConfig;
 use gsj_datagen::collections;
 
 fn main() {
+    let _obs = gsj_bench::obs_scope("exp_fig5f");
     let scale = scale_from_env(100);
     banner("Fig 5(f) — clustering quality (all datasets)", "Fig 5(f)");
     println!("scale = {}\n", scale.0);

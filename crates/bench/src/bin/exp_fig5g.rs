@@ -11,6 +11,7 @@ use gsj_core::config::RExtConfig;
 use gsj_datagen::collections;
 
 fn main() {
+    let _obs = gsj_bench::obs_scope("exp_fig5g");
     let scale = scale_from_env(100);
     banner("Fig 5(g) — cascading HER error (all datasets)", "Fig 5(g)");
     println!("scale = {}\n", scale.0);

@@ -14,6 +14,7 @@ use gsj_graph::update::apply_updates;
 use gsj_her::her_match;
 
 fn main() {
+    let _obs = gsj_bench::obs_scope("exp_fig5h");
     let scale = scale_from_env(150);
     banner(
         "Fig 5(h) — IncExt: vary |ΔG| (all datasets)",

@@ -26,6 +26,7 @@ fn rel_bytes(r: &Relation) -> usize {
 }
 
 fn main() {
+    let _obs = gsj_bench::obs_scope("exp_offline");
     let scale = scale_from_env(150);
     banner("Exp-3(I) — offline preprocessing", "Exp-3(I)(a)(b)");
     println!("scale = {}\n", scale.0);

@@ -12,6 +12,7 @@ use gsj_datagen::queries::{composition, workload};
 use gsj_graph::stats::graph_stats;
 
 fn main() {
+    let _obs = gsj_bench::obs_scope("exp_table2");
     let scale = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())

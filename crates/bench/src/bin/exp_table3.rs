@@ -18,6 +18,7 @@ use gsj_datagen::collections;
 use gsj_datagen::queries::workload;
 
 fn main() {
+    let _obs = gsj_bench::obs_scope("exp_table3");
     let scale = scale_from_env(120);
     banner(
         "Table III — relative accuracy of heuristic joins",

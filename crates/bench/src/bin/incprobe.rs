@@ -9,6 +9,7 @@ use gsj_graph::update::apply_updates;
 use gsj_her::her_match;
 
 fn main() {
+    let _obs = gsj_bench::obs_scope("incprobe");
     let scale = Scale(
         std::env::args()
             .nth(1)

@@ -5,6 +5,7 @@ use gsj_bench::{prepared, recover_f_measure, ExpConfig};
 use gsj_datagen::{collections, Scale};
 
 fn main() {
+    let _obs = gsj_bench::obs_scope("probe");
     let scale = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())

@@ -8,6 +8,9 @@
 use std::process::Command;
 
 fn main() {
+    // `--trace` here forwards to every child via the env toggle, so each
+    // experiment writes its own `gsj-trace-<bin>.json` snapshot.
+    let tracing = gsj_bench::init_tracing();
     let exps = [
         ("exp_table2", "Table II — dataset collections"),
         ("exp_fig5a", "Fig 5(a) quality vs H"),
@@ -26,7 +29,11 @@ fn main() {
     let bin_dir = self_path.parent().expect("bin dir");
     for (bin, label) in exps {
         eprintln!("\n##### running {bin} ({label}) #####");
-        let status = Command::new(bin_dir.join(bin))
+        let mut cmd = Command::new(bin_dir.join(bin));
+        if tracing {
+            cmd.env("GSJ_TRACE", "1");
+        }
+        let status = cmd
             .status()
             .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
         if !status.success() {

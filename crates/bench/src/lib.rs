@@ -6,7 +6,9 @@
 
 pub mod exps;
 pub mod harness;
+pub mod obs;
 pub mod report;
 
 pub use exps::{engine_for, result_f1, scale_from_env, timed, variants};
 pub use harness::{prepared, recover_f_measure, ExpConfig, Prepared, RecoverOutcome};
+pub use obs::{dump_trace, init_tracing, obs_scope, trace_snapshot_json, TraceDump};

@@ -82,6 +82,8 @@ fn assign_chunk(points: &[Vec<f32>], centroids: &[Vec<f32>], out: &mut [usize]) 
 /// assignment step is embarrassingly parallel and the reduction order does
 /// not affect assignments.
 pub fn kmeans(points: &[Vec<f32>], cfg: &KmeansConfig) -> Clustering {
+    let mut span = gsj_obs::span("cluster.kmeans");
+    span.field("points", points.len()).field("k", cfg.k);
     if points.is_empty() || cfg.k == 0 {
         return Clustering {
             assignments: Vec::new(),
@@ -154,6 +156,7 @@ pub fn kmeans(points: &[Vec<f32>], cfg: &KmeansConfig) -> Clustering {
         prev_inertia = inertia;
     }
 
+    span.field("iterations", iterations);
     Clustering {
         assignments,
         centroids,

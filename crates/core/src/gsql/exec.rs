@@ -160,9 +160,12 @@ impl GsqlEngine {
         q: &Query,
         strategy: Strategy,
     ) -> Result<(Relation, ExecContext)> {
+        let mut span = gsj_obs::span("gsql.query");
+        span.field("strategy", format!("{strategy:?}"));
         let plan = self.plan_query(q, strategy)?;
         let mut ctx = ExecContext::new();
         let rel = self.execute_plan(&plan, &mut ctx)?;
+        span.field("rows", rel.len());
         Ok((rel, ctx))
     }
 
@@ -179,14 +182,87 @@ impl GsqlEngine {
 
     /// `EXPLAIN ANALYZE`: actually execute the query under `strategy` and
     /// append the per-operator counters — rows in/out, build/probe sizes
-    /// for hash joins, and wall time — to the plan description.
+    /// for hash joins, and wall time — to the plan description, followed
+    /// by one unified trace tree that merges the physical-operator stats
+    /// with the pipeline stage spans (HER, RExt, BFS, joins) collected
+    /// while the query ran.
     pub fn explain_analyze(&self, q: &Query, strategy: Strategy) -> Result<String> {
-        let (rel, ctx) = self.run_query_stats(q, strategy)?;
+        use gsj_obs::SpanRecord;
+        // Force span collection for this query only, serialized against
+        // other exclusive trace regions so drains don't interleave.
+        let _region = gsj_obs::exclusive_region();
+        let was = gsj_obs::tracing_enabled();
+        gsj_obs::set_tracing(true);
+        let _ = gsj_obs::take_spans(); // discard stale spans
+        let watermark = gsj_obs::next_span_id();
+        let result = self.run_query_stats(q, strategy);
+        gsj_obs::set_tracing(was);
+        let drained = gsj_obs::take_spans();
+        let (rel, ctx) = result?;
+
+        // Keep this query's spans: those opened on this thread after the
+        // watermark, plus anything transitively parented under them
+        // (other threads may record concurrently while the toggle is on).
+        let me = gsj_obs::current_thread_ordinal();
+        let mut keep: std::collections::HashSet<u64> = drained
+            .iter()
+            .filter(|s| s.thread == me && s.id > watermark)
+            .map(|s| s.id)
+            .collect();
+        loop {
+            let before = keep.len();
+            for s in &drained {
+                if let Some(p) = s.parent {
+                    if keep.contains(&p) {
+                        keep.insert(s.id);
+                    }
+                }
+            }
+            if keep.len() == before {
+                break;
+            }
+        }
+        let mut spans: Vec<SpanRecord> = drained
+            .into_iter()
+            .filter(|s| keep.contains(&s.id))
+            .collect();
+        let root = spans
+            .iter()
+            .find(|s| s.label == "gsql.query")
+            .map(|s| (s.id, s.thread));
+
+        // Bridge the physical-operator stats into the same tree: each op
+        // becomes a synthetic span, parented by its operator parent or,
+        // for top-level ops, by the query root span.
+        let ids: Vec<u64> = ctx.ops().iter().map(|_| gsj_obs::next_span_id()).collect();
+        for (i, op) in ctx.ops().iter().enumerate() {
+            let mut fields = vec![
+                ("rows_in".to_string(), op.rows_in.to_string()),
+                ("rows_out".to_string(), op.rows_out.to_string()),
+            ];
+            if let Some(b) = op.build_rows {
+                fields.push(("build_rows".to_string(), b.to_string()));
+            }
+            if let Some(p) = op.probe_rows {
+                fields.push(("probe_rows".to_string(), p.to_string()));
+            }
+            spans.push(SpanRecord {
+                id: ids[i],
+                parent: op.parent.map(|p| ids[p]).or(root.map(|(id, _)| id)),
+                label: op.label.clone(),
+                fields,
+                start_ns: op.start_ns,
+                dur_ns: op.nanos.min(u64::MAX as u128) as u64,
+                thread: root.map(|(_, t)| t).unwrap_or(0),
+            });
+        }
+        spans.sort_by_key(|s| (s.start_ns, s.id));
         Ok(format!(
-            "{}result: {} row(s)\n\n{}",
+            "{}result: {} row(s)\n\n{}\ntrace:\n{}",
             self.explain(q, strategy),
             rel.len(),
-            ctx.render()
+            ctx.render(),
+            gsj_obs::render_tree(&spans)
         ))
     }
 
@@ -681,6 +757,51 @@ mod tests {
             "{report}"
         );
         assert!(report.contains("Filter(customer.cid)"), "{report}");
+    }
+
+    #[test]
+    fn explain_analyze_unifies_operator_stats_and_stage_spans() {
+        let e = engine();
+        // One query exercising both semantic joins, under the online
+        // (Baseline) strategy so HER + RExt actually run at query time.
+        let q = e
+            .parse(
+                "select T.pid, customerB.name from \
+                 product e-join G <company> as T, \
+                 customer l-join <Gs> customer as customerB \
+                 where customer.cid = cid02",
+            )
+            .unwrap();
+        let report = e.explain_analyze(&q, Strategy::Baseline).unwrap();
+        let trace = report.split("trace:\n").nth(1).expect("trace section");
+        // One tree: the query root span first, everything else under it.
+        assert!(trace.starts_with("gsql.query"), "{trace}");
+        assert!(
+            trace
+                .lines()
+                .skip(1)
+                .all(|l| l.is_empty() || l.starts_with(' ')),
+            "{trace}"
+        );
+        // Physical-operator stats and pipeline stage spans in the same
+        // tree, not two disjoint reports.
+        assert!(
+            trace.contains("EJoin(G<company> over product, online)"),
+            "{trace}"
+        );
+        assert!(trace.contains("LJoin("), "{trace}");
+        assert!(trace.contains("gsql.ejoin"), "{trace}");
+        assert!(trace.contains("her.match"), "{trace}");
+        assert!(trace.contains("rext.discover"), "{trace}");
+        assert!(trace.contains("join.link"), "{trace}");
+        // Stage spans carry non-zero wall time (rendered as `[dur]`).
+        let root_line = trace.lines().next().unwrap();
+        assert!(root_line.contains('['), "no timing on root: {root_line}");
+        let her_line = trace
+            .lines()
+            .find(|l| l.trim_start().starts_with("her.match"))
+            .unwrap();
+        assert!(her_line.contains('['), "no timing: {her_line}");
     }
 
     #[test]

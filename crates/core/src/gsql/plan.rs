@@ -235,34 +235,46 @@ impl GsqlEngine {
     }
 
     fn eval_item_plan(&self, item: &ItemPlan, ctx: &mut ExecContext) -> Result<Relation> {
+        // Each FROM item opens an operator slot before evaluating its
+        // sources, so scans and sub-plans nest under it in the trace tree.
+        // (On an error `?` the slot stays pending — the ctx is discarded.)
+        let token = ctx.enter();
         match item {
             ItemPlan::Plain { source, name } => {
                 let t0 = Instant::now();
                 let rel = self.eval_source_plan(source, ctx)?.qualified(name);
-                physical::record_external(item.describe(self.k), rel.len(), rel.len(), t0, ctx);
+                ctx.exit(
+                    token,
+                    physical::external_stats(item.describe(self.k), rel.len(), rel.len(), t0),
+                );
                 Ok(rel)
             }
             ItemPlan::EJoin(p) => {
-                let rel = self.eval_source_plan(&p.source, ctx)?;
                 let t0 = Instant::now();
+                let rel = self.eval_source_plan(&p.source, ctx)?;
                 let joined = strategies::eval_ejoin(self, p, &rel)?;
-                physical::record_external(item.describe(self.k), rel.len(), joined.len(), t0, ctx);
+                ctx.exit(
+                    token,
+                    physical::external_stats(item.describe(self.k), rel.len(), joined.len(), t0),
+                );
                 Ok(match &p.alias {
                     Some(a) => joined.qualified(a),
                     None => joined,
                 })
             }
             ItemPlan::LJoin(p) => {
+                let t0 = Instant::now();
                 let lrel = self.eval_source_plan(&p.left, ctx)?.qualified(&p.lalias);
                 let rrel = self.eval_source_plan(&p.right, ctx)?.qualified(&p.ralias);
-                let t0 = Instant::now();
                 let out = strategies::eval_ljoin(self, p, &lrel, &rrel)?;
-                physical::record_external(
-                    item.describe(self.k),
-                    lrel.len() + rrel.len(),
-                    out.len(),
-                    t0,
-                    ctx,
+                ctx.exit(
+                    token,
+                    physical::external_stats(
+                        item.describe(self.k),
+                        lrel.len() + rrel.len(),
+                        out.len(),
+                        t0,
+                    ),
                 );
                 Ok(out)
             }

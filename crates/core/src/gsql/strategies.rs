@@ -128,8 +128,17 @@ pub fn choose_ljoin(strategy: Strategy) -> LJoinImpl {
     }
 }
 
+static GL_CACHE_HITS: gsj_obs::LazyCounter =
+    gsj_obs::LazyCounter::new("gsj_core_gl_cache_hits_total");
+static GL_CACHE_MISSES: gsj_obs::LazyCounter =
+    gsj_obs::LazyCounter::new("gsj_core_gl_cache_misses_total");
+
 /// Execute a planned enrichment join over an evaluated source relation.
 pub(super) fn eval_ejoin(e: &GsqlEngine, p: &EJoinPlan, rel: &Relation) -> Result<Relation> {
+    let mut span = gsj_obs::span("gsql.ejoin");
+    span.field("impl", p.imp.tag())
+        .field("graph", &p.graph)
+        .field("base", &p.base);
     let id_attr = e.actual_id_attr(rel, &p.base)?;
     let g = e.the_graph(&p.graph)?;
     match p.imp {
@@ -173,6 +182,10 @@ pub(super) fn eval_ljoin(
     lrel: &Relation,
     rrel: &Relation,
 ) -> Result<Relation> {
+    let mut span = gsj_obs::span("gsql.ljoin");
+    span.field("impl", p.imp.tag())
+        .field("graph", &p.graph)
+        .field("k", e.k);
     let lid = e.actual_id_attr(lrel, &p.lbase)?;
     let rid = e.actual_id_attr(rrel, &p.rbase)?;
     let g = e.the_graph(&p.graph)?;
@@ -204,9 +217,15 @@ pub(super) fn eval_ljoin(
             rv.dedup();
             let signature = link_signature(&p.graph, &p.lbase, &p.rbase, e.k, &lv, &rv);
             let gl = match profile.cached_link(&signature) {
-                Some(rel) => rel,
+                Some(rel) => {
+                    GL_CACHE_HITS.inc();
+                    gsj_obs::event("gsql.gl_cache", &[("hit", &true), ("rows", &rel.len())]);
+                    rel
+                }
                 None => {
+                    GL_CACHE_MISSES.inc();
                     let rel = connectivity_relation(g, &lv, &rv, e.k, "g_l");
+                    gsj_obs::event("gsql.gl_cache", &[("hit", &false), ("rows", &rel.len())]);
                     profile.cache_link(signature, rel.clone());
                     rel
                 }

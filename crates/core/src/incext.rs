@@ -138,16 +138,14 @@ pub fn inc_update_graph(
     prev: &Extraction,
     report: &UpdateReport,
 ) -> Result<Extraction> {
-    let debug = std::env::var("GSJ_INC_DEBUG").is_ok();
-    let t0 = std::time::Instant::now();
-    let affected_zone = pattern_affected_zone(g, &report.touched, &prev.discovery);
-    if debug {
-        eprintln!(
-            "[inc] zone: {:?} ({} vertices)",
-            t0.elapsed(),
-            affected_zone.len()
-        );
-    }
+    let mut update_span = gsj_obs::span("incext.update_graph");
+    update_span.field("touched", report.touched.len());
+    let affected_zone = {
+        let mut span = gsj_obs::span("incext.zone");
+        let zone = pattern_affected_zone(g, &report.touched, &prev.discovery);
+        span.field("vertices", zone.len());
+        zone
+    };
     // HER depends on the (hops-bounded) vicinity, not on patterns: a
     // separate, shallow ball gates match re-computation.
     let her_zone = multi_source_khop(g, report.touched.iter().copied(), her_cfg.hops);
@@ -166,30 +164,27 @@ pub fn inc_update_graph(
             redo_rows.push(t.clone());
         }
     }
-    let rerun_matches = if redo_rows.is_empty() {
-        MatchRelation::new()
-    } else {
-        // Localized HER: candidates are the vertices whose vicinity an
-        // update could have changed, plus the redo tuples' previous
-        // matches (so an unchanged match can be re-confirmed).
-        let mut candidates: FxHashSet<VertexId> = her_zone.clone();
-        candidates.extend(affected_zone.iter().copied());
-        let id_pos2 = id_pos;
-        for t in &redo_rows {
-            if let Some(v) = prev.matches.vertex_of(t.get(id_pos2)) {
-                candidates.insert(v);
+    let rerun_matches = {
+        let mut span = gsj_obs::span("incext.her_redo");
+        span.field("redo_rows", redo_rows.len());
+        if redo_rows.is_empty() {
+            MatchRelation::new()
+        } else {
+            // Localized HER: candidates are the vertices whose vicinity an
+            // update could have changed, plus the redo tuples' previous
+            // matches (so an unchanged match can be re-confirmed).
+            let mut candidates: FxHashSet<VertexId> = her_zone.clone();
+            candidates.extend(affected_zone.iter().copied());
+            let id_pos2 = id_pos;
+            for t in &redo_rows {
+                if let Some(v) = prev.matches.vertex_of(t.get(id_pos2)) {
+                    candidates.insert(v);
+                }
             }
+            let sub = Relation::new(s.schema().clone(), redo_rows.clone())?;
+            her_match_local(g, &sub, her_cfg, candidates)?
         }
-        let sub = Relation::new(s.schema().clone(), redo_rows.clone())?;
-        her_match_local(g, &sub, her_cfg, candidates)?
     };
-    if debug {
-        eprintln!(
-            "[inc] her: {:?} ({} redo rows)",
-            t0.elapsed(),
-            redo_rows.len()
-        );
-    }
     let redo_tids: FxHashSet<Value> = redo_rows.iter().map(|t| t.get(id_pos).clone()).collect();
 
     // --- Merge into the new match relation.
@@ -237,17 +232,11 @@ pub fn inc_update_graph(
         .filter(|v| matched_now.contains(v))
         .collect();
     ordered.sort();
-    if debug {
-        eprintln!(
-            "[inc] pre-extract: {:?} ({} vertices)",
-            t0.elapsed(),
-            ordered.len()
-        );
-    }
-    let fresh = rext.extract_vertices(g, &ordered, &prev.discovery)?;
-    if debug {
-        eprintln!("[inc] post-extract: {:?}", t0.elapsed());
-    }
+    let fresh = {
+        let mut span = gsj_obs::span("incext.re_extract");
+        span.field("vertices", ordered.len());
+        rext.extract_vertices(g, &ordered, &prev.discovery)?
+    };
     for row in fresh.tuples() {
         dg.push(row.clone())?;
     }

@@ -23,6 +23,7 @@ pub fn enrichment_join(
     rext: &Rext,
     her_cfg: &HerConfig,
 ) -> Result<(Relation, Extraction)> {
+    let mut span = gsj_obs::span("join.enrichment");
     let mut cfg = her_cfg.clone();
     cfg.id_attr = id_attr.to_string();
     let matches = her_match(g, s, &cfg)?;
@@ -30,6 +31,8 @@ pub fn enrichment_join(
     let discovery = rext.discover(g, &matches, Some((s, id_attr)), keywords, &schema_name)?;
     let dg = rext.extract(g, &matches, &discovery)?;
     let joined = join_three_way(s, id_attr, &matches, &keyword_view(&dg, keywords)?)?;
+    span.field("rows_in", s.len())
+        .field("rows_out", joined.len());
     Ok((
         joined,
         Extraction {

@@ -52,6 +52,7 @@ pub fn link_join_with_matches(
     g: &LabeledGraph,
     k: usize,
 ) -> Result<Relation> {
+    let mut span = gsj_obs::span("join.link");
     let id1_pos = s1.schema().require(id1)?;
     let id2_pos = s2.schema().require(id2)?;
     let mut attrs = s1.schema().attrs().to_vec();
@@ -80,6 +81,9 @@ pub fn link_join_with_matches(
             }
         }
     }
+    span.field("k", k)
+        .field("pairs_checked", memo.len())
+        .field("rows_out", out.len());
     Ok(out)
 }
 
@@ -94,6 +98,10 @@ pub fn connectivity_relation(
     k: usize,
     name: &str,
 ) -> Relation {
+    let mut span = gsj_obs::span("join.connectivity");
+    span.field("left", left.len())
+        .field("right", right.len())
+        .field("k", k);
     let mut rel = Relation::empty(Schema::of(name, &["vid1", "vid2"]));
     let mut memo: FxHashMap<(VertexId, VertexId), bool> = FxHashMap::default();
     for &v1 in left {

@@ -64,9 +64,13 @@ impl GraphProfile {
         her_cfg: &HerConfig,
         typed_cfg: Option<&TypedConfig>,
     ) -> Result<GraphProfile> {
+        let mut build_span = gsj_obs::span("profile.build");
+        build_span.field("relations", specs.len());
         let mut extractions = FxHashMap::default();
         let mut spec_map = FxHashMap::default();
         for spec in specs {
+            let mut span = gsj_obs::span("profile.relation");
+            span.field("relation", &spec.name);
             let rel = db.get(&spec.name)?;
             let cfg = HerConfig {
                 id_attr: spec.id_attr.clone(),
@@ -92,7 +96,12 @@ impl GraphProfile {
             spec_map.insert(spec.name.clone(), spec);
         }
         let typed = match typed_cfg {
-            Some(cfg) => extract_typed(g, rext, cfg)?,
+            Some(cfg) => {
+                let mut span = gsj_obs::span("profile.typed");
+                let typed = extract_typed(g, rext, cfg)?;
+                span.field("types", typed.len());
+                typed
+            }
             None => FxHashMap::default(),
         };
         Ok(GraphProfile {

@@ -17,6 +17,9 @@ use gsj_nn::{AttnEncoder, HashEmbedder, LanguageModel, WordEmbedder};
 use gsj_relational::Relation;
 use std::sync::Arc;
 
+static EXTRACTED_ROWS: gsj_obs::LazyCounter =
+    gsj_obs::LazyCounter::new("gsj_core_extracted_rows_total");
+
 /// Map `f` over `items` with scoped threads, preserving order.
 pub(crate) fn parallel_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
 where
@@ -71,6 +74,7 @@ impl Rext {
     /// Train the scheme on a graph (model training is the offline
     /// preprocessing of Exp-3(I)(a)).
     pub fn train(g: &LabeledGraph, cfg: RExtConfig) -> Result<Self> {
+        let _span = gsj_obs::span("rext.train");
         cfg.validate()?;
         let needs_lm =
             cfg.path == PathKind::LmGuided || matches!(cfg.seq, SeqKind::Lstm100 | SeqKind::Lstm50);
@@ -184,55 +188,79 @@ impl Rext {
         schema_name: &str,
         cluster_noise: Option<(f64, u64)>,
     ) -> Result<Discovery> {
+        let mut disc_span = gsj_obs::span("rext.discover");
+        static PATHS_SELECTED: gsj_obs::LazyCounter =
+            gsj_obs::LazyCounter::new("gsj_core_paths_selected_total");
         // (1) Path selection per distinct matched vertex, in parallel.
         let mut vertices: Vec<VertexId> = matches.vertices().collect();
         vertices.sort();
         vertices.dedup();
-        let per_vertex: Vec<Vec<Path>> =
-            parallel_map(&vertices, self.cfg.threads, |&v| self.select_paths(g, v));
-        let mut paths_map: FxHashMap<VertexId, Vec<Path>> = FxHashMap::default();
-        let mut flat: Vec<Path> = Vec::new();
-        for (v, paths) in vertices.iter().zip(per_vertex) {
-            flat.extend(paths.iter().cloned());
-            paths_map.insert(*v, paths);
-        }
+        let (paths_map, flat) = {
+            let mut span = gsj_obs::span("rext.path_select");
+            let per_vertex: Vec<Vec<Path>> =
+                parallel_map(&vertices, self.cfg.threads, |&v| self.select_paths(g, v));
+            let mut paths_map: FxHashMap<VertexId, Vec<Path>> = FxHashMap::default();
+            let mut flat: Vec<Path> = Vec::new();
+            for (v, paths) in vertices.iter().zip(per_vertex) {
+                flat.extend(paths.iter().cloned());
+                paths_map.insert(*v, paths);
+            }
+            span.field("vertices", vertices.len())
+                .field("paths", flat.len());
+            PATHS_SELECTED.add(flat.len() as u64);
+            (paths_map, flat)
+        };
 
         // (2) Vertex-path pair vectorization, in parallel.
         let word = self.word.as_ref();
         let seq = self.seq.as_ref();
-        let features: Vec<Vec<f32>> = parallel_map(&flat, self.cfg.threads, |p| {
-            crate::embed_paths::embed_pair(g, p, word, seq)
-        });
+        let features: Vec<Vec<f32>> = {
+            let mut span = gsj_obs::span("rext.embed");
+            let features: Vec<Vec<f32>> = parallel_map(&flat, self.cfg.threads, |p| {
+                crate::embed_paths::embed_pair(g, p, word, seq)
+            });
+            span.field("pairs", features.len());
+            features
+        };
         let word_dim = self.word.dim();
 
         // (3a) KMC.
-        let mut assignments = kmeans(
-            &features,
-            &KmeansConfig {
-                k: self.cfg.h,
-                max_iters: self.cfg.kmeans_iters,
-                threads: self.cfg.threads,
-                seed: self.cfg.seed ^ 0x2222,
-                ..KmeansConfig::default()
-            },
-        )
-        .assignments;
+        let mut assignments = {
+            let _span = gsj_obs::span("rext.cluster");
+            kmeans(
+                &features,
+                &KmeansConfig {
+                    k: self.cfg.h,
+                    max_iters: self.cfg.kmeans_iters,
+                    threads: self.cfg.threads,
+                    seed: self.cfg.seed ^ 0x2222,
+                    ..KmeansConfig::default()
+                },
+            )
+            .assignments
+        };
         if let Some((frac, seed)) = cluster_noise {
             inject_cluster_noise(&mut assignments, self.cfg.h, frac, seed);
         }
 
         // (3b) Majority-vote pattern refinement, then the simulated user
         // inspection dropping peer-link clusters.
-        let refined = refine_patterns(&flat, &assignments, self.cfg.h);
-        let refined = if self.cfg.filter_same_type_ends {
-            crate::discover::filter_link_clusters(g, refined, &flat, &self.cfg.type_edges)
-        } else {
+        let refined = {
+            let mut span = gsj_obs::span("rext.refine");
+            let refined = refine_patterns(&flat, &assignments, self.cfg.h);
+            let refined = if self.cfg.filter_same_type_ends {
+                crate::discover::filter_link_clusters(g, refined, &flat, &self.cfg.type_edges)
+            } else {
+                refined
+            };
+            span.field("clusters", refined.len());
             refined
         };
 
         // (4) Ranking and attribute selection. Naming embeddings combine
         // the path's edge labels with its end label (see
         // `discover::build_w_entries` for the rationale).
+        let mut rank_span = gsj_obs::span("rext.rank");
         let name_embs: Vec<Vec<f32>> =
             parallel_map(&flat, self.cfg.threads, |p| naming_embedding(g, p, word));
         let keyword_embs: Vec<(String, Vec<f32>)> = keywords
@@ -252,6 +280,11 @@ impl Rext {
             self.cfg.m.min(keywords.len().max(1)),
             schema_name,
         )?;
+        rank_span.field("attrs", schema.arity());
+        drop(rank_span);
+        disc_span
+            .field("schema", schema_name)
+            .field("paths", flat.len());
 
         Ok(Discovery {
             clusters,
@@ -307,9 +340,13 @@ impl Rext {
         matches: &MatchRelation,
         discovery: &Discovery,
     ) -> Result<Relation> {
-        extract_relation(g, matches.vertices(), discovery, self.word.as_ref(), |v| {
+        let mut span = gsj_obs::span("rext.extract");
+        let out = extract_relation(g, matches.vertices(), discovery, self.word.as_ref(), |v| {
             self.select_paths(g, v)
-        })
+        })?;
+        EXTRACTED_ROWS.add(out.len() as u64);
+        span.field("rows", out.len());
+        Ok(out)
     }
 
     /// Algorithm 1 restricted to specific vertices with *fresh* path
@@ -323,17 +360,21 @@ impl Rext {
     ) -> Result<Relation> {
         // Bypass the discovery cache entirely: these vertices' vicinities
         // changed.
+        let mut span = gsj_obs::span("rext.extract");
         let mut stripped = discovery.clone();
         for v in vertices {
             stripped.paths.remove(v);
         }
-        extract_relation(
+        let out = extract_relation(
             g,
             vertices.iter().copied(),
             &stripped,
             self.word.as_ref(),
             |v| self.select_paths(g, v),
-        )
+        )?;
+        EXTRACTED_ROWS.add(out.len() as u64);
+        span.field("rows", out.len()).field("fresh", vertices.len());
+        Ok(out)
     }
 }
 

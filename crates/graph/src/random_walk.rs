@@ -48,6 +48,9 @@ pub type Sentence = Vec<Symbol>;
 /// the alternating vertex/edge label sequence. Walks of length zero (from
 /// isolated vertices) are skipped.
 pub fn build_corpus(g: &LabeledGraph, cfg: &WalkConfig) -> Vec<Sentence> {
+    let mut span = gsj_obs::span("graph.random_walk");
+    static WALKS: gsj_obs::LazyCounter = gsj_obs::LazyCounter::new("gsj_graph_walks_total");
+    static TOKENS: gsj_obs::LazyCounter = gsj_obs::LazyCounter::new("gsj_graph_walk_tokens_total");
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let vertices: Vec<VertexId> = g.vertices().collect();
     let mut corpus = Vec::with_capacity(vertices.len() * cfg.walks_per_vertex);
@@ -58,6 +61,10 @@ pub fn build_corpus(g: &LabeledGraph, cfg: &WalkConfig) -> Vec<Sentence> {
             }
         }
     }
+    WALKS.add(corpus.len() as u64);
+    TOKENS.add(corpus.iter().map(|s| s.len() as u64).sum());
+    span.field("vertices", vertices.len())
+        .field("sentences", corpus.len());
     corpus
 }
 

@@ -6,7 +6,16 @@
 
 use crate::graph::{LabeledGraph, VertexId};
 use gsj_common::{FxHashMap, FxHashSet};
+use gsj_obs::LazyCounter;
 use std::collections::VecDeque;
+
+// Aggregate counters, bumped once per call (never inside the BFS loops)
+// so the hot paths stay cheap. See DESIGN.md §10.
+static KHOP_CALLS: LazyCounter = LazyCounter::new("gsj_graph_khop_calls_total");
+static KHOP_VISITED: LazyCounter = LazyCounter::new("gsj_graph_khop_visited_total");
+static BFS_CALLS: LazyCounter = LazyCounter::new("gsj_graph_bfs_calls_total");
+static BFS_VISITED: LazyCounter = LazyCounter::new("gsj_graph_bfs_visited_total");
+static BFS_HITS: LazyCounter = LazyCounter::new("gsj_graph_bfs_hits_total");
 
 /// All live vertices within `k` undirected hops of `start` (including
 /// `start` itself at distance 0).
@@ -28,6 +37,8 @@ pub fn k_hop_set(g: &LabeledGraph, start: VertexId, k: usize) -> FxHashSet<Verte
             }
         }
     }
+    KHOP_CALLS.inc();
+    KHOP_VISITED.add(seen.len() as u64);
     seen
 }
 
@@ -59,10 +70,12 @@ pub fn k_hop_distances(g: &LabeledGraph, start: VertexId, k: usize) -> FxHashMap
 /// This is the join condition of the link join `S1 ⋈G S2` (Section IV-A's
 /// "check their pairwise distance via a bi-directional BFS search").
 pub fn within_k_hops(g: &LabeledGraph, u: VertexId, v: VertexId, k: usize) -> bool {
+    BFS_CALLS.inc();
     if !g.is_live(u) || !g.is_live(v) {
         return false;
     }
     if u == v {
+        BFS_HITS.inc();
         return true;
     }
     if k == 0 {
@@ -96,6 +109,8 @@ pub fn within_k_hops(g: &LabeledGraph, u: VertexId, v: VertexId, k: usize) -> bo
                 }
                 if let Some(&other_d) = theirs.get(&e.to) {
                     if depth + other_d <= k {
+                        BFS_HITS.inc();
+                        BFS_VISITED.add((mine.len() + theirs.len()) as u64);
                         return true;
                     }
                 }
@@ -105,6 +120,7 @@ pub fn within_k_hops(g: &LabeledGraph, u: VertexId, v: VertexId, k: usize) -> bo
         }
         *frontier = next;
     }
+    BFS_VISITED.add((from_u.len() + from_v.len()) as u64);
     false
 }
 

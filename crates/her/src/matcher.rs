@@ -86,7 +86,12 @@ fn score_tuple(
 /// vertex's vicinity, and accept the best candidate scoring at least
 /// `min_score` (ties broken by lower vertex id, deterministically).
 pub fn her_match(g: &LabeledGraph, s: &Relation, cfg: &HerConfig) -> Result<MatchRelation> {
-    let index = BlockIndex::build(g, cfg.hops, cfg.max_block);
+    let index = {
+        let mut span = gsj_obs::span("her.block_index");
+        let index = BlockIndex::build(g, cfg.hops, cfg.max_block);
+        span.field("hops", cfg.hops);
+        index
+    };
     her_match_indexed(g, s, cfg, &index)
 }
 
@@ -110,6 +115,12 @@ fn her_match_indexed(
     cfg: &HerConfig,
     index: &BlockIndex,
 ) -> Result<MatchRelation> {
+    static TUPLES: gsj_obs::LazyCounter = gsj_obs::LazyCounter::new("gsj_her_tuples_total");
+    static SCORED: gsj_obs::LazyCounter =
+        gsj_obs::LazyCounter::new("gsj_her_candidates_scored_total");
+    static MATCHED: gsj_obs::LazyCounter = gsj_obs::LazyCounter::new("gsj_her_matched_total");
+    let mut span = gsj_obs::span("her.match");
+    let mut scored = 0u64;
     let id_pos = s.schema().require(&cfg.id_attr)?;
     let _ = g;
     let mut matches = MatchRelation::new();
@@ -132,6 +143,7 @@ fn her_match_indexed(
         }
         let mut best: Option<(f64, VertexId)> = None;
         for v in index.candidates(&query_tokens) {
+            scored += 1;
             let vicinity = &index.vicinity[&v];
             let vicinity_tokens: FxHashSet<String> =
                 vicinity.iter().flat_map(|l| tokens(l)).collect();
@@ -148,6 +160,12 @@ fn her_match_indexed(
             matches.push(t.get(id_pos).clone(), v);
         }
     }
+    TUPLES.add(s.len() as u64);
+    SCORED.add(scored);
+    MATCHED.add(matches.len() as u64);
+    span.field("tuples", s.len())
+        .field("scored", scored)
+        .field("matched", matches.len());
     Ok(matches)
 }
 

@@ -143,8 +143,11 @@ impl LanguageModel {
     /// symbol table (labels are normalized through [`normalize_label`]
     /// before tokenization). Training is unsupervised.
     pub fn train(corpus: &[Vec<Symbol>], symbols: &SymbolTable, cfg: LmConfig) -> Self {
+        let mut span = gsj_obs::span("nn.lm_train");
         let mut model = Self::untrained(corpus, symbols, cfg);
         model.fit(corpus);
+        span.field("sentences", corpus.len())
+            .field("vocab", model.vocab_size());
         model
     }
 

@@ -1,0 +1,722 @@
+//! Exporters and (minimal) parsers for the two snapshot formats:
+//! Prometheus text exposition and JSON.
+//!
+//! The parsers exist so exports can be *verified* — the CI trace smoke
+//! test and the round-trip unit tests parse what the exporters emit and
+//! compare values, catching escaping or formatting regressions.
+
+use crate::metrics::{Labels, Metric, Registry};
+use crate::trace::SpanRecord;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+// ---------------------------------------------------------------------------
+// Prometheus text format
+// ---------------------------------------------------------------------------
+
+/// Escape a Prometheus label value: `\` → `\\`, `"` → `\"`, newline → `\n`.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    let mut chars = v.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('\\') => out.push('\\'),
+                Some('"') => out.push('"'),
+                Some('n') => out.push('\n'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn format_labels(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+fn format_f64(v: f64) -> String {
+    if v.is_infinite() {
+        if v > 0.0 {
+            "+Inf".into()
+        } else {
+            "-Inf".into()
+        }
+    } else if v.is_nan() {
+        "NaN".into()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Render every metric in `registry` in Prometheus text exposition
+/// format, with `# TYPE` lines, in deterministic order.
+pub fn prometheus_text(registry: &Registry) -> String {
+    let mut out = String::new();
+    let mut typed: BTreeMap<String, &'static str> = BTreeMap::new();
+    registry.visit(|name, labels, help, metric| {
+        let kind = match metric {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        };
+        if typed.insert(name.to_string(), kind).is_none() {
+            if let Some(h) = help {
+                let _ = writeln!(out, "# HELP {name} {}", h.replace('\n', " "));
+            }
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+        }
+        match metric {
+            Metric::Counter(c) => {
+                let _ = writeln!(out, "{name}{} {}", format_labels(labels), c.get());
+            }
+            Metric::Gauge(g) => {
+                let _ = writeln!(out, "{name}{} {}", format_labels(labels), g.get());
+            }
+            Metric::Histogram(h) => {
+                let cum = h.cumulative_counts();
+                for (i, ub) in h.bounds().iter().enumerate() {
+                    let mut with_le = labels.to_vec();
+                    with_le.push(("le".into(), format_f64(*ub)));
+                    let _ = writeln!(out, "{name}_bucket{} {}", format_labels(&with_le), cum[i]);
+                }
+                let mut with_inf = labels.to_vec();
+                with_inf.push(("le".into(), "+Inf".into()));
+                let _ = writeln!(
+                    out,
+                    "{name}_bucket{} {}",
+                    format_labels(&with_inf),
+                    cum.last().copied().unwrap_or(0)
+                );
+                let _ = writeln!(
+                    out,
+                    "{name}_sum{} {}",
+                    format_labels(labels),
+                    format_f64(h.sum())
+                );
+                let _ = writeln!(out, "{name}_count{} {}", format_labels(labels), h.count());
+            }
+        }
+    });
+    out
+}
+
+/// One parsed Prometheus sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromSample {
+    pub name: String,
+    pub labels: Labels,
+    pub value: f64,
+}
+
+/// A parsed Prometheus text exposition.
+#[derive(Debug, Default)]
+pub struct PromSnapshot {
+    pub samples: Vec<PromSample>,
+    /// `# TYPE` declarations, metric name → kind.
+    pub types: BTreeMap<String, String>,
+}
+
+impl PromSnapshot {
+    /// Find a sample by name and (exact, sorted) label set.
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        let mut want: Labels = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        want.sort();
+        self.samples
+            .iter()
+            .find(|s| s.name == name && s.labels == want)
+            .map(|s| s.value)
+    }
+}
+
+/// Parse Prometheus text exposition format (the subset the exporter
+/// emits: comments, `name{labels} value` lines, no timestamps).
+pub fn parse_prometheus_text(text: &str) -> Result<PromSnapshot, String> {
+    let mut snap = PromSnapshot::default();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            if let (Some(name), Some(kind)) = (it.next(), it.next()) {
+                snap.types.insert(name.to_string(), kind.to_string());
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let err = |msg: &str| format!("line {}: {msg}: {raw}", lineno + 1);
+        // name, optional {labels}, value
+        let (name_part, rest) = match line.find('{') {
+            Some(brace) => {
+                let close = line.rfind('}').ok_or_else(|| err("unclosed label set"))?;
+                (
+                    &line[..brace],
+                    Some((&line[brace + 1..close], &line[close + 1..])),
+                )
+            }
+            None => (line.split_whitespace().next().unwrap_or(""), None),
+        };
+        let (labels, value_str) = match rest {
+            Some((label_body, tail)) => (parse_label_body(label_body)?, tail.trim()),
+            None => (Vec::new(), line[name_part.len()..].trim()),
+        };
+        let value = match value_str {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            "NaN" => f64::NAN,
+            v => v.parse::<f64>().map_err(|_| err("bad value"))?,
+        };
+        let mut labels = labels;
+        labels.sort();
+        snap.samples.push(PromSample {
+            name: name_part.trim().to_string(),
+            labels,
+            value,
+        });
+    }
+    Ok(snap)
+}
+
+fn parse_label_body(body: &str) -> Result<Labels, String> {
+    let mut labels = Labels::new();
+    let chars: Vec<char> = body.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        // skip separators
+        while i < chars.len() && (chars[i] == ',' || chars[i].is_whitespace()) {
+            i += 1;
+        }
+        if i >= chars.len() {
+            break;
+        }
+        let key_start = i;
+        while i < chars.len() && chars[i] != '=' {
+            i += 1;
+        }
+        if i >= chars.len() {
+            return Err(format!("label without '=': {body}"));
+        }
+        let key: String = chars[key_start..i].iter().collect();
+        i += 1; // '='
+        if i >= chars.len() || chars[i] != '"' {
+            return Err(format!("label value not quoted: {body}"));
+        }
+        i += 1; // opening quote
+        let mut value = String::new();
+        let mut closed = false;
+        while i < chars.len() {
+            let c = chars[i];
+            if c == '\\' && i + 1 < chars.len() {
+                value.push('\\');
+                value.push(chars[i + 1]);
+                i += 2;
+                continue;
+            }
+            if c == '"' {
+                closed = true;
+                i += 1;
+                break;
+            }
+            value.push(c);
+            i += 1;
+        }
+        if !closed {
+            return Err(format!("unterminated label value: {body}"));
+        }
+        labels.push((key.trim().to_string(), unescape_label_value(&value)));
+    }
+    Ok(labels)
+}
+
+// ---------------------------------------------------------------------------
+// JSON
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value (minimal, for verifying exports — not a general
+/// purpose JSON library).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+/// Escape a string for a JSON string literal (without the quotes).
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serialize a span list as a JSON array of objects with keys
+/// `id, parent, label, start_ns, dur_ns, thread, fields`.
+pub fn spans_json(spans: &[SpanRecord]) -> String {
+    let mut out = String::from("[");
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"id\":{},\"parent\":{},\"label\":\"{}\",\"start_ns\":{},\"dur_ns\":{},\"thread\":{},\"fields\":{{",
+            s.id,
+            s.parent.map_or("null".to_string(), |p| p.to_string()),
+            escape_json(&s.label),
+            s.start_ns,
+            s.dur_ns,
+            s.thread,
+        );
+        for (j, (k, v)) in s.fields.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":\"{}\"", escape_json(k), escape_json(v));
+        }
+        out.push_str("}}");
+    }
+    out.push(']');
+    out
+}
+
+/// Serialize every metric in `registry` as a JSON array of objects with
+/// keys `name, kind, labels, value` (histograms carry `sum, count,
+/// buckets` instead of `value`).
+pub fn metrics_json(registry: &Registry) -> String {
+    let mut out = String::from("[");
+    let mut first = true;
+    registry.visit(|name, labels, _help, metric| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{{\"name\":\"{}\",", escape_json(name));
+        out.push_str("\"labels\":{");
+        for (j, (k, v)) in labels.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":\"{}\"", escape_json(k), escape_json(v));
+        }
+        out.push_str("},");
+        match metric {
+            Metric::Counter(c) => {
+                let _ = write!(out, "\"kind\":\"counter\",\"value\":{}", c.get());
+            }
+            Metric::Gauge(g) => {
+                let _ = write!(out, "\"kind\":\"gauge\",\"value\":{}", g.get());
+            }
+            Metric::Histogram(h) => {
+                let cum = h.cumulative_counts();
+                let _ = write!(
+                    out,
+                    "\"kind\":\"histogram\",\"sum\":{},\"count\":{},\"buckets\":[",
+                    json_num(h.sum()),
+                    h.count()
+                );
+                for (i, ub) in h.bounds().iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{{\"le\":{},\"count\":{}}}", json_num(*ub), cum[i]);
+                }
+                if !h.bounds().is_empty() {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"le\":null,\"count\":{}}}]",
+                    cum.last().copied().unwrap_or(0)
+                );
+            }
+        }
+        out.push('}');
+    });
+    out.push(']');
+    out
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        // JSON has no Inf/NaN; null is the conventional stand-in.
+        "null".into()
+    }
+}
+
+/// Parse a JSON document. Accepts the subset the exporters emit plus
+/// whitespace; rejects trailing garbage.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut pos = 0usize;
+    let value = parse_json_value(&chars, &mut pos)?;
+    skip_ws(&chars, &mut pos);
+    if pos != chars.len() {
+        return Err(format!("trailing characters at offset {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(chars: &[char], pos: &mut usize) {
+    while *pos < chars.len() && chars[*pos].is_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn parse_json_value(chars: &[char], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(chars, pos);
+    let c = *chars.get(*pos).ok_or("unexpected end of input")?;
+    match c {
+        'n' => expect_lit(chars, pos, "null", Json::Null),
+        't' => expect_lit(chars, pos, "true", Json::Bool(true)),
+        'f' => expect_lit(chars, pos, "false", Json::Bool(false)),
+        '"' => parse_json_string(chars, pos).map(Json::Str),
+        '[' => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(chars, pos);
+            if chars.get(*pos) == Some(&']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_json_value(chars, pos)?);
+                skip_ws(chars, pos);
+                match chars.get(*pos) {
+                    Some(',') => *pos += 1,
+                    Some(']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at offset {pos}")),
+                }
+            }
+        }
+        '{' => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(chars, pos);
+            if chars.get(*pos) == Some(&'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(chars, pos);
+                let key = parse_json_string(chars, pos)?;
+                skip_ws(chars, pos);
+                if chars.get(*pos) != Some(&':') {
+                    return Err(format!("expected ':' at offset {pos}"));
+                }
+                *pos += 1;
+                let value = parse_json_value(chars, pos)?;
+                fields.push((key, value));
+                skip_ws(chars, pos);
+                match chars.get(*pos) {
+                    Some(',') => *pos += 1,
+                    Some('}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at offset {pos}")),
+                }
+            }
+        }
+        c if c == '-' || c.is_ascii_digit() => {
+            let start = *pos;
+            while *pos < chars.len()
+                && matches!(chars[*pos], '-' | '+' | '.' | 'e' | 'E' | '0'..='9')
+            {
+                *pos += 1;
+            }
+            let s: String = chars[start..*pos].iter().collect();
+            s.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| format!("bad number {s:?} at offset {start}"))
+        }
+        other => Err(format!("unexpected character {other:?} at offset {pos}")),
+    }
+}
+
+fn expect_lit(chars: &[char], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    for expected in lit.chars() {
+        if chars.get(*pos) != Some(&expected) {
+            return Err(format!("expected literal {lit:?} at offset {pos}"));
+        }
+        *pos += 1;
+    }
+    Ok(value)
+}
+
+fn parse_json_string(chars: &[char], pos: &mut usize) -> Result<String, String> {
+    if chars.get(*pos) != Some(&'"') {
+        return Err(format!("expected string at offset {pos}"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    while *pos < chars.len() {
+        let c = chars[*pos];
+        *pos += 1;
+        match c {
+            '"' => return Ok(out),
+            '\\' => {
+                let esc = *chars.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    '/' => out.push('/'),
+                    'n' => out.push('\n'),
+                    'r' => out.push('\r'),
+                    't' => out.push('\t'),
+                    'b' => out.push('\u{8}'),
+                    'f' => out.push('\u{c}'),
+                    'u' => {
+                        if *pos + 4 > chars.len() {
+                            return Err("truncated \\u escape".into());
+                        }
+                        let hex: String = chars[*pos..*pos + 4].iter().collect();
+                        *pos += 4;
+                        let code = u32::from_str_radix(&hex, 16)
+                            .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    other => return Err(format!("bad escape \\{other}")),
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    Err("unterminated string".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn prometheus_escaping_round_trips() {
+        for raw in [
+            "plain",
+            "with \"quotes\"",
+            "back\\slash",
+            "new\nline",
+            "all \\ \"three\"\ncases \\n literal",
+        ] {
+            let escaped = escape_label_value(raw);
+            assert!(!escaped.contains('\n'), "escaped value must be one line");
+            assert_eq!(unescape_label_value(&escaped), raw);
+        }
+    }
+
+    #[test]
+    fn prometheus_text_round_trips_through_parser() {
+        let r = Registry::new();
+        r.counter(
+            "gsj_test_ops_total",
+            &[("stage", "her"), ("q", "a\"b\\c\nd")],
+        )
+        .add(42);
+        r.gauge("gsj_test_frontier", &[]).set(-7);
+        let h = r.histogram("gsj_test_latency_ns", &[], &[10.0, 100.0]);
+        h.observe(5.0);
+        h.observe(50.0);
+        h.observe(5000.0);
+
+        let text = prometheus_text(&r);
+        let snap = parse_prometheus_text(&text).expect("exporter output must parse");
+
+        assert_eq!(
+            snap.types.get("gsj_test_ops_total").map(String::as_str),
+            Some("counter")
+        );
+        assert_eq!(
+            snap.types.get("gsj_test_latency_ns").map(String::as_str),
+            Some("histogram")
+        );
+        assert_eq!(
+            snap.get(
+                "gsj_test_ops_total",
+                &[("stage", "her"), ("q", "a\"b\\c\nd")]
+            ),
+            Some(42.0)
+        );
+        assert_eq!(snap.get("gsj_test_frontier", &[]), Some(-7.0));
+        assert_eq!(
+            snap.get("gsj_test_latency_ns_bucket", &[("le", "10")]),
+            Some(1.0)
+        );
+        assert_eq!(
+            snap.get("gsj_test_latency_ns_bucket", &[("le", "100")]),
+            Some(2.0)
+        );
+        assert_eq!(
+            snap.get("gsj_test_latency_ns_bucket", &[("le", "+Inf")]),
+            Some(3.0)
+        );
+        assert_eq!(snap.get("gsj_test_latency_ns_count", &[]), Some(3.0));
+        assert_eq!(snap.get("gsj_test_latency_ns_sum", &[]), Some(5055.0));
+    }
+
+    #[test]
+    fn json_parser_handles_exporter_subset() {
+        let doc = r#"{"a": [1, 2.5, -3e2], "b": {"nested": "va\"l\nue"}, "c": null, "d": true}"#;
+        let v = parse_json(doc).unwrap();
+        assert_eq!(
+            v.get("a").unwrap().as_arr().unwrap()[2].as_f64(),
+            Some(-300.0)
+        );
+        assert_eq!(
+            v.get("b").unwrap().get("nested").unwrap().as_str(),
+            Some("va\"l\nue")
+        );
+        assert_eq!(v.get("c"), Some(&Json::Null));
+        assert!(parse_json("{\"a\": 1} trailing").is_err());
+        assert!(parse_json("{broken").is_err());
+    }
+
+    #[test]
+    fn spans_json_round_trips() {
+        let spans = vec![
+            SpanRecord {
+                id: 1,
+                parent: None,
+                label: "root \"q\"".into(),
+                fields: vec![("rows".into(), "10".into())],
+                start_ns: 100,
+                dur_ns: 900,
+                thread: 0,
+            },
+            SpanRecord {
+                id: 2,
+                parent: Some(1),
+                label: "child\nlabel".into(),
+                fields: vec![],
+                start_ns: 150,
+                dur_ns: 40,
+                thread: 0,
+            },
+        ];
+        let json = spans_json(&spans);
+        let v = parse_json(&json).unwrap();
+        let arr = v.as_arr().unwrap();
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr[0].get("label").unwrap().as_str(), Some("root \"q\""));
+        assert_eq!(arr[0].get("parent"), Some(&Json::Null));
+        assert_eq!(arr[1].get("parent").unwrap().as_f64(), Some(1.0));
+        assert_eq!(arr[1].get("label").unwrap().as_str(), Some("child\nlabel"));
+        assert_eq!(
+            arr[0].get("fields").unwrap().get("rows").unwrap().as_str(),
+            Some("10")
+        );
+    }
+
+    #[test]
+    fn metrics_json_round_trips() {
+        let r = Registry::new();
+        r.counter("c_total", &[("k", "v")]).add(7);
+        let h = r.histogram("h_ns", &[], &[1.0]);
+        h.observe(0.5);
+        h.observe(2.0);
+        let json = metrics_json(&r);
+        let v = parse_json(&json).unwrap();
+        let arr = v.as_arr().unwrap();
+        assert_eq!(arr.len(), 2);
+        let counter = arr
+            .iter()
+            .find(|m| m.get("name").unwrap().as_str() == Some("c_total"))
+            .unwrap();
+        assert_eq!(counter.get("value").unwrap().as_f64(), Some(7.0));
+        assert_eq!(
+            counter.get("labels").unwrap().get("k").unwrap().as_str(),
+            Some("v")
+        );
+        let hist = arr
+            .iter()
+            .find(|m| m.get("name").unwrap().as_str() == Some("h_ns"))
+            .unwrap();
+        assert_eq!(hist.get("count").unwrap().as_f64(), Some(2.0));
+        let buckets = hist.get("buckets").unwrap().as_arr().unwrap();
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[1].get("le"), Some(&Json::Null));
+        assert_eq!(buckets[1].get("count").unwrap().as_f64(), Some(2.0));
+    }
+}

@@ -1,0 +1,33 @@
+//! `gsj-obs` — observability substrate for the semantic-join engine.
+//!
+//! Two complementary facilities (DESIGN.md §10):
+//!
+//! * **Spans** ([`trace`]): hierarchical wall-time measurements of the
+//!   paper's pipeline stages (HER matching, RExt phases, BFS, gSQL
+//!   operators). Off by default; enabled by `GSJ_TRACE=1` or
+//!   [`set_tracing`]. The disabled path is near-free — one atomic load,
+//!   no allocation — so instrumentation can stay in hot code.
+//! * **Metrics** ([`metrics`]): always-on cumulative counters, gauges
+//!   and fixed-bucket histograms in a process-global [`Registry`],
+//!   named `gsj_<crate>_<stage>_<what>[_total]`.
+//!
+//! Both export as JSON and Prometheus text ([`export`]), and both
+//! formats have minimal parsers so exports can be round-trip verified
+//! in tests and CI.
+
+pub mod export;
+pub mod metrics;
+pub mod trace;
+
+pub use export::{
+    escape_json, escape_label_value, metrics_json, parse_json, parse_prometheus_text,
+    prometheus_text, spans_json, Json, PromSample, PromSnapshot,
+};
+pub use metrics::{
+    Counter, Gauge, Histogram, Labels, LazyCounter, LazyHistogram, Metric, Registry,
+};
+pub use trace::{
+    current_thread_ordinal, dropped_spans, event, exclusive_region, format_ns, next_span_id,
+    now_ns, ns_since_epoch, render_tree, set_tracing, span, span_forced, take_spans,
+    tracing_enabled, SpanGuard, SpanRecord,
+};

@@ -1,0 +1,447 @@
+//! The hierarchical span tracer.
+//!
+//! A [`SpanGuard`] measures one stage of work: it records a label,
+//! key/value fields, wall time, the owning thread, and its parent span
+//! (the innermost span open on the same thread when it was created).
+//! Finished spans land in a sharded global collector;
+//! [`take_spans`] drains it and [`render_tree`] pretty-prints the
+//! parent/child forest.
+//!
+//! Tracing is **off by default** and the disabled path is engineered to
+//! cost almost nothing: [`span`] performs one `Once` check (an atomic
+//! load after initialization) plus one relaxed `AtomicBool` load and
+//! returns an inert guard — no allocation, no clock read, no lock. The
+//! `GSJ_TRACE` environment variable (any value except `0`, `false`, or
+//! `off`) enables collection process-wide; [`set_tracing`] toggles it
+//! programmatically.
+//!
+//! The collector is bounded ([`MAX_SPANS_PER_SHARD`] per shard): once a
+//! shard fills, further spans on threads hashing to it are counted in
+//! [`dropped_spans`] instead of buffered, so a forgotten `GSJ_TRACE=1`
+//! cannot grow memory without bound.
+
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Once, OnceLock};
+use std::time::Instant;
+
+/// Shard count for the finished-span collector. Threads hash to shards
+/// by thread id, so pushes from different threads rarely contend.
+const NSHARDS: usize = 16;
+
+/// Per-shard capacity bound (spans beyond it are dropped and counted).
+const MAX_SPANS_PER_SHARD: usize = 1 << 16;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static ENV_INIT: Once = Once::new();
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+static SHARDS: [Mutex<Vec<SpanRecord>>; NSHARDS] = [const { Mutex::new(Vec::new()) }; NSHARDS];
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+/// Serializes exclusive trace regions (see [`exclusive_region`]).
+static REGION: Mutex<()> = Mutex::new(());
+
+thread_local! {
+    /// Ids of the spans currently open on this thread, innermost last.
+    static STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    static THREAD_ID: u64 = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The process-wide trace epoch: all `start_ns` values are offsets from
+/// this instant.
+fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the trace epoch for an `Instant` (0 if it predates
+/// the epoch).
+pub fn ns_since_epoch(t: Instant) -> u64 {
+    t.checked_duration_since(epoch())
+        .map(|d| d.as_nanos().min(u64::MAX as u128) as u64)
+        .unwrap_or(0)
+}
+
+/// Nanoseconds since the trace epoch, now.
+pub fn now_ns() -> u64 {
+    ns_since_epoch(Instant::now())
+}
+
+/// Is span collection currently on? Reads `GSJ_TRACE` once per process.
+#[inline]
+pub fn tracing_enabled() -> bool {
+    ENV_INIT.call_once(|| {
+        if let Ok(v) = std::env::var("GSJ_TRACE") {
+            let off = matches!(v.as_str(), "" | "0" | "false" | "off");
+            if !off {
+                ENABLED.store(true, Ordering::Relaxed);
+            }
+        }
+    });
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn span collection on or off process-wide.
+pub fn set_tracing(enabled: bool) {
+    // Make sure the env check never later overrides an explicit setting.
+    ENV_INIT.call_once(|| {});
+    ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// Number of spans discarded because a collector shard was full.
+pub fn dropped_spans() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
+}
+
+/// A fresh span id (also used to mint ids for synthetic records bridged
+/// from non-span sources, e.g. physical-operator stats).
+pub fn next_span_id() -> u64 {
+    NEXT_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The calling thread's ordinal as recorded in [`SpanRecord::thread`]
+/// (lets consumers filter a drained collector down to their own spans).
+pub fn current_thread_ordinal() -> u64 {
+    THREAD_ID.with(|t| *t)
+}
+
+/// One finished (or synthetic) span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Unique id within the process.
+    pub id: u64,
+    /// Innermost span open on the same thread at creation, if any.
+    pub parent: Option<u64>,
+    /// Stage label, e.g. `rext.path_select`.
+    pub label: String,
+    /// Key/value annotations recorded while the span was open.
+    pub fields: Vec<(String, String)>,
+    /// Start offset from the process trace epoch, in nanoseconds.
+    pub start_ns: u64,
+    /// Wall time between creation and drop, in nanoseconds.
+    pub dur_ns: u64,
+    /// Small per-process ordinal of the recording thread.
+    pub thread: u64,
+}
+
+struct SpanInner {
+    id: u64,
+    parent: Option<u64>,
+    label: String,
+    fields: Vec<(String, String)>,
+    start: Instant,
+    start_ns: u64,
+}
+
+/// An open span; records itself into the collector when dropped.
+/// Inert (all methods no-ops) when tracing was disabled at creation.
+pub struct SpanGuard {
+    inner: Option<SpanInner>,
+}
+
+impl SpanGuard {
+    /// Attach a key/value field. No-op on an inert guard.
+    pub fn field(&mut self, key: &str, value: impl std::fmt::Display) -> &mut Self {
+        if let Some(inner) = &mut self.inner {
+            inner.fields.push((key.to_string(), value.to_string()));
+        }
+        self
+    }
+
+    /// The span id, when active (synthetic children can reference it).
+    pub fn id(&self) -> Option<u64> {
+        self.inner.as_ref().map(|i| i.id)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        let dur_ns = inner.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            // Pop our own id; tolerate out-of-order drops from guards
+            // kept alive past their children.
+            if let Some(pos) = s.iter().rposition(|&id| id == inner.id) {
+                s.remove(pos);
+            }
+        });
+        push_record(SpanRecord {
+            id: inner.id,
+            parent: inner.parent,
+            label: inner.label,
+            fields: inner.fields,
+            start_ns: inner.start_ns,
+            dur_ns,
+            thread: THREAD_ID.with(|t| *t),
+        });
+    }
+}
+
+fn push_record(rec: SpanRecord) {
+    let shard = (rec.thread as usize) % NSHARDS;
+    let mut guard = SHARDS[shard].lock();
+    if guard.len() >= MAX_SPANS_PER_SHARD {
+        DROPPED.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    guard.push(rec);
+}
+
+/// Open a span. Returns an inert guard (near-zero cost) when tracing is
+/// disabled.
+#[inline]
+pub fn span(label: &str) -> SpanGuard {
+    if !tracing_enabled() {
+        return SpanGuard { inner: None };
+    }
+    span_forced(label)
+}
+
+/// Open a span regardless of the global toggle (the exporter tests and
+/// `explain_analyze` force collection for their own region).
+pub fn span_forced(label: &str) -> SpanGuard {
+    let id = next_span_id();
+    let parent = STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        let parent = s.last().copied();
+        s.push(id);
+        parent
+    });
+    let start = Instant::now();
+    SpanGuard {
+        inner: Some(SpanInner {
+            id,
+            parent,
+            label: label.to_string(),
+            fields: Vec::new(),
+            start,
+            start_ns: ns_since_epoch(start),
+        }),
+    }
+}
+
+/// Record a point-in-time event (a zero-duration span) with fields.
+/// No-op when tracing is disabled.
+pub fn event(label: &str, fields: &[(&str, &dyn std::fmt::Display)]) {
+    if !tracing_enabled() {
+        return;
+    }
+    let parent = STACK.with(|s| s.borrow().last().copied());
+    push_record(SpanRecord {
+        id: next_span_id(),
+        parent,
+        label: label.to_string(),
+        fields: fields
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect(),
+        start_ns: now_ns(),
+        dur_ns: 0,
+        thread: THREAD_ID.with(|t| *t),
+    });
+}
+
+/// Drain every collected span, sorted by start time (ties by id).
+pub fn take_spans() -> Vec<SpanRecord> {
+    let mut out = Vec::new();
+    for shard in &SHARDS {
+        out.append(&mut shard.lock());
+    }
+    out.sort_by_key(|s| (s.start_ns, s.id));
+    out
+}
+
+/// Hold this guard to keep other exclusive regions (e.g. concurrent
+/// `explain_analyze` calls) from draining the collector mid-flight.
+/// Spans recorded outside any region are still collected globally.
+pub fn exclusive_region() -> parking_lot::MutexGuard<'static, ()> {
+    REGION.lock()
+}
+
+/// Format nanoseconds human-readably (same scheme as `EXPLAIN ANALYZE`).
+pub fn format_ns(n: u64) -> String {
+    if n >= 1_000_000_000 {
+        format!("{:.2}s", n as f64 / 1e9)
+    } else if n >= 1_000_000 {
+        format!("{:.2}ms", n as f64 / 1e6)
+    } else if n >= 1_000 {
+        format!("{:.2}µs", n as f64 / 1e3)
+    } else {
+        format!("{n}ns")
+    }
+}
+
+/// Render a span forest as an indented text tree. Spans whose parent is
+/// absent from `spans` (or `None`) become roots; children sort by start
+/// time. Spans from threads other than their parent's still attach
+/// normally — the parent link is what matters.
+pub fn render_tree(spans: &[SpanRecord]) -> String {
+    use std::fmt::Write as _;
+    let present: std::collections::HashSet<u64> = spans.iter().map(|s| s.id).collect();
+    let mut children: std::collections::HashMap<u64, Vec<usize>> = std::collections::HashMap::new();
+    let mut roots: Vec<usize> = Vec::new();
+    for (i, s) in spans.iter().enumerate() {
+        match s.parent {
+            Some(p) if present.contains(&p) => children.entry(p).or_default().push(i),
+            _ => roots.push(i),
+        }
+    }
+    fn walk(
+        spans: &[SpanRecord],
+        children: &std::collections::HashMap<u64, Vec<usize>>,
+        i: usize,
+        depth: usize,
+        out: &mut String,
+    ) {
+        let s = &spans[i];
+        let mut line = format!("{}{}", "  ".repeat(depth), s.label);
+        if s.dur_ns > 0 {
+            let _ = write!(line, "  [{}]", format_ns(s.dur_ns));
+        }
+        for (k, v) in &s.fields {
+            let _ = write!(line, " {k}={v}");
+        }
+        out.push_str(&line);
+        out.push('\n');
+        if let Some(kids) = children.get(&s.id) {
+            for &k in kids {
+                walk(spans, children, k, depth + 1, out);
+            }
+        }
+    }
+    let mut out = String::new();
+    for &r in &roots {
+        walk(spans, &children, r, 0, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The collector is global; tests that drain it serialize on the
+    // region lock so they never steal each other's spans.
+
+    #[test]
+    fn disabled_guard_is_inert() {
+        let _r = exclusive_region();
+        let was = tracing_enabled();
+        set_tracing(false);
+        let _ = take_spans();
+        {
+            let mut g = span("should.not.record");
+            g.field("k", 1);
+            assert!(g.id().is_none());
+        }
+        event("nor.this", &[]);
+        assert!(take_spans().is_empty());
+        set_tracing(was);
+    }
+
+    #[test]
+    fn spans_nest_by_thread_stack() {
+        let _r = exclusive_region();
+        let was = tracing_enabled();
+        set_tracing(true);
+        let _ = take_spans();
+        {
+            let outer = span("outer");
+            let outer_id = outer.id().unwrap();
+            {
+                let inner = span("inner");
+                assert_ne!(inner.id().unwrap(), outer_id);
+            }
+            event("tick", &[("n", &3)]);
+        }
+        set_tracing(was);
+        let spans = take_spans();
+        let outer = spans.iter().find(|s| s.label == "outer").unwrap();
+        let inner = spans.iter().find(|s| s.label == "inner").unwrap();
+        let tick = spans.iter().find(|s| s.label == "tick").unwrap();
+        assert_eq!(inner.parent, Some(outer.id));
+        assert_eq!(tick.parent, Some(outer.id));
+        assert_eq!(tick.dur_ns, 0);
+        assert_eq!(tick.fields, vec![("n".to_string(), "3".to_string())]);
+        assert!(outer.parent.is_none());
+    }
+
+    #[test]
+    fn concurrent_threads_collect_without_loss() {
+        let _r = exclusive_region();
+        let was = tracing_enabled();
+        set_tracing(true);
+        let _ = take_spans();
+        const THREADS: usize = 8;
+        const PER_THREAD: usize = 200;
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                scope.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        let _parent = span(&format!("t{t}.parent"));
+                        let mut child = span(&format!("t{t}.child"));
+                        child.field("i", i);
+                    }
+                });
+            }
+        });
+        set_tracing(was);
+        let spans = take_spans();
+        assert_eq!(spans.len(), THREADS * PER_THREAD * 2);
+        // Every child points at a parent on its own thread.
+        for s in spans.iter().filter(|s| s.label.ends_with(".child")) {
+            let p = spans.iter().find(|q| Some(q.id) == s.parent).unwrap();
+            assert_eq!(p.thread, s.thread);
+            assert!(p.label.ends_with(".parent"));
+        }
+    }
+
+    #[test]
+    fn render_tree_indents_children() {
+        let spans = vec![
+            SpanRecord {
+                id: 1,
+                parent: None,
+                label: "root".into(),
+                fields: vec![("rows".into(), "4".into())],
+                start_ns: 0,
+                dur_ns: 2_000_000,
+                thread: 0,
+            },
+            SpanRecord {
+                id: 2,
+                parent: Some(1),
+                label: "child".into(),
+                fields: vec![],
+                start_ns: 10,
+                dur_ns: 1_000,
+                thread: 0,
+            },
+            SpanRecord {
+                id: 3,
+                parent: Some(99), // orphan → root
+                label: "orphan".into(),
+                fields: vec![],
+                start_ns: 20,
+                dur_ns: 0,
+                thread: 1,
+            },
+        ];
+        let text = render_tree(&spans);
+        assert!(text.contains("root  [2.00ms] rows=4"), "{text}");
+        assert!(text.contains("\n  child  [1.00µs]"), "{text}");
+        assert!(text.lines().any(|l| l == "orphan"), "{text}");
+    }
+
+    #[test]
+    fn format_ns_scales() {
+        assert_eq!(format_ns(5), "5ns");
+        assert_eq!(format_ns(1_500), "1.50µs");
+        assert_eq!(format_ns(2_500_000), "2.50ms");
+        assert_eq!(format_ns(3_000_000_000), "3.00s");
+    }
+}

@@ -42,12 +42,47 @@ pub struct OpStats {
     /// Wall time spent in the operator itself (children excluded where
     /// the tree executor runs them separately).
     pub nanos: u128,
+    /// Index (into [`ExecContext::ops`]) of the enclosing operator, if
+    /// any — set by the context from its open-operator stack, giving
+    /// the flat vec an embedded tree structure.
+    pub parent: Option<usize>,
+    /// Start of the operator's own work as an offset from the gsj-obs
+    /// trace epoch, so operator stats can be bridged into a span tree.
+    pub start_ns: u64,
 }
 
-/// Per-operator execution statistics, in completion (post-)order.
+impl OpStats {
+    /// Placeholder slot reserved by [`ExecContext::enter`] until
+    /// [`ExecContext::exit`] fills in the real stats.
+    fn pending() -> Self {
+        OpStats {
+            label: String::new(),
+            rows_in: 0,
+            rows_out: 0,
+            build_rows: None,
+            probe_rows: None,
+            nanos: 0,
+            parent: None,
+            start_ns: 0,
+        }
+    }
+}
+
+/// Token for an operator slot opened with [`ExecContext::enter`].
+#[must_use = "pass the token back to ExecContext::exit"]
+pub struct OpToken(usize);
+
+/// Per-operator execution statistics. Operators appear in *pre-order*:
+/// [`enter`](ExecContext::enter) reserves a slot before the children
+/// run, children link to it via [`OpStats::parent`], and
+/// [`exit`](ExecContext::exit) fills the slot when the operator
+/// finishes. Leaf recordings ([`record`](ExecContext::record)) append
+/// with the innermost open operator as parent.
 #[derive(Debug, Clone, Default)]
 pub struct ExecContext {
     ops: Vec<OpStats>,
+    /// Indices of currently open (entered, not yet exited) operators.
+    stack: Vec<usize>,
 }
 
 impl ExecContext {
@@ -56,14 +91,48 @@ impl ExecContext {
         Self::default()
     }
 
-    /// The recorded operators, in the order they finished.
+    /// The recorded operators (pre-order; parent indexes embedded).
     pub fn ops(&self) -> &[OpStats] {
         &self.ops
     }
 
-    /// Record one finished operator.
-    pub fn record(&mut self, stats: OpStats) {
+    /// Reserve a slot for an operator whose children are about to run.
+    /// Everything recorded before the matching [`exit`](Self::exit)
+    /// links to this slot as its parent.
+    pub fn enter(&mut self) -> OpToken {
+        let idx = self.ops.len();
+        let mut slot = OpStats::pending();
+        slot.parent = self.stack.last().copied();
+        self.ops.push(slot);
+        self.stack.push(idx);
+        OpToken(idx)
+    }
+
+    /// Fill the slot reserved by [`enter`](Self::enter) with the
+    /// operator's final stats (the parent link is preserved).
+    pub fn exit(&mut self, token: OpToken, mut stats: OpStats) {
+        stats.parent = self.ops[token.0].parent;
+        self.ops[token.0] = stats;
+        if let Some(pos) = self.stack.iter().rposition(|&i| i == token.0) {
+            self.stack.truncate(pos);
+        }
+    }
+
+    /// Record one finished leaf operator under the innermost open one.
+    pub fn record(&mut self, mut stats: OpStats) {
+        stats.parent = self.stack.last().copied();
         self.ops.push(stats);
+    }
+
+    /// Nesting depth of op `i` (0 for roots), following parent links.
+    pub fn depth(&self, i: usize) -> usize {
+        let mut depth = 0;
+        let mut cur = self.ops[i].parent;
+        while let Some(p) = cur {
+            depth += 1;
+            cur = self.ops[p].parent;
+        }
+        depth
     }
 
     /// Total wall time across all recorded operators.
@@ -72,21 +141,22 @@ impl ExecContext {
     }
 
     /// Render the counters as an aligned text table (the body of
-    /// `EXPLAIN ANALYZE`).
+    /// `EXPLAIN ANALYZE`); nested operators indent under their parent.
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
             "{:<44} {:>9} {:>9} {:>9} {:>9} {:>12}\n",
             "operator", "rows_in", "rows_out", "build", "probe", "time"
         ));
-        for op in &self.ops {
+        for (i, op) in self.ops.iter().enumerate() {
             let fmt_opt = |v: Option<usize>| match v {
                 Some(n) => n.to_string(),
                 None => "-".to_string(),
             };
+            let label = format!("{}{}", "  ".repeat(self.depth(i)), op.label);
             out.push_str(&format!(
                 "{:<44} {:>9} {:>9} {:>9} {:>9} {:>12}\n",
-                op.label,
+                label,
                 op.rows_in,
                 op.rows_out,
                 fmt_opt(op.build_rows),
@@ -452,22 +522,28 @@ pub fn lower(plan: &LogicalPlan, db: &Database) -> Result<PhysicalPlan> {
 
 /// Execute a physical plan, recording per-operator counters into `ctx`.
 /// Produces exactly the relation the logical interpreter would (same
-/// schema, same tuple order).
+/// schema, same tuple order). Each operator reserves its `ctx` slot
+/// *before* running its children, so the recorded stats form a tree
+/// (pre-order, [`OpStats::parent`] links) mirroring the plan.
 pub fn execute_physical(
     plan: &PhysicalPlan,
     db: &Database,
     ctx: &mut ExecContext,
 ) -> Result<Relation> {
+    let token = ctx.enter();
     match plan {
         PhysicalPlan::Scan(name) => {
             let t0 = Instant::now();
             let rel = db.get(name)?.clone();
             let n = rel.len();
-            ctx.record(op(plan.describe(), n, n, t0));
+            ctx.exit(token, op(plan.describe(), n, n, t0));
             Ok(rel)
         }
         PhysicalPlan::Values(rel) => {
-            ctx.record(op(plan.describe(), rel.len(), rel.len(), Instant::now()));
+            ctx.exit(
+                token,
+                op(plan.describe(), rel.len(), rel.len(), Instant::now()),
+            );
             Ok(rel.clone())
         }
         PhysicalPlan::Filter { input, pred } => {
@@ -475,14 +551,14 @@ pub fn execute_physical(
             let t0 = Instant::now();
             let rows_in = rel.len();
             let out = exec::filter(rel, pred)?;
-            ctx.record(op(plan.describe(), rows_in, out.len(), t0));
+            ctx.exit(token, op(plan.describe(), rows_in, out.len(), t0));
             Ok(out)
         }
         PhysicalPlan::Project { input, cols } => {
             let rel = execute_physical(input, db, ctx)?;
             let t0 = Instant::now();
             let out = exec::project(&rel, cols)?;
-            ctx.record(op(plan.describe(), rel.len(), out.len(), t0));
+            ctx.exit(token, op(plan.describe(), rel.len(), out.len(), t0));
             Ok(out)
         }
         PhysicalPlan::Qualify { input, alias } => {
@@ -490,7 +566,7 @@ pub fn execute_physical(
             let t0 = Instant::now();
             let n = rel.len();
             let out = rel.qualified(alias);
-            ctx.record(op(plan.describe(), n, n, t0));
+            ctx.exit(token, op(plan.describe(), n, n, t0));
             Ok(out)
         }
         PhysicalPlan::HashJoin {
@@ -548,7 +624,7 @@ pub fn execute_physical(
             let mut stats_op = op(plan.describe(), l.len() + r.len(), out.len(), t0);
             stats_op.build_rows = Some(stats.build_rows);
             stats_op.probe_rows = Some(stats.probe_rows);
-            ctx.record(stats_op);
+            ctx.exit(token, stats_op);
             Ok(out)
         }
         PhysicalPlan::NestedLoopJoin {
@@ -566,7 +642,7 @@ pub fn execute_physical(
                 let schema = concat_schema(&l, &r, "_tj_", "theta join")?;
                 nested_loop_core(&l, &r, pred, schema)?
             };
-            ctx.record(op(plan.describe(), l.len() + r.len(), out.len(), t0));
+            ctx.exit(token, op(plan.describe(), l.len() + r.len(), out.len(), t0));
             Ok(out)
         }
         PhysicalPlan::Union { left, right } => {
@@ -575,7 +651,7 @@ pub fn execute_physical(
             let t0 = Instant::now();
             let rows_in = l.len() + r.len();
             let out = exec::union(l, r)?;
-            ctx.record(op(plan.describe(), rows_in, out.len(), t0));
+            ctx.exit(token, op(plan.describe(), rows_in, out.len(), t0));
             Ok(out)
         }
         PhysicalPlan::Difference { left, right } => {
@@ -584,7 +660,7 @@ pub fn execute_physical(
             let t0 = Instant::now();
             let rows_in = l.len() + r.len();
             let out = exec::difference(l, &r)?;
-            ctx.record(op(plan.describe(), rows_in, out.len(), t0));
+            ctx.exit(token, op(plan.describe(), rows_in, out.len(), t0));
             Ok(out)
         }
         PhysicalPlan::Distinct { input } => {
@@ -592,7 +668,7 @@ pub fn execute_physical(
             let t0 = Instant::now();
             let rows_in = rel.len();
             let out = exec::distinct(rel);
-            ctx.record(op(plan.describe(), rows_in, out.len(), t0));
+            ctx.exit(token, op(plan.describe(), rows_in, out.len(), t0));
             Ok(out)
         }
         PhysicalPlan::Aggregate {
@@ -603,7 +679,7 @@ pub fn execute_physical(
             let rel = execute_physical(input, db, ctx)?;
             let t0 = Instant::now();
             let out = exec::aggregate(&rel, group_by, aggs)?;
-            ctx.record(op(plan.describe(), rel.len(), out.len(), t0));
+            ctx.exit(token, op(plan.describe(), rel.len(), out.len(), t0));
             Ok(out)
         }
         PhysicalPlan::Sort { input, by, desc } => {
@@ -611,7 +687,7 @@ pub fn execute_physical(
             let t0 = Instant::now();
             let rows_in = rel.len();
             let out = exec::sort(rel, by, *desc)?;
-            ctx.record(op(plan.describe(), rows_in, out.len(), t0));
+            ctx.exit(token, op(plan.describe(), rows_in, out.len(), t0));
             Ok(out)
         }
         PhysicalPlan::Limit { input, n } => {
@@ -621,7 +697,7 @@ pub fn execute_physical(
             let (schema, mut tuples) = rel.into_parts();
             tuples.truncate(*n);
             let out = Relation::new(schema, tuples)?;
-            ctx.record(op(plan.describe(), rows_in, out.len(), t0));
+            ctx.exit(token, op(plan.describe(), rows_in, out.len(), t0));
             Ok(out)
         }
     }
@@ -644,6 +720,8 @@ fn op(label: String, rows_in: usize, rows_out: usize, t0: Instant) -> OpStats {
         build_rows: None,
         probe_rows: None,
         nanos: t0.elapsed().as_nanos(),
+        parent: None,
+        start_ns: gsj_obs::ns_since_epoch(t0),
     }
 }
 
@@ -773,6 +851,18 @@ pub fn record_external(
     ctx: &mut ExecContext,
 ) {
     ctx.record(op(label.into(), rows_in, rows_out, t0));
+}
+
+/// Build the [`OpStats`] of an externally-executed operator, for use with
+/// [`ExecContext::enter`] / [`ExecContext::exit`] when the operator has
+/// children (e.g. a semantic join evaluating its source sub-plan).
+pub fn external_stats(
+    label: impl Into<String>,
+    rows_in: usize,
+    rows_out: usize,
+    t0: Instant,
+) -> OpStats {
+    op(label.into(), rows_in, rows_out, t0)
 }
 
 #[cfg(test)]
@@ -930,6 +1020,54 @@ mod tests {
             right: Box::new(fair),
         };
         assert_same(&diff, &db);
+    }
+
+    #[test]
+    fn ops_form_a_tree_with_parent_links() {
+        let db = db();
+        let plan = LogicalPlan::Limit {
+            input: Box::new(LogicalPlan::Sort {
+                input: Box::new(
+                    LogicalPlan::scan("customer").natural_join(LogicalPlan::scan("orders")),
+                ),
+                by: vec!["pid".into()],
+                desc: false,
+            }),
+            n: 2,
+        };
+        let (_, ctx) = execute_with_stats(&plan, &db).unwrap();
+        // Pre-order: Limit, Sort, HashJoin, Scan, Scan.
+        let labels: Vec<&str> = ctx.ops().iter().map(|o| o.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "Limit(2)",
+                "Sort(pid)",
+                "HashJoin(natural)",
+                "Scan(customer)",
+                "Scan(orders)"
+            ]
+        );
+        let parents: Vec<Option<usize>> = ctx.ops().iter().map(|o| o.parent).collect();
+        assert_eq!(parents, vec![None, Some(0), Some(1), Some(2), Some(2)]);
+        assert_eq!(ctx.depth(0), 0);
+        assert_eq!(ctx.depth(4), 3);
+        // Render indents children under their parent.
+        let rendered = ctx.render();
+        assert!(rendered.contains("\n  Sort(pid)"), "{rendered}");
+        assert!(rendered.contains("\n      Scan(orders)"), "{rendered}");
+    }
+
+    #[test]
+    fn record_links_leaf_to_open_operator() {
+        let mut ctx = ExecContext::new();
+        let tok = ctx.enter();
+        record_external("inner", 1, 1, Instant::now(), &mut ctx);
+        ctx.exit(tok, op("outer".into(), 2, 2, Instant::now()));
+        assert_eq!(ctx.ops()[0].label, "outer");
+        assert_eq!(ctx.ops()[1].label, "inner");
+        assert_eq!(ctx.ops()[1].parent, Some(0));
+        assert_eq!(ctx.ops()[0].parent, None);
     }
 
     #[test]

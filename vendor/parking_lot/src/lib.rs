@@ -7,6 +7,9 @@
 
 use std::sync;
 
+/// Guard type returned by [`Mutex::lock`] (parking_lot exports this name).
+pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+
 /// Mutual exclusion lock with parking_lot's panic-on-poison `lock()`.
 #[derive(Debug, Default)]
 pub struct Mutex<T> {
