@@ -10,7 +10,11 @@ pub type Result<T> = std::result::Result<T, GsjError>;
 /// A single enum keeps cross-crate plumbing simple: the relational engine,
 /// the gSQL front end and the extraction pipeline all surface through the
 /// same type, and integration code can match on the variant it cares about.
+///
+/// The enum is `#[non_exhaustive]`: downstream matches must carry a
+/// wildcard arm, so governance variants can grow without breaking them.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum GsjError {
     /// A schema was malformed or two schemas were incompatible
     /// (duplicate attribute, arity mismatch, unknown attribute, ...).
@@ -29,6 +33,43 @@ pub enum GsjError {
     Eval(String),
     /// Invalid configuration (zero clusters, zero path bound, ...).
     Config(String),
+    /// The query was cancelled cooperatively (its governor's cancel flag
+    /// was raised). See DESIGN.md §11.
+    Cancelled,
+    /// The query ran past its governor's deadline. The message names the
+    /// stage that noticed, so overruns are attributable.
+    DeadlineExceeded(String),
+    /// A governor budget (rows produced, estimated memory) was exhausted,
+    /// or a transient resource failure was injected. Retryable: a later
+    /// attempt under lighter load (or a larger budget) may succeed.
+    ResourceExhausted(String),
+    /// An internal failure: an injected fault, or a panic caught at the
+    /// `run_query` boundary and converted into a typed error. Retryable:
+    /// these are transient by construction (fault injection) or bugs whose
+    /// blast radius the engine deliberately contains.
+    Internal(String),
+}
+
+impl GsjError {
+    /// Would retrying the same operation plausibly succeed?
+    ///
+    /// `ResourceExhausted` and `Internal` are transient-by-contract:
+    /// budget pressure eases, injected faults are probabilistic, and a
+    /// contained panic is retried in case it raced. Everything else is
+    /// deterministic (bad query, bad config, cancelled, out of time) —
+    /// retrying burns the caller's deadline for nothing.
+    pub fn retryable(&self) -> bool {
+        matches!(self, GsjError::ResourceExhausted(_) | GsjError::Internal(_))
+    }
+
+    /// Is this a governance verdict that must propagate unchanged?
+    ///
+    /// Strategy fallback chains degrade on [`retryable`](Self::retryable)
+    /// errors but never on these: a cancelled or out-of-time query must
+    /// stop, not try a cheaper plan.
+    pub fn is_governance(&self) -> bool {
+        matches!(self, GsjError::Cancelled | GsjError::DeadlineExceeded(_))
+    }
 }
 
 impl fmt::Display for GsjError {
@@ -40,6 +81,10 @@ impl fmt::Display for GsjError {
             GsjError::Unsupported(m) => write!(f, "unsupported: {m}"),
             GsjError::Eval(m) => write!(f, "evaluation error: {m}"),
             GsjError::Config(m) => write!(f, "configuration error: {m}"),
+            GsjError::Cancelled => write!(f, "cancelled"),
+            GsjError::DeadlineExceeded(m) => write!(f, "deadline exceeded: {m}"),
+            GsjError::ResourceExhausted(m) => write!(f, "resource exhausted: {m}"),
+            GsjError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
 }
@@ -56,11 +101,42 @@ mod tests {
         assert_eq!(e.to_string(), "parse error: unexpected token");
         let e = GsjError::NotFound("relation `product`".into());
         assert_eq!(e.to_string(), "not found: relation `product`");
+        let e = GsjError::DeadlineExceeded("Filter".into());
+        assert_eq!(e.to_string(), "deadline exceeded: Filter");
+        assert_eq!(GsjError::Cancelled.to_string(), "cancelled");
     }
 
     #[test]
     fn errors_are_comparable() {
         assert_eq!(GsjError::Schema("x".into()), GsjError::Schema("x".into()));
         assert_ne!(GsjError::Schema("x".into()), GsjError::Eval("x".into()));
+    }
+
+    #[test]
+    fn retryable_classifies_transient_variants_only() {
+        assert!(GsjError::ResourceExhausted("rows".into()).retryable());
+        assert!(GsjError::Internal("injected fault".into()).retryable());
+        for e in [
+            GsjError::Schema("x".into()),
+            GsjError::NotFound("x".into()),
+            GsjError::Parse("x".into()),
+            GsjError::Unsupported("x".into()),
+            GsjError::Eval("x".into()),
+            GsjError::Config("x".into()),
+            GsjError::Cancelled,
+            GsjError::DeadlineExceeded("x".into()),
+        ] {
+            assert!(!e.retryable(), "{e} must not be retryable");
+        }
+    }
+
+    #[test]
+    fn governance_verdicts_are_terminal() {
+        assert!(GsjError::Cancelled.is_governance());
+        assert!(GsjError::DeadlineExceeded("op".into()).is_governance());
+        assert!(!GsjError::Internal("x".into()).is_governance());
+        assert!(!GsjError::ResourceExhausted("x".into()).is_governance());
+        // Governance verdicts are by definition not retryable.
+        assert!(!GsjError::Cancelled.retryable());
     }
 }

@@ -1,0 +1,310 @@
+//! Cooperative execution governance: deadlines, budgets, cancellation.
+//!
+//! A [`QueryGovernor`] is attached to a query at admission time and
+//! threaded through execution (the relational `ExecContext`, gSQL item
+//! evaluation, BFS frontier loops, random-walk generation, RExt phases).
+//! Operators call [`check`](QueryGovernor::check) at their boundaries and
+//! [`check_coarse`](QueryGovernor::check_coarse) inside tight loops; both
+//! return a typed [`GsjError`] the moment the query is cancelled, past its
+//! deadline, or over budget. Nothing is pre-empted — governance is purely
+//! cooperative, which keeps it `Send + Sync` and portable (DESIGN.md §11).
+//!
+//! The governor is cheap to clone (an `Arc`) and the unlimited default is
+//! near-free to check: three relaxed atomic loads and two `Option` tests.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::error::{GsjError, Result};
+
+/// How many `check_coarse` calls are skipped between real checks.
+/// A power of two so the stride test compiles to a mask. 64 keeps the
+/// worst-case overrun inside a BFS frontier loop to a few microseconds
+/// of vertex pops while making the common case a single fetch_add.
+const COARSE_STRIDE: u64 = 64;
+
+#[derive(Debug)]
+struct Inner {
+    deadline: Option<Instant>,
+    row_budget: Option<u64>,
+    mem_budget: Option<u64>,
+    cancel: AtomicBool,
+    rows: AtomicU64,
+    mem: AtomicU64,
+    ticks: AtomicU64,
+}
+
+/// Shared, cloneable handle governing one query's execution.
+///
+/// Clones share state: cancelling any clone cancels the query, and row /
+/// memory charges accumulate across all of them.
+#[derive(Debug, Clone)]
+pub struct QueryGovernor {
+    inner: Arc<Inner>,
+}
+
+/// Builder for [`QueryGovernor`]. All limits are optional; an empty
+/// builder produces the same behaviour as [`QueryGovernor::unlimited`].
+#[derive(Debug, Default)]
+pub struct GovernorBuilder {
+    deadline: Option<Instant>,
+    row_budget: Option<u64>,
+    mem_budget: Option<u64>,
+}
+
+impl GovernorBuilder {
+    /// Fail the query once `timeout` has elapsed from now.
+    pub fn deadline(mut self, timeout: Duration) -> Self {
+        self.deadline = Some(Instant::now() + timeout);
+        self
+    }
+
+    /// Fail the query once the wall clock reaches `at`.
+    pub fn deadline_at(mut self, at: Instant) -> Self {
+        self.deadline = Some(at);
+        self
+    }
+
+    /// Fail the query once operators have produced more than `rows` rows
+    /// in total (a proxy for intermediate-result blowup).
+    pub fn row_budget(mut self, rows: u64) -> Self {
+        self.row_budget = Some(rows);
+        self
+    }
+
+    /// Fail the query once its estimated memory footprint exceeds `bytes`.
+    pub fn mem_budget(mut self, bytes: u64) -> Self {
+        self.mem_budget = Some(bytes);
+        self
+    }
+
+    pub fn build(self) -> QueryGovernor {
+        QueryGovernor {
+            inner: Arc::new(Inner {
+                deadline: self.deadline,
+                row_budget: self.row_budget,
+                mem_budget: self.mem_budget,
+                cancel: AtomicBool::new(false),
+                rows: AtomicU64::new(0),
+                mem: AtomicU64::new(0),
+                ticks: AtomicU64::new(0),
+            }),
+        }
+    }
+}
+
+impl QueryGovernor {
+    /// A governor with no deadline, no budgets and the cancel flag down.
+    /// This is the default for every query that doesn't ask for limits;
+    /// its `check` is three relaxed loads.
+    pub fn unlimited() -> Self {
+        GovernorBuilder::default().build()
+    }
+
+    pub fn builder() -> GovernorBuilder {
+        GovernorBuilder::default()
+    }
+
+    /// Raise the cooperative cancel flag. The query observes it at its
+    /// next operator boundary or strided loop check.
+    pub fn cancel(&self) {
+        self.inner.cancel.store(true, Ordering::Release);
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancel.load(Ordering::Acquire)
+    }
+
+    /// Does this governor impose any limit at all? Used to skip optional
+    /// bookkeeping when running ungoverned.
+    pub fn is_limited(&self) -> bool {
+        self.inner.deadline.is_some()
+            || self.inner.row_budget.is_some()
+            || self.inner.mem_budget.is_some()
+    }
+
+    /// Total rows charged so far across all clones.
+    pub fn rows_charged(&self) -> u64 {
+        self.inner.rows.load(Ordering::Relaxed)
+    }
+
+    /// Total estimated bytes charged so far across all clones.
+    pub fn mem_charged(&self) -> u64 {
+        self.inner.mem.load(Ordering::Relaxed)
+    }
+
+    /// Full governance check: cancellation, deadline, budgets.
+    /// `stage` names the caller for attributable errors
+    /// (e.g. `"HashJoin"`, `"graph.bfs"`).
+    pub fn check(&self, stage: &str) -> Result<()> {
+        if self.inner.cancel.load(Ordering::Acquire) {
+            return Err(GsjError::Cancelled);
+        }
+        if let Some(deadline) = self.inner.deadline {
+            if Instant::now() > deadline {
+                return Err(GsjError::DeadlineExceeded(stage.to_string()));
+            }
+        }
+        if let Some(budget) = self.inner.row_budget {
+            let used = self.inner.rows.load(Ordering::Relaxed);
+            if used > budget {
+                return Err(GsjError::ResourceExhausted(format!(
+                    "{stage}: row budget {budget} exceeded ({used} rows)"
+                )));
+            }
+        }
+        if let Some(budget) = self.inner.mem_budget {
+            let used = self.inner.mem.load(Ordering::Relaxed);
+            if used > budget {
+                return Err(GsjError::ResourceExhausted(format!(
+                    "{stage}: memory budget {budget} B exceeded (~{used} B)"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Strided check for tight loops (BFS frontier pops, walk steps,
+    /// per-pair connectivity probes). Performs the full [`check`] once
+    /// every [`COARSE_STRIDE`] calls; otherwise a single `fetch_add`.
+    pub fn check_coarse(&self, stage: &str) -> Result<()> {
+        let tick = self.inner.ticks.fetch_add(1, Ordering::Relaxed);
+        if tick & (COARSE_STRIDE - 1) == 0 {
+            self.check(stage)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Charge `n` produced rows against the row budget (if any).
+    /// Charging never fails by itself — the overrun is reported by the
+    /// next `check`, which keeps charge sites branch-free.
+    pub fn charge_rows(&self, n: u64) {
+        if self.inner.row_budget.is_some() {
+            self.inner.rows.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Charge an estimated `bytes` of materialized state against the
+    /// memory budget (if any).
+    pub fn charge_mem(&self, bytes: u64) {
+        if self.inner.mem_budget.is_some() {
+            self.inner.mem.fetch_add(bytes, Ordering::Relaxed);
+        }
+    }
+
+    /// Time remaining before the deadline, if one is set. `Some(ZERO)`
+    /// when already past. Lets long phases size their own sub-steps.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.inner
+            .deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+}
+
+impl Default for QueryGovernor {
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn unlimited_always_passes() {
+        let g = QueryGovernor::unlimited();
+        assert!(!g.is_limited());
+        g.charge_rows(1_000_000);
+        g.charge_mem(u64::MAX / 2);
+        for _ in 0..1000 {
+            assert!(g.check("op").is_ok());
+            assert!(g.check_coarse("op").is_ok());
+        }
+        // Unlimited governors skip the counters entirely.
+        assert_eq!(g.rows_charged(), 0);
+    }
+
+    #[test]
+    fn cancel_is_observed_by_all_clones() {
+        let g = QueryGovernor::unlimited();
+        let c = g.clone();
+        let handle = thread::spawn(move || c.cancel());
+        handle.join().unwrap();
+        assert!(g.is_cancelled());
+        assert_eq!(g.check("op"), Err(GsjError::Cancelled));
+        assert!(matches!(g.check("op"), Err(e) if e.is_governance()));
+    }
+
+    #[test]
+    fn expired_deadline_names_the_stage() {
+        let g = QueryGovernor::builder()
+            .deadline(Duration::from_millis(0))
+            .build();
+        thread::sleep(Duration::from_millis(2));
+        match g.check("HashJoin") {
+            Err(GsjError::DeadlineExceeded(stage)) => assert_eq!(stage, "HashJoin"),
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert_eq!(g.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn future_deadline_passes() {
+        let g = QueryGovernor::builder()
+            .deadline(Duration::from_secs(3600))
+            .build();
+        assert!(g.is_limited());
+        assert!(g.check("op").is_ok());
+        assert!(g.remaining().unwrap() > Duration::from_secs(3000));
+    }
+
+    #[test]
+    fn row_budget_trips_after_charge() {
+        let g = QueryGovernor::builder().row_budget(100).build();
+        g.charge_rows(100);
+        assert!(g.check("op").is_ok(), "at budget is still fine");
+        g.charge_rows(1);
+        match g.check("Scan") {
+            Err(GsjError::ResourceExhausted(msg)) => {
+                assert!(msg.contains("Scan"), "{msg}");
+                assert!(msg.contains("row budget"), "{msg}");
+            }
+            other => panic!("expected ResourceExhausted, got {other:?}"),
+        }
+        assert!(g.check("op").unwrap_err().retryable());
+    }
+
+    #[test]
+    fn mem_budget_trips_after_charge() {
+        let g = QueryGovernor::builder().mem_budget(1024).build();
+        g.charge_mem(1024);
+        assert!(g.check("op").is_ok());
+        g.charge_mem(1);
+        assert!(matches!(g.check("op"), Err(GsjError::ResourceExhausted(_))));
+        assert_eq!(g.mem_charged(), 1025);
+    }
+
+    #[test]
+    fn coarse_check_eventually_observes_cancel() {
+        let g = QueryGovernor::unlimited();
+        g.cancel();
+        // The strided check must trip within one full stride.
+        let tripped = (0..=COARSE_STRIDE).any(|_| g.check_coarse("loop").is_err());
+        assert!(tripped);
+    }
+
+    #[test]
+    fn charges_accumulate_across_clones() {
+        let g = QueryGovernor::builder().row_budget(10).build();
+        let c = g.clone();
+        g.charge_rows(6);
+        c.charge_rows(6);
+        assert_eq!(g.rows_charged(), 12);
+        assert!(g.check("op").is_err());
+        assert!(c.check("op").is_err());
+    }
+}

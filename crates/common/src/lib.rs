@@ -14,13 +14,21 @@
 //!   `FxHash` function — dramatically faster than SipHash for the small
 //!   integer keys (vertex ids, symbols) that dominate this workload.
 //! - [`GsjError`]: the workspace error type.
+//! - [`QueryGovernor`]: cooperative deadlines, budgets and cancellation
+//!   threaded through execution (DESIGN.md §11).
+//! - [`RetryPolicy`]: bounded exponential backoff with deterministic jitter
+//!   for transient failures.
 
 pub mod error;
 pub mod fxhash;
+pub mod governor;
+pub mod retry;
 pub mod symbol;
 pub mod value;
 
 pub use error::{GsjError, Result};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use governor::{GovernorBuilder, QueryGovernor};
+pub use retry::RetryPolicy;
 pub use symbol::{Symbol, SymbolTable};
 pub use value::Value;

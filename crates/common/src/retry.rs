@@ -1,0 +1,217 @@
+//! Bounded retry with exponential backoff and deterministic jitter.
+//!
+//! Used by IncExt batch application (DESIGN.md §11): a transient failure
+//! mid-batch (injected fault, budget pressure) is retried a few times with
+//! exponentially growing, jittered sleeps before a typed error surfaces.
+//! Only [`GsjError::retryable`] errors are retried — governance verdicts
+//! and user errors propagate on the first attempt.
+//!
+//! Jitter comes from the vendored `rand` seeded per-policy, so a given
+//! (policy, attempt) pair always sleeps the same amount: chaos runs are
+//! reproducible end to end.
+
+use std::time::Duration;
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::error::{GsjError, Result};
+
+/// Backoff configuration. `Default` gives 4 attempts starting at 10 ms,
+/// capped at 500 ms — under the deterministic chaos seed this absorbs a
+/// per-site failure probability of 0.05 with residual odds of ~6e-6.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (must be >= 1).
+    pub max_attempts: u32,
+    /// Sleep before attempt 2; doubles each further attempt.
+    pub base_delay: Duration,
+    /// Upper bound on any single sleep.
+    pub max_delay: Duration,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(500),
+            seed: 0x5eed_9e37,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries: one attempt, no sleeping.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+            seed: 0,
+        }
+    }
+
+    /// A fast policy for tests: retries without meaningful sleeps.
+    pub fn immediate(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+            seed: 0,
+        }
+    }
+
+    /// The sleep before retry number `retry` (1-based: the sleep taken
+    /// after the first failure is `backoff(1)`). Exponential growth with
+    /// full jitter: uniform in `[half, full]` of the doubled base, capped
+    /// at `max_delay`.
+    pub fn backoff(&self, retry: u32) -> Duration {
+        if self.base_delay.is_zero() {
+            return Duration::ZERO;
+        }
+        let exp = retry.saturating_sub(1).min(20);
+        let full = self
+            .base_delay
+            .saturating_mul(1u32 << exp)
+            .min(self.max_delay);
+        let full_us = full.as_micros() as u64;
+        if full_us == 0 {
+            return full;
+        }
+        // Seed with the retry index so each sleep in a sequence jitters
+        // independently but reproducibly.
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ u64::from(retry));
+        let jittered = rng.random_range(full_us / 2..=full_us);
+        Duration::from_micros(jittered)
+    }
+
+    /// Run `op` under this policy. `op` receives the 1-based attempt
+    /// number. Retries only while the error is [`GsjError::retryable`];
+    /// `on_retry` is invoked before each re-attempt (for metrics /
+    /// span events) with the attempt that failed and its error.
+    pub fn run_with<T>(
+        &self,
+        mut op: impl FnMut(u32) -> Result<T>,
+        mut on_retry: impl FnMut(u32, &GsjError),
+    ) -> Result<T> {
+        let attempts = self.max_attempts.max(1);
+        let mut attempt = 1;
+        loop {
+            match op(attempt) {
+                Ok(v) => return Ok(v),
+                Err(e) if e.retryable() && attempt < attempts => {
+                    on_retry(attempt, &e);
+                    let sleep = self.backoff(attempt);
+                    if !sleep.is_zero() {
+                        std::thread::sleep(sleep);
+                    }
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// [`run_with`](Self::run_with) without a retry observer.
+    pub fn run<T>(&self, op: impl FnMut(u32) -> Result<T>) -> Result<T> {
+        self.run_with(op, |_, _| {})
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_success_needs_no_retry() {
+        let mut calls = 0;
+        let out = RetryPolicy::default().run(|attempt| {
+            calls += 1;
+            assert_eq!(attempt, 1);
+            Ok(42)
+        });
+        assert_eq!(out, Ok(42));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn retryable_errors_retry_until_success() {
+        let mut retries_seen = Vec::new();
+        let out = RetryPolicy::immediate(4).run_with(
+            |attempt| {
+                if attempt < 3 {
+                    Err(GsjError::Internal(format!("flake {attempt}")))
+                } else {
+                    Ok(attempt)
+                }
+            },
+            |attempt, err| {
+                assert!(err.retryable());
+                retries_seen.push(attempt);
+            },
+        );
+        assert_eq!(out, Ok(3));
+        assert_eq!(retries_seen, vec![1, 2]);
+    }
+
+    #[test]
+    fn attempts_are_bounded() {
+        let mut calls = 0;
+        let out: Result<()> = RetryPolicy::immediate(3).run(|_| {
+            calls += 1;
+            Err(GsjError::ResourceExhausted("always".into()))
+        });
+        assert!(matches!(out, Err(GsjError::ResourceExhausted(_))));
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn non_retryable_errors_fail_fast() {
+        for err in [
+            GsjError::Parse("bad".into()),
+            GsjError::Cancelled,
+            GsjError::DeadlineExceeded("op".into()),
+        ] {
+            let mut calls = 0;
+            let out: Result<()> = RetryPolicy::immediate(5).run(|_| {
+                calls += 1;
+                Err(err.clone())
+            });
+            assert_eq!(out, Err(err));
+            assert_eq!(calls, 1, "non-retryable error must not be retried");
+        }
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(100),
+            seed: 7,
+        };
+        let sleeps: Vec<Duration> = (1..=6).map(|r| p.backoff(r)).collect();
+        for (i, s) in sleeps.iter().enumerate() {
+            let retry = i as u32 + 1;
+            let full = p
+                .base_delay
+                .saturating_mul(1u32 << (retry - 1))
+                .min(p.max_delay);
+            assert!(*s <= full, "retry {retry}: {s:?} > {full:?}");
+            assert!(*s >= full / 2, "retry {retry}: {s:?} < {:?}", full / 2);
+        }
+        // Deterministic: same policy, same retry index, same sleep.
+        assert_eq!(p.backoff(3), p.backoff(3));
+    }
+
+    #[test]
+    fn zero_base_never_sleeps() {
+        let p = RetryPolicy::immediate(4);
+        for r in 1..5 {
+            assert_eq!(p.backoff(r), Duration::ZERO);
+        }
+    }
+}

@@ -26,7 +26,7 @@ use super::parser::parse_query;
 use super::strategies;
 use crate::profile::GraphProfile;
 use crate::rext::Rext;
-use gsj_common::{FxHashMap, GsjError, Result};
+use gsj_common::{FxHashMap, GsjError, QueryGovernor, Result};
 use gsj_graph::LabeledGraph;
 use gsj_her::relation_er::ErConfig;
 use gsj_her::HerConfig;
@@ -148,6 +148,17 @@ impl GsqlEngine {
         self.run_query(&q, strategy)
     }
 
+    /// Parse and execute under a governor (deadline / budgets / cancel).
+    pub fn run_governed(
+        &self,
+        text: &str,
+        strategy: Strategy,
+        gov: &QueryGovernor,
+    ) -> Result<Relation> {
+        let q = self.parse(text)?;
+        Ok(self.run_query_stats_governed(&q, strategy, gov)?.0)
+    }
+
     /// Execute a parsed query.
     pub fn run_query(&self, q: &Query, strategy: Strategy) -> Result<Relation> {
         Ok(self.run_query_stats(q, strategy)?.0)
@@ -160,13 +171,38 @@ impl GsqlEngine {
         q: &Query,
         strategy: Strategy,
     ) -> Result<(Relation, ExecContext)> {
-        let mut span = gsj_obs::span("gsql.query");
-        span.field("strategy", format!("{strategy:?}"));
-        let plan = self.plan_query(q, strategy)?;
-        let mut ctx = ExecContext::new();
-        let rel = self.execute_plan(&plan, &mut ctx)?;
-        span.field("rows", rel.len());
-        Ok((rel, ctx))
+        self.run_query_stats_governed(q, strategy, &QueryGovernor::unlimited())
+    }
+
+    /// [`GsqlEngine::run_query_stats`] under an explicit governor. This is
+    /// the engine's outermost failure boundary: any panic that escapes the
+    /// per-join recovery in [`super::strategies`] is caught here and
+    /// converted to [`GsjError::Internal`], so callers always see a typed
+    /// result, never an unwind.
+    pub fn run_query_stats_governed(
+        &self,
+        q: &Query,
+        strategy: Strategy,
+        gov: &QueryGovernor,
+    ) -> Result<(Relation, ExecContext)> {
+        let run = || {
+            let mut span = gsj_obs::span("gsql.query");
+            span.field("strategy", format!("{strategy:?}"));
+            gov.check("gsql.query")?;
+            let plan = self.plan_query(q, strategy)?;
+            let mut ctx = ExecContext::with_governor(gov.clone());
+            let rel = self.execute_plan(&plan, &mut ctx)?;
+            span.field("rows", rel.len());
+            Ok((rel, ctx))
+        };
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(run)).unwrap_or_else(|payload| {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".into());
+            Err(GsjError::Internal(format!("panic in gsql.query: {msg}")))
+        })
     }
 
     /// An EXPLAIN-style description of how the query would be executed

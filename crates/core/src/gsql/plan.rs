@@ -124,6 +124,17 @@ impl ItemPlan {
     }
 }
 
+/// `EXPLAIN ANALYZE` label for a semantic join: the planned description,
+/// annotated with the implementation that actually ran when the strategy
+/// degraded mid-query.
+fn degraded_label(planned: String, outcome: &strategies::JoinOutcome) -> String {
+    if outcome.degraded {
+        format!("{planned} [degraded → {}]", outcome.used)
+    } else {
+        planned
+    }
+}
+
 impl GsqlEngine {
     /// Plan a parsed query under a strategy: every FROM item becomes a
     /// physical [`ItemPlan`] with its semantic-join implementation fixed.
@@ -251,32 +262,39 @@ impl GsqlEngine {
             }
             ItemPlan::EJoin(p) => {
                 let t0 = Instant::now();
+                let gov = ctx.governor().clone();
                 let rel = self.eval_source_plan(&p.source, ctx)?;
-                let joined = strategies::eval_ejoin(self, p, &rel)?;
+                let outcome = strategies::eval_ejoin(self, p, &rel, &gov)?;
                 ctx.exit(
                     token,
-                    physical::external_stats(item.describe(self.k), rel.len(), joined.len(), t0),
+                    physical::external_stats(
+                        degraded_label(item.describe(self.k), &outcome),
+                        rel.len(),
+                        outcome.rel.len(),
+                        t0,
+                    ),
                 );
                 Ok(match &p.alias {
-                    Some(a) => joined.qualified(a),
-                    None => joined,
+                    Some(a) => outcome.rel.qualified(a),
+                    None => outcome.rel,
                 })
             }
             ItemPlan::LJoin(p) => {
                 let t0 = Instant::now();
+                let gov = ctx.governor().clone();
                 let lrel = self.eval_source_plan(&p.left, ctx)?.qualified(&p.lalias);
                 let rrel = self.eval_source_plan(&p.right, ctx)?.qualified(&p.ralias);
-                let out = strategies::eval_ljoin(self, p, &lrel, &rrel)?;
+                let outcome = strategies::eval_ljoin(self, p, &lrel, &rrel, &gov)?;
                 ctx.exit(
                     token,
                     physical::external_stats(
-                        item.describe(self.k),
+                        degraded_label(item.describe(self.k), &outcome),
                         lrel.len() + rrel.len(),
-                        out.len(),
+                        outcome.rel.len(),
                         t0,
                     ),
                 );
-                Ok(out)
+                Ok(outcome.rel)
             }
         }
     }

@@ -13,9 +13,10 @@
 use super::exec::{GsqlEngine, Strategy};
 use super::plan::{EJoinPlan, LJoinPlan};
 use crate::join::{connectivity_relation, enrichment_join, enrichment_join_precomputed, link_join};
-use gsj_common::{FxHashSet, GsjError, Result};
+use gsj_common::{FxHashSet, GsjError, QueryGovernor, Result};
 use gsj_graph::VertexId;
 use gsj_relational::{Relation, Schema};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// How an enrichment join will be answered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -132,22 +133,140 @@ static GL_CACHE_HITS: gsj_obs::LazyCounter =
     gsj_obs::LazyCounter::new("gsj_core_gl_cache_hits_total");
 static GL_CACHE_MISSES: gsj_obs::LazyCounter =
     gsj_obs::LazyCounter::new("gsj_core_gl_cache_misses_total");
+static FALLBACKS: gsj_obs::LazyCounter = gsj_obs::LazyCounter::new("gsj_core_gsql_fallback_total");
 
-/// Execute a planned enrichment join over an evaluated source relation.
-pub(super) fn eval_ejoin(e: &GsqlEngine, p: &EJoinPlan, rel: &Relation) -> Result<Relation> {
+/// The result of a governed semantic-join evaluation: the relation plus
+/// which implementation actually produced it. `used` differs from the
+/// planned tag (and `degraded` is true) when the strategy fell back.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinOutcome {
+    pub rel: Relation,
+    pub used: &'static str,
+    pub degraded: bool,
+}
+
+/// Convert a caught panic payload into a typed internal error so residual
+/// panics in a join implementation degrade like any other retryable fault.
+fn panic_to_error(site: &str, payload: Box<dyn std::any::Any + Send>) -> GsjError {
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".into());
+    GsjError::Internal(format!("panic in {site}: {msg}"))
+}
+
+/// Record one strategy degradation: metric + trace event.
+fn note_fallback(site: &str, from: &str, to: &str, err: &GsjError) {
+    FALLBACKS.inc();
+    gsj_obs::event(
+        "gsql.fallback",
+        &[
+            ("site", &site),
+            ("from", &from),
+            ("to", &to),
+            ("error", &err),
+        ],
+    );
+}
+
+/// The degradation chain for a planned enrichment-join implementation:
+/// dynamic → static → online, static → online, heuristic → online. The
+/// online baseline is only reachable when an [`crate::rext::Rext`] is
+/// registered for the graph. Always starts with the planned `imp`.
+fn ejoin_chain(e: &GsqlEngine, imp: EJoinImpl, graph: &str) -> Vec<EJoinImpl> {
+    let online_ok = e.rexts.contains_key(graph);
+    let mut chain = vec![imp];
+    match imp {
+        EJoinImpl::Dynamic => chain.push(EJoinImpl::Static),
+        EJoinImpl::Static | EJoinImpl::Heuristic { .. } | EJoinImpl::Online => {}
+    }
+    if online_ok && imp != EJoinImpl::Online {
+        chain.push(EJoinImpl::Online);
+    }
+    chain
+}
+
+/// The degradation chain for a planned link-join implementation: cached →
+/// online, heuristic → online. The online baseline needs no precomputed
+/// state, so it is always reachable.
+fn ljoin_chain(imp: LJoinImpl) -> Vec<LJoinImpl> {
+    match imp {
+        LJoinImpl::Online => vec![LJoinImpl::Online],
+        other => vec![other, LJoinImpl::Online],
+    }
+}
+
+/// Execute a planned enrichment join over an evaluated source relation,
+/// degrading along [`ejoin_chain`] on retryable failures (injected faults,
+/// panics, resource exhaustion). Governance errors — cancellation,
+/// deadline — always propagate: a query past its deadline must not retry
+/// its way to a slower implementation.
+pub(super) fn eval_ejoin(
+    e: &GsqlEngine,
+    p: &EJoinPlan,
+    rel: &Relation,
+    gov: &QueryGovernor,
+) -> Result<JoinOutcome> {
     let mut span = gsj_obs::span("gsql.ejoin");
     span.field("impl", p.imp.tag())
         .field("graph", &p.graph)
         .field("base", &p.base);
+    gov.check("gsql.ejoin")?;
+    let chain = ejoin_chain(e, p.imp, &p.graph);
+    let mut degraded = false;
+    for (i, &imp) in chain.iter().enumerate() {
+        let last = i + 1 == chain.len();
+        // The fault site only arms on non-final attempts: an injected
+        // fault here is recoverable by construction because the chain has
+        // a next implementation to absorb it. It sits *inside* the
+        // catch_unwind so a panic-mode fault degrades exactly like an
+        // error-mode one instead of escaping to the query boundary.
+        let res = catch_unwind(AssertUnwindSafe(|| {
+            if !last {
+                gsj_faults::fault_point("gsql.ejoin", gsj_faults::FaultClass::Recoverable)?;
+            }
+            run_ejoin_impl(e, p, rel, imp, gov)
+        }))
+        .unwrap_or_else(|payload| Err(panic_to_error("gsql.ejoin", payload)));
+        match res {
+            Ok(out) => {
+                span.field("used", imp.tag()).field("degraded", degraded);
+                gov.charge_mem(gsj_relational::approx_rel_bytes(&out));
+                return Ok(JoinOutcome {
+                    rel: out,
+                    used: imp.tag(),
+                    degraded,
+                });
+            }
+            Err(err) if !last && err.retryable() => {
+                note_fallback("gsql.ejoin", imp.tag(), chain[i + 1].tag(), &err);
+                degraded = true;
+            }
+            Err(err) => return Err(err),
+        }
+    }
+    Err(GsjError::Internal("empty ejoin fallback chain".into()))
+}
+
+/// One enrichment-join implementation, ungoverned by the chain (the chain
+/// owns fault injection and fallback; this owns the actual work).
+fn run_ejoin_impl(
+    e: &GsqlEngine,
+    p: &EJoinPlan,
+    rel: &Relation,
+    imp: EJoinImpl,
+    gov: &QueryGovernor,
+) -> Result<Relation> {
     let id_attr = e.actual_id_attr(rel, &p.base)?;
     let g = e.the_graph(&p.graph)?;
-    match p.imp {
+    match imp {
         EJoinImpl::Online => {
             let rext = e.rexts.get(&p.graph).ok_or_else(|| {
                 GsjError::Config(format!("no RExt registered for graph `{}`", p.graph))
             })?;
             let (joined, _state) =
-                enrichment_join(rel, &id_attr, g, &p.keywords, rext, &e.her_cfg)?;
+                enrichment_join(rel, &id_attr, g, &p.keywords, rext, &e.her_cfg, gov)?;
             Ok(joined)
         }
         EJoinImpl::Static | EJoinImpl::Dynamic => {
@@ -156,41 +275,91 @@ pub(super) fn eval_ejoin(e: &GsqlEngine, p: &EJoinPlan, rel: &Relation) -> Resul
                 .get(&p.graph)
                 .ok_or_else(|| GsjError::Config(format!("no profile for graph `{}`", p.graph)))?;
             let ex = profile.extraction(&p.base)?;
-            enrichment_join_precomputed(rel, &id_attr, &ex.matches, &ex.dg, Some(&p.keywords))
+            let out =
+                enrichment_join_precomputed(rel, &id_attr, &ex.matches, &ex.dg, Some(&p.keywords))?;
+            gov.charge_rows(out.len() as u64);
+            Ok(out)
         }
         EJoinImpl::Heuristic { .. } => {
             let profile = e
                 .profiles
                 .get(&p.graph)
                 .ok_or_else(|| GsjError::Config(format!("no profile for graph `{}`", p.graph)))?;
-            crate::heuristic::heuristic_enrichment(
+            let out = crate::heuristic::heuristic_enrichment(
                 rel,
                 Some(&id_attr),
                 &p.keywords,
                 &profile.typed,
                 &e.er_cfg,
-            )
+            )?;
+            gov.charge_rows(out.len() as u64);
+            Ok(out)
         }
     }
 }
 
 /// Execute a planned link join over its two evaluated (and already
-/// qualified) sides.
+/// qualified) sides, degrading along [`ljoin_chain`] exactly as
+/// [`eval_ejoin`] does.
 pub(super) fn eval_ljoin(
     e: &GsqlEngine,
     p: &LJoinPlan,
     lrel: &Relation,
     rrel: &Relation,
-) -> Result<Relation> {
+    gov: &QueryGovernor,
+) -> Result<JoinOutcome> {
     let mut span = gsj_obs::span("gsql.ljoin");
     span.field("impl", p.imp.tag())
         .field("graph", &p.graph)
         .field("k", e.k);
+    gov.check("gsql.ljoin")?;
+    let chain = ljoin_chain(p.imp);
+    let mut degraded = false;
+    for (i, &imp) in chain.iter().enumerate() {
+        let last = i + 1 == chain.len();
+        // Armed only on non-final attempts; inside the catch_unwind so a
+        // panic-mode fault degrades like an error-mode one (see eval_ejoin).
+        let res = catch_unwind(AssertUnwindSafe(|| {
+            if !last {
+                gsj_faults::fault_point("gsql.ljoin", gsj_faults::FaultClass::Recoverable)?;
+            }
+            run_ljoin_impl(e, p, lrel, rrel, imp, gov)
+        }))
+        .unwrap_or_else(|payload| Err(panic_to_error("gsql.ljoin", payload)));
+        match res {
+            Ok(out) => {
+                span.field("used", imp.tag()).field("degraded", degraded);
+                gov.charge_mem(gsj_relational::approx_rel_bytes(&out));
+                return Ok(JoinOutcome {
+                    rel: out,
+                    used: imp.tag(),
+                    degraded,
+                });
+            }
+            Err(err) if !last && err.retryable() => {
+                note_fallback("gsql.ljoin", imp.tag(), chain[i + 1].tag(), &err);
+                degraded = true;
+            }
+            Err(err) => return Err(err),
+        }
+    }
+    Err(GsjError::Internal("empty ljoin fallback chain".into()))
+}
+
+/// One link-join implementation (see [`run_ejoin_impl`]).
+fn run_ljoin_impl(
+    e: &GsqlEngine,
+    p: &LJoinPlan,
+    lrel: &Relation,
+    rrel: &Relation,
+    imp: LJoinImpl,
+    gov: &QueryGovernor,
+) -> Result<Relation> {
     let lid = e.actual_id_attr(lrel, &p.lbase)?;
     let rid = e.actual_id_attr(rrel, &p.rbase)?;
     let g = e.the_graph(&p.graph)?;
-    match p.imp {
-        LJoinImpl::Online => link_join(lrel, &lid, rrel, &rid, g, e.k, &e.her_cfg),
+    match imp {
+        LJoinImpl::Online => link_join(lrel, &lid, rrel, &rid, g, e.k, &e.her_cfg, gov),
         LJoinImpl::Cached => {
             let profile = e
                 .profiles
@@ -216,7 +385,18 @@ pub(super) fn eval_ljoin(
             rv.sort();
             rv.dedup();
             let signature = link_signature(&p.graph, &p.lbase, &p.rbase, e.k, &lv, &rv);
-            let gl = match profile.cached_link(&signature) {
+            // An injected cache fault degrades to a miss: the cached copy
+            // is distrusted and the connectivity relation is recomputed.
+            let cached =
+                match gsj_faults::fault_point("gsql.gl_cache", gsj_faults::FaultClass::Recoverable)
+                {
+                    Ok(()) => profile.cached_link(&signature),
+                    Err(err) => {
+                        gsj_obs::event("gsql.gl_cache", &[("fault", &true), ("error", &err)]);
+                        None
+                    }
+                };
+            let gl = match cached {
                 Some(rel) => {
                     GL_CACHE_HITS.inc();
                     gsj_obs::event("gsql.gl_cache", &[("hit", &true), ("rows", &rel.len())]);
@@ -224,7 +404,7 @@ pub(super) fn eval_ljoin(
                 }
                 None => {
                     GL_CACHE_MISSES.inc();
-                    let rel = connectivity_relation(g, &lv, &rv, e.k, "g_l");
+                    let rel = connectivity_relation(g, &lv, &rv, e.k, "g_l", gov)?;
                     gsj_obs::event("gsql.gl_cache", &[("hit", &false), ("rows", &rel.len())]);
                     profile.cache_link(signature, rel.clone());
                     rel
@@ -269,6 +449,7 @@ pub(super) fn eval_ljoin(
                 g,
                 e.k,
                 &e.er_cfg,
+                gov,
             )
         }
     }

@@ -10,8 +10,8 @@
 //! to vertices, connectivity does the rest.
 
 use crate::typed::TypedRelation;
-use gsj_common::{FxHashMap, GsjError, Result, Value};
-use gsj_graph::traversal::within_k_hops;
+use gsj_common::{FxHashMap, GsjError, QueryGovernor, Result, Value};
+use gsj_graph::traversal::within_k_hops_governed;
 use gsj_graph::{LabeledGraph, VertexId};
 use gsj_her::relation_er::{match_relations, ErConfig};
 use gsj_relational::{Relation, Schema};
@@ -106,7 +106,8 @@ pub fn heuristic_enrichment(
 
 /// Heuristic link join: resolve each side's rows to vertices through ER
 /// against the most relevant typed relation, then test k-hop
-/// connectivity. Schemas must have disjoint attribute names.
+/// connectivity. Schemas must have disjoint attribute names. The pairwise
+/// BFS loop observes the governor (strided).
 #[allow(clippy::too_many_arguments)]
 pub fn heuristic_link(
     s1: &Relation,
@@ -117,6 +118,7 @@ pub fn heuristic_link(
     g: &LabeledGraph,
     k: usize,
     er_cfg: &ErConfig,
+    gov: &QueryGovernor,
 ) -> Result<Relation> {
     let resolve = |s: &Relation, id: Option<&str>| -> Result<Vec<Option<VertexId>>> {
         let g_tau = pick_typed(s.schema(), typed, &[])?;
@@ -148,15 +150,22 @@ pub fn heuristic_link(
         let Some(a) = ov1 else { continue };
         for (t2, ov2) in s2.tuples().iter().zip(&v2) {
             let Some(b) = ov2 else { continue };
+            gov.check_coarse("join.link")?;
             let key = if a <= b { (*a, *b) } else { (*b, *a) };
-            let connected = *memo
-                .entry(key)
-                .or_insert_with(|| within_k_hops(g, *a, *b, k));
+            let connected = match memo.get(&key) {
+                Some(&c) => c,
+                None => {
+                    let c = within_k_hops_governed(g, *a, *b, k, gov)?;
+                    memo.insert(key, c);
+                    c
+                }
+            };
             if connected {
                 out.push(t1.concat(t2))?;
             }
         }
     }
+    gov.charge_rows(out.len() as u64);
     Ok(out)
 }
 
@@ -295,6 +304,7 @@ mod tests {
         let mut s2 = Relation::empty(Schema::of("b", &["b.pid", "b.name"]));
         s2.push_values(vec![Value::str("y"), Value::str("Beta")])
             .unwrap();
+        let gov = QueryGovernor::unlimited();
         let r = heuristic_link(
             &s1,
             Some("a.pid"),
@@ -304,6 +314,7 @@ mod tests {
             &g,
             1,
             &ErConfig::default(),
+            &gov,
         )
         .unwrap();
         assert_eq!(r.len(), 1);
@@ -317,6 +328,7 @@ mod tests {
             &g,
             0,
             &ErConfig::default(),
+            &gov,
         )
         .unwrap();
         assert!(r0.is_empty());

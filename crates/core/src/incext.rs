@@ -17,7 +17,7 @@
 use crate::discover::{select_attributes, Discovery};
 use crate::extract::{extract_values, LabelEmbCache};
 use crate::rext::Rext;
-use gsj_common::{FxHashMap, FxHashSet, Result, Value};
+use gsj_common::{FxHashMap, FxHashSet, Result, RetryPolicy, Value};
 use gsj_graph::update::UpdateReport;
 use gsj_graph::{LabeledGraph, VertexId};
 use gsj_her::{her_match_local, HerConfig, MatchRelation};
@@ -128,8 +128,38 @@ pub fn pattern_affected_zone(
     out
 }
 
+static INCEXT_RETRIES: gsj_obs::LazyCounter =
+    gsj_obs::LazyCounter::new("gsj_core_incext_retry_total");
+
+/// Run one IncExt phase under the retry policy: each attempt first passes
+/// the phase's fault point, so injected recoverable faults exercise the
+/// backoff path. The phases are deterministic over immutable inputs, which
+/// is what makes blind re-execution sound.
+fn retried<T>(
+    policy: &RetryPolicy,
+    site: &'static str,
+    mut op: impl FnMut() -> Result<T>,
+) -> Result<T> {
+    policy.run_with(
+        |_attempt| {
+            gsj_faults::fault_point(site, gsj_faults::FaultClass::Recoverable)?;
+            op()
+        },
+        |retry, err| {
+            INCEXT_RETRIES.inc();
+            gsj_obs::event(
+                "incext.retry",
+                &[("site", &site), ("retry", &retry), ("error", &err)],
+            );
+        },
+    )
+}
+
 /// Apply a data update: `g` must already be the *updated* graph and
 /// `report` the [`UpdateReport`] from applying `ΔG`.
+///
+/// Each phase (zone computation, localized HER, re-extraction) retries
+/// with backoff on retryable failures before the whole update fails.
 pub fn inc_update_graph(
     rext: &Rext,
     g: &LabeledGraph,
@@ -140,12 +170,13 @@ pub fn inc_update_graph(
 ) -> Result<Extraction> {
     let mut update_span = gsj_obs::span("incext.update_graph");
     update_span.field("touched", report.touched.len());
-    let affected_zone = {
+    let policy = RetryPolicy::default();
+    let affected_zone = retried(&policy, "incext.zone", || {
         let mut span = gsj_obs::span("incext.zone");
         let zone = pattern_affected_zone(g, &report.touched, &prev.discovery);
         span.field("vertices", zone.len());
-        zone
-    };
+        Ok(zone)
+    })?;
     // HER depends on the (hops-bounded) vicinity, not on patterns: a
     // separate, shallow ball gates match re-computation.
     let her_zone = multi_source_khop(g, report.touched.iter().copied(), her_cfg.hops);
@@ -164,11 +195,11 @@ pub fn inc_update_graph(
             redo_rows.push(t.clone());
         }
     }
-    let rerun_matches = {
+    let rerun_matches = retried(&policy, "incext.her_redo", || {
         let mut span = gsj_obs::span("incext.her_redo");
         span.field("redo_rows", redo_rows.len());
         if redo_rows.is_empty() {
-            MatchRelation::new()
+            Ok(MatchRelation::new())
         } else {
             // Localized HER: candidates are the vertices whose vicinity an
             // update could have changed, plus the redo tuples' previous
@@ -182,9 +213,9 @@ pub fn inc_update_graph(
                 }
             }
             let sub = Relation::new(s.schema().clone(), redo_rows.clone())?;
-            her_match_local(g, &sub, her_cfg, candidates)?
+            her_match_local(g, &sub, her_cfg, candidates)
         }
-    };
+    })?;
     let redo_tids: FxHashSet<Value> = redo_rows.iter().map(|t| t.get(id_pos).clone()).collect();
 
     // --- Merge into the new match relation.
@@ -232,11 +263,11 @@ pub fn inc_update_graph(
         .filter(|v| matched_now.contains(v))
         .collect();
     ordered.sort();
-    let fresh = {
+    let fresh = retried(&policy, "incext.re_extract", || {
         let mut span = gsj_obs::span("incext.re_extract");
         span.field("vertices", ordered.len());
-        rext.extract_vertices(g, &ordered, &prev.discovery)?
-    };
+        rext.extract_vertices(g, &ordered, &prev.discovery)
+    })?;
     for row in fresh.tuples() {
         dg.push(row.clone())?;
     }

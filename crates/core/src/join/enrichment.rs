@@ -6,7 +6,7 @@
 
 use crate::incext::Extraction;
 use crate::rext::Rext;
-use gsj_common::{Result, Value};
+use gsj_common::{QueryGovernor, Result, Value};
 use gsj_graph::LabeledGraph;
 use gsj_her::{her_match, HerConfig, MatchRelation};
 use gsj_relational::exec::natural_join;
@@ -15,6 +15,10 @@ use gsj_relational::{Relation, Schema};
 /// The conceptual-level enrichment join: calls HER and RExt online
 /// (Section IV-A "Baseline"). Returns the joined relation together with
 /// the extraction state (so callers can keep it for reuse/maintenance).
+///
+/// The governor is consulted between the HER / discovery / extraction
+/// phases, so a deadline or cancel set mid-join stops before the next
+/// expensive phase rather than after the whole join.
 pub fn enrichment_join(
     s: &Relation,
     id_attr: &str,
@@ -22,15 +26,21 @@ pub fn enrichment_join(
     keywords: &[String],
     rext: &Rext,
     her_cfg: &HerConfig,
+    gov: &QueryGovernor,
 ) -> Result<(Relation, Extraction)> {
     let mut span = gsj_obs::span("join.enrichment");
+    gsj_faults::fault_point("join.enrichment", gsj_faults::FaultClass::Critical)?;
     let mut cfg = her_cfg.clone();
     cfg.id_attr = id_attr.to_string();
+    gov.check("her.match")?;
     let matches = her_match(g, s, &cfg)?;
     let schema_name = format!("h_{}", s.schema().name());
+    gov.check("rext.discover")?;
     let discovery = rext.discover(g, &matches, Some((s, id_attr)), keywords, &schema_name)?;
+    gov.check("rext.extract")?;
     let dg = rext.extract(g, &matches, &discovery)?;
     let joined = join_three_way(s, id_attr, &matches, &keyword_view(&dg, keywords)?)?;
+    gov.charge_rows(joined.len() as u64);
     span.field("rows_in", s.len())
         .field("rows_out", joined.len());
     Ok((

@@ -2,8 +2,8 @@
 //! `k` hops of each other in `G` (Section II-B), checked by bidirectional
 //! BFS (Section IV-A).
 
-use gsj_common::{FxHashMap, Result, Value};
-use gsj_graph::traversal::within_k_hops;
+use gsj_common::{FxHashMap, QueryGovernor, Result, Value};
+use gsj_graph::traversal::within_k_hops_governed;
 use gsj_graph::{LabeledGraph, VertexId};
 use gsj_her::{her_match, HerConfig, MatchRelation};
 use gsj_relational::{Relation, Schema};
@@ -11,6 +11,7 @@ use gsj_relational::{Relation, Schema};
 /// The conceptual-level link join: HER on both sides, then pairwise
 /// bidirectional BFS. Input schemas must have disjoint attribute names
 /// (qualify aliases first, as the gSQL rewriter does).
+#[allow(clippy::too_many_arguments)]
 pub fn link_join(
     s1: &Relation,
     id1: &str,
@@ -19,7 +20,9 @@ pub fn link_join(
     g: &LabeledGraph,
     k: usize,
     her_cfg: &HerConfig,
+    gov: &QueryGovernor,
 ) -> Result<Relation> {
+    gov.check("her.match")?;
     let m1 = her_match(
         g,
         s1,
@@ -36,11 +39,12 @@ pub fn link_join(
             ..her_cfg.clone()
         },
     )?;
-    link_join_with_matches(s1, id1, &m1, s2, id2, &m2, g, k)
+    link_join_with_matches(s1, id1, &m1, s2, id2, &m2, g, k, gov)
 }
 
 /// Link join over precomputed match relations (the optimized path that
-/// avoids calling HER online).
+/// avoids calling HER online). The pairwise BFS loop is governed: each
+/// memoized connectivity probe observes the governor (strided).
 #[allow(clippy::too_many_arguments)]
 pub fn link_join_with_matches(
     s1: &Relation,
@@ -51,8 +55,10 @@ pub fn link_join_with_matches(
     m2: &MatchRelation,
     g: &LabeledGraph,
     k: usize,
+    gov: &QueryGovernor,
 ) -> Result<Relation> {
     let mut span = gsj_obs::span("join.link");
+    gsj_faults::fault_point("join.link", gsj_faults::FaultClass::Critical)?;
     let id1_pos = s1.schema().require(id1)?;
     let id2_pos = s2.schema().require(id2)?;
     let mut attrs = s1.schema().attrs().to_vec();
@@ -72,15 +78,22 @@ pub fn link_join_with_matches(
             let Some(v2) = m2.vertex_of(t2.get(id2_pos)) else {
                 continue;
             };
+            gov.check_coarse("join.link")?;
             let key = if v1 <= v2 { (v1, v2) } else { (v2, v1) };
-            let connected = *memo
-                .entry(key)
-                .or_insert_with(|| within_k_hops(g, v1, v2, k));
+            let connected = match memo.get(&key) {
+                Some(&c) => c,
+                None => {
+                    let c = within_k_hops_governed(g, v1, v2, k, gov)?;
+                    memo.insert(key, c);
+                    c
+                }
+            };
             if connected {
                 out.push(t1.concat(t2))?;
             }
         }
     }
+    gov.charge_rows(out.len() as u64);
     span.field("k", k)
         .field("pairs_checked", memo.len())
         .field("rows_out", out.len());
@@ -97,8 +110,10 @@ pub fn connectivity_relation(
     right: &[VertexId],
     k: usize,
     name: &str,
-) -> Relation {
+    gov: &QueryGovernor,
+) -> Result<Relation> {
     let mut span = gsj_obs::span("join.connectivity");
+    gsj_faults::fault_point("join.connectivity", gsj_faults::FaultClass::Critical)?;
     span.field("left", left.len())
         .field("right", right.len())
         .field("k", k);
@@ -106,17 +121,23 @@ pub fn connectivity_relation(
     let mut memo: FxHashMap<(VertexId, VertexId), bool> = FxHashMap::default();
     for &v1 in left {
         for &v2 in right {
+            gov.check_coarse("join.connectivity")?;
             let key = if v1 <= v2 { (v1, v2) } else { (v2, v1) };
-            let connected = *memo
-                .entry(key)
-                .or_insert_with(|| within_k_hops(g, v1, v2, k));
+            let connected = match memo.get(&key) {
+                Some(&c) => c,
+                None => {
+                    let c = within_k_hops_governed(g, v1, v2, k, gov)?;
+                    memo.insert(key, c);
+                    c
+                }
+            };
             if connected {
-                rel.push_values(vec![Value::Int(v1.0 as i64), Value::Int(v2.0 as i64)])
-                    .expect("arity 2");
+                rel.push_values(vec![Value::Int(v1.0 as i64), Value::Int(v2.0 as i64)])?;
             }
         }
     }
-    rel
+    gov.charge_rows(rel.len() as u64);
+    Ok(rel)
 }
 
 #[cfg(test)]
@@ -152,6 +173,7 @@ mod tests {
 
     #[test]
     fn link_join_connects_within_k() {
+        let gov = QueryGovernor::unlimited();
         let (g, vs) = social();
         let s1 = customers(&["Bob"], "T1");
         let s2 = customers(&["Ada", "Guy", "Eve"], "T2");
@@ -161,16 +183,19 @@ mod tests {
         m2.push(Value::str("c0"), vs[1]);
         m2.push(Value::str("c1"), vs[2]);
         m2.push(Value::str("c2"), vs[3]);
-        let r1 = link_join_with_matches(&s1, "T1.cid", &m1, &s2, "T2.cid", &m2, &g, 1).unwrap();
+        let r1 =
+            link_join_with_matches(&s1, "T1.cid", &m1, &s2, "T2.cid", &m2, &g, 1, &gov).unwrap();
         // k=1: only Ada.
         assert_eq!(r1.len(), 1);
-        let r2 = link_join_with_matches(&s1, "T1.cid", &m1, &s2, "T2.cid", &m2, &g, 2).unwrap();
+        let r2 =
+            link_join_with_matches(&s1, "T1.cid", &m1, &s2, "T2.cid", &m2, &g, 2, &gov).unwrap();
         // k=2: Ada and Guy; Eve never (disconnected).
         assert_eq!(r2.len(), 2);
     }
 
     #[test]
     fn unmatched_tuples_drop_out() {
+        let gov = QueryGovernor::unlimited();
         let (g, vs) = social();
         let s1 = customers(&["Bob", "Stranger"], "T1");
         let s2 = customers(&["Ada"], "T2");
@@ -178,19 +203,37 @@ mod tests {
         m1.push(Value::str("c0"), vs[0]); // Stranger (c1) unmatched
         let mut m2 = MatchRelation::new();
         m2.push(Value::str("c0"), vs[1]);
-        let r = link_join_with_matches(&s1, "T1.cid", &m1, &s2, "T2.cid", &m2, &g, 3).unwrap();
+        let r =
+            link_join_with_matches(&s1, "T1.cid", &m1, &s2, "T2.cid", &m2, &g, 3, &gov).unwrap();
         assert_eq!(r.len(), 1);
     }
 
     #[test]
     fn connectivity_relation_materializes_pairs() {
+        let gov = QueryGovernor::unlimited();
         let (g, vs) = social();
-        let rel = connectivity_relation(&g, &[vs[0]], &[vs[1], vs[2], vs[3]], 2, "gl");
+        let rel =
+            connectivity_relation(&g, &[vs[0]], &[vs[1], vs[2], vs[3]], 2, "gl", &gov).unwrap();
         assert_eq!(rel.len(), 2);
         assert_eq!(
             rel.schema().attrs(),
             &["vid1".to_string(), "vid2".to_string()]
         );
+    }
+
+    #[test]
+    fn cancelled_governor_stops_link_join() {
+        let (g, vs) = social();
+        let s1 = customers(&["Bob"], "T1");
+        let s2 = customers(&["Ada"], "T2");
+        let mut m1 = MatchRelation::new();
+        m1.push(Value::str("c0"), vs[0]);
+        let mut m2 = MatchRelation::new();
+        m2.push(Value::str("c0"), vs[1]);
+        let gov = QueryGovernor::unlimited();
+        gov.cancel();
+        let r = link_join_with_matches(&s1, "T1.cid", &m1, &s2, "T2.cid", &m2, &g, 2, &gov);
+        assert_eq!(r, Err(gsj_common::GsjError::Cancelled));
     }
 
     #[test]
@@ -210,7 +253,17 @@ mod tests {
         let mut s2 = Relation::empty(Schema::of("b", &["b.id", "b.name"]));
         s2.push_values(vec![Value::str("y"), Value::str("Ada Lovelace")])
             .unwrap();
-        let r = link_join(&s1, "a.id", &s2, "b.id", &g, 1, &HerConfig::default()).unwrap();
+        let r = link_join(
+            &s1,
+            "a.id",
+            &s2,
+            "b.id",
+            &g,
+            1,
+            &HerConfig::default(),
+            &QueryGovernor::unlimited(),
+        )
+        .unwrap();
         assert_eq!(r.len(), 1);
         assert_eq!(r.schema().arity(), 4);
     }

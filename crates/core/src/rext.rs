@@ -8,7 +8,7 @@ use crate::extract::extract_relation;
 use crate::ranking::TupleAttrEmbs;
 use gsj_cluster::{kmeans, KmeansConfig};
 use gsj_common::{FxHashMap, Result, Value};
-use gsj_graph::random_walk::{build_corpus, WalkConfig};
+use gsj_graph::random_walk::{build_corpus_governed, WalkConfig};
 use gsj_graph::{LabeledGraph, Path, VertexId};
 use gsj_her::normalize::value_text;
 use gsj_her::MatchRelation;
@@ -79,14 +79,17 @@ impl Rext {
         let needs_lm =
             cfg.path == PathKind::LmGuided || matches!(cfg.seq, SeqKind::Lstm100 | SeqKind::Lstm50);
         let lm = if needs_lm {
-            let corpus = build_corpus(
+            // Governed so the corpus walk carries its fault point
+            // (`graph.random_walk`); training itself has no deadline.
+            let corpus = build_corpus_governed(
                 g,
                 &WalkConfig {
                     walks_per_vertex: 3,
                     max_len: cfg.k.max(2) * 2,
                     seed: cfg.seed,
                 },
-            );
+                &gsj_common::QueryGovernor::unlimited(),
+            )?;
             let mut lm_cfg = cfg.lm.clone();
             lm_cfg.seed = cfg.seed ^ 0x1111;
             Some(Arc::new(LanguageModel::train(&corpus, g.symbols(), lm_cfg)))
@@ -189,6 +192,7 @@ impl Rext {
         cluster_noise: Option<(f64, u64)>,
     ) -> Result<Discovery> {
         let mut disc_span = gsj_obs::span("rext.discover");
+        gsj_faults::fault_point("rext.discover", gsj_faults::FaultClass::Critical)?;
         static PATHS_SELECTED: gsj_obs::LazyCounter =
             gsj_obs::LazyCounter::new("gsj_core_paths_selected_total");
         // (1) Path selection per distinct matched vertex, in parallel.
@@ -341,6 +345,7 @@ impl Rext {
         discovery: &Discovery,
     ) -> Result<Relation> {
         let mut span = gsj_obs::span("rext.extract");
+        gsj_faults::fault_point("rext.extract", gsj_faults::FaultClass::Critical)?;
         let out = extract_relation(g, matches.vertices(), discovery, self.word.as_ref(), |v| {
             self.select_paths(g, v)
         })?;

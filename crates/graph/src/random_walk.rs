@@ -12,7 +12,8 @@
 //! edge labels, which is exactly how path selection queries it.
 
 use crate::graph::{Direction, LabeledGraph, VertexId};
-use gsj_common::Symbol;
+use gsj_common::{QueryGovernor, Result, Symbol};
+use gsj_faults::{fault_point, FaultClass};
 use rand::rngs::SmallRng;
 use rand::seq::IndexedRandom;
 use rand::{RngExt, SeedableRng};
@@ -48,14 +49,41 @@ pub type Sentence = Vec<Symbol>;
 /// the alternating vertex/edge label sequence. Walks of length zero (from
 /// isolated vertices) are skipped.
 pub fn build_corpus(g: &LabeledGraph, cfg: &WalkConfig) -> Vec<Sentence> {
+    // INVARIANT(allowlist): with no governor the impl performs no
+    // governance checks and no fault points, so it cannot fail.
+    build_corpus_impl(g, cfg, None).expect("ungoverned corpus build is infallible")
+}
+
+/// [`build_corpus`] under a governor: the per-walk loop observes
+/// cancellation and deadline (strided), and the stage carries the
+/// `graph.random_walk` fault point.
+pub fn build_corpus_governed(
+    g: &LabeledGraph,
+    cfg: &WalkConfig,
+    gov: &QueryGovernor,
+) -> Result<Vec<Sentence>> {
+    build_corpus_impl(g, cfg, Some(gov))
+}
+
+fn build_corpus_impl(
+    g: &LabeledGraph,
+    cfg: &WalkConfig,
+    gov: Option<&QueryGovernor>,
+) -> Result<Vec<Sentence>> {
     let mut span = gsj_obs::span("graph.random_walk");
     static WALKS: gsj_obs::LazyCounter = gsj_obs::LazyCounter::new("gsj_graph_walks_total");
     static TOKENS: gsj_obs::LazyCounter = gsj_obs::LazyCounter::new("gsj_graph_walk_tokens_total");
+    if gov.is_some() {
+        fault_point("graph.random_walk", FaultClass::Critical)?;
+    }
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let vertices: Vec<VertexId> = g.vertices().collect();
     let mut corpus = Vec::with_capacity(vertices.len() * cfg.walks_per_vertex);
     for &start in &vertices {
         for _ in 0..cfg.walks_per_vertex {
+            if let Some(gov) = gov {
+                gov.check_coarse("graph.random_walk")?;
+            }
             if let Some(s) = walk_sentence(g, start, cfg.max_len, &mut rng) {
                 corpus.push(s);
             }
@@ -65,7 +93,7 @@ pub fn build_corpus(g: &LabeledGraph, cfg: &WalkConfig) -> Vec<Sentence> {
     TOKENS.add(corpus.iter().map(|s| s.len() as u64).sum());
     span.field("vertices", vertices.len())
         .field("sentences", corpus.len());
-    corpus
+    Ok(corpus)
 }
 
 fn walk_sentence(
@@ -168,6 +196,24 @@ mod tests {
         g.add_vertex("lonely");
         let corpus = build_corpus(&g, &WalkConfig::default());
         assert!(corpus.is_empty());
+    }
+
+    #[test]
+    fn governed_corpus_matches_classic_and_observes_cancel() {
+        let g = star();
+        let cfg = WalkConfig::default();
+        let gov = QueryGovernor::unlimited();
+        assert_eq!(
+            build_corpus_governed(&g, &cfg, &gov).unwrap(),
+            build_corpus(&g, &cfg)
+        );
+        // Fresh governor: its first strided check runs the full check.
+        let gov = QueryGovernor::unlimited();
+        gov.cancel();
+        assert_eq!(
+            build_corpus_governed(&g, &cfg, &gov),
+            Err(gsj_common::GsjError::Cancelled)
+        );
     }
 
     #[test]

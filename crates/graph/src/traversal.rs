@@ -3,9 +3,18 @@
 //! Link joins (Section II-B) test whether matching vertices are within `k`
 //! hops of each other; IncExt (Section III-B) collects all matched vertices
 //! within `k` hops of an update. Both run on the *undirected* view of `G`.
+//!
+//! Each traversal comes in two forms: the classic infallible API
+//! ([`k_hop_set`], [`within_k_hops`], ...) and a `_governed` variant that
+//! takes a [`QueryGovernor`] — the governed form checks cancellation /
+//! deadline inside the frontier loop (strided, so the overhead is one
+//! `fetch_add` per pop) and carries a fault-injection point
+//! (`graph.khop` / `graph.bfs`, see DESIGN.md §11). The classic form is
+//! a zero-cost wrapper that skips both.
 
 use crate::graph::{LabeledGraph, VertexId};
-use gsj_common::{FxHashMap, FxHashSet};
+use gsj_common::{FxHashMap, FxHashSet, QueryGovernor, Result};
+use gsj_faults::{fault_point, FaultClass};
 use gsj_obs::LazyCounter;
 use std::collections::VecDeque;
 
@@ -17,17 +26,48 @@ static BFS_CALLS: LazyCounter = LazyCounter::new("gsj_graph_bfs_calls_total");
 static BFS_VISITED: LazyCounter = LazyCounter::new("gsj_graph_bfs_visited_total");
 static BFS_HITS: LazyCounter = LazyCounter::new("gsj_graph_bfs_hits_total");
 
+// INVARIANT(allowlist): with `gov: None` the `_impl` traversals perform
+// no governance checks and no fault points — the only fallible paths —
+// so unwrapping in the classic wrappers cannot panic.
+const UNGOVERNED: &str = "ungoverned traversal is infallible";
+
 /// All live vertices within `k` undirected hops of `start` (including
 /// `start` itself at distance 0).
 pub fn k_hop_set(g: &LabeledGraph, start: VertexId, k: usize) -> FxHashSet<VertexId> {
+    k_hop_set_impl(g, start, k, None).expect(UNGOVERNED)
+}
+
+/// [`k_hop_set`] under a governor: the frontier loop observes
+/// cancellation, deadline and budgets at stride granularity.
+pub fn k_hop_set_governed(
+    g: &LabeledGraph,
+    start: VertexId,
+    k: usize,
+    gov: &QueryGovernor,
+) -> Result<FxHashSet<VertexId>> {
+    k_hop_set_impl(g, start, k, Some(gov))
+}
+
+fn k_hop_set_impl(
+    g: &LabeledGraph,
+    start: VertexId,
+    k: usize,
+    gov: Option<&QueryGovernor>,
+) -> Result<FxHashSet<VertexId>> {
+    if gov.is_some() {
+        fault_point("graph.khop", FaultClass::Critical)?;
+    }
     let mut seen: FxHashSet<VertexId> = FxHashSet::default();
     if !g.is_live(start) {
-        return seen;
+        return Ok(seen);
     }
     let mut frontier = VecDeque::new();
     seen.insert(start);
     frontier.push_back((start, 0usize));
     while let Some((v, d)) = frontier.pop_front() {
+        if let Some(gov) = gov {
+            gov.check_coarse("graph.khop")?;
+        }
         if d == k {
             continue;
         }
@@ -39,19 +79,44 @@ pub fn k_hop_set(g: &LabeledGraph, start: VertexId, k: usize) -> FxHashSet<Verte
     }
     KHOP_CALLS.inc();
     KHOP_VISITED.add(seen.len() as u64);
-    seen
+    Ok(seen)
 }
 
 /// Distances (≤ k) from `start` to every vertex in its k-hop ball.
 pub fn k_hop_distances(g: &LabeledGraph, start: VertexId, k: usize) -> FxHashMap<VertexId, usize> {
+    k_hop_distances_impl(g, start, k, None).expect(UNGOVERNED)
+}
+
+/// [`k_hop_distances`] under a governor.
+pub fn k_hop_distances_governed(
+    g: &LabeledGraph,
+    start: VertexId,
+    k: usize,
+    gov: &QueryGovernor,
+) -> Result<FxHashMap<VertexId, usize>> {
+    k_hop_distances_impl(g, start, k, Some(gov))
+}
+
+fn k_hop_distances_impl(
+    g: &LabeledGraph,
+    start: VertexId,
+    k: usize,
+    gov: Option<&QueryGovernor>,
+) -> Result<FxHashMap<VertexId, usize>> {
+    if gov.is_some() {
+        fault_point("graph.khop", FaultClass::Critical)?;
+    }
     let mut dist: FxHashMap<VertexId, usize> = FxHashMap::default();
     if !g.is_live(start) {
-        return dist;
+        return Ok(dist);
     }
     let mut frontier = VecDeque::new();
     dist.insert(start, 0);
     frontier.push_back((start, 0usize));
     while let Some((v, d)) = frontier.pop_front() {
+        if let Some(gov) = gov {
+            gov.check_coarse("graph.khop")?;
+        }
         if d == k {
             continue;
         }
@@ -62,7 +127,7 @@ pub fn k_hop_distances(g: &LabeledGraph, start: VertexId, k: usize) -> FxHashMap
             }
         }
     }
-    dist
+    Ok(dist)
 }
 
 /// Bidirectional BFS: are `u` and `v` connected within `k` undirected hops?
@@ -70,16 +135,42 @@ pub fn k_hop_distances(g: &LabeledGraph, start: VertexId, k: usize) -> FxHashMap
 /// This is the join condition of the link join `S1 ⋈G S2` (Section IV-A's
 /// "check their pairwise distance via a bi-directional BFS search").
 pub fn within_k_hops(g: &LabeledGraph, u: VertexId, v: VertexId, k: usize) -> bool {
+    within_k_hops_impl(g, u, v, k, None).expect(UNGOVERNED)
+}
+
+/// [`within_k_hops`] under a governor: each frontier expansion observes
+/// cancellation and deadline, so even an adversarial high-degree probe
+/// stops within one stride of the verdict.
+pub fn within_k_hops_governed(
+    g: &LabeledGraph,
+    u: VertexId,
+    v: VertexId,
+    k: usize,
+    gov: &QueryGovernor,
+) -> Result<bool> {
+    within_k_hops_impl(g, u, v, k, Some(gov))
+}
+
+fn within_k_hops_impl(
+    g: &LabeledGraph,
+    u: VertexId,
+    v: VertexId,
+    k: usize,
+    gov: Option<&QueryGovernor>,
+) -> Result<bool> {
+    if gov.is_some() {
+        fault_point("graph.bfs", FaultClass::Critical)?;
+    }
     BFS_CALLS.inc();
     if !g.is_live(u) || !g.is_live(v) {
-        return false;
+        return Ok(false);
     }
     if u == v {
         BFS_HITS.inc();
-        return true;
+        return Ok(true);
     }
     if k == 0 {
-        return false;
+        return Ok(false);
     }
     // Expand alternately from both ends; meet in the middle.
     let mut from_u: FxHashMap<VertexId, usize> = FxHashMap::default();
@@ -103,6 +194,9 @@ pub fn within_k_hops(g: &LabeledGraph, u: VertexId, v: VertexId, k: usize) -> bo
         };
         let mut next = Vec::new();
         for &w in frontier.iter() {
+            if let Some(gov) = gov {
+                gov.check_coarse("graph.bfs")?;
+            }
             for (e, _) in g.incident(w) {
                 if mine.contains_key(&e.to) {
                     continue;
@@ -111,7 +205,7 @@ pub fn within_k_hops(g: &LabeledGraph, u: VertexId, v: VertexId, k: usize) -> bo
                     if depth + other_d <= k {
                         BFS_HITS.inc();
                         BFS_VISITED.add((mine.len() + theirs.len()) as u64);
-                        return true;
+                        return Ok(true);
                     }
                 }
                 mine.insert(e.to, depth);
@@ -121,13 +215,14 @@ pub fn within_k_hops(g: &LabeledGraph, u: VertexId, v: VertexId, k: usize) -> bo
         *frontier = next;
     }
     BFS_VISITED.add((from_u.len() + from_v.len()) as u64);
-    false
+    Ok(false)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::graph::LabeledGraph;
+    use gsj_common::GsjError;
 
     /// Chain v0 -> v1 -> ... -> vn.
     fn chain(n: usize) -> (LabeledGraph, Vec<VertexId>) {
@@ -223,5 +318,58 @@ mod tests {
                 assert_eq!(within_k_hops(&g, u, v, k), expect, "u={u} v={v} k={k}");
             }
         }
+    }
+
+    #[test]
+    fn governed_traversals_match_classic_when_unlimited() {
+        let (g, vs) = chain(6);
+        let gov = QueryGovernor::unlimited();
+        assert_eq!(
+            k_hop_set_governed(&g, vs[2], 2, &gov).unwrap(),
+            k_hop_set(&g, vs[2], 2)
+        );
+        assert_eq!(
+            k_hop_distances_governed(&g, vs[0], 3, &gov).unwrap(),
+            k_hop_distances(&g, vs[0], 3)
+        );
+        assert_eq!(
+            within_k_hops_governed(&g, vs[0], vs[3], 3, &gov).unwrap(),
+            within_k_hops(&g, vs[0], vs[3], 3)
+        );
+    }
+
+    #[test]
+    fn governed_traversals_observe_cancellation() {
+        // A dense-enough graph that the strided check fires mid-BFS.
+        let mut g = LabeledGraph::new();
+        let n = 400usize;
+        let vs: Vec<_> = (0..n).map(|i| g.add_vertex(&format!("c{i}"))).collect();
+        for i in 0..n {
+            g.add_edge(vs[i], "e", vs[(i + 1) % n]);
+            g.add_edge(vs[i], "e", vs[(i + 7) % n]);
+        }
+        let gov = QueryGovernor::unlimited();
+        gov.cancel();
+        assert_eq!(
+            k_hop_set_governed(&g, vs[0], 50, &gov),
+            Err(GsjError::Cancelled)
+        );
+        assert_eq!(
+            within_k_hops_governed(&g, vs[0], vs[200], 100, &gov),
+            Err(GsjError::Cancelled)
+        );
+    }
+
+    #[test]
+    fn governed_traversals_inject_faults() {
+        let _x = gsj_faults::exclusive();
+        gsj_faults::set_spec(Some("graph.bfs:error")).unwrap();
+        let (g, vs) = chain(3);
+        let gov = QueryGovernor::unlimited();
+        let err = within_k_hops_governed(&g, vs[0], vs[1], 2, &gov).unwrap_err();
+        assert!(matches!(err, GsjError::Internal(_)), "{err}");
+        // The classic wrapper carries no fault point.
+        assert!(within_k_hops(&g, vs[0], vs[1], 2));
+        gsj_faults::set_spec(None).unwrap();
     }
 }

@@ -120,6 +120,10 @@ fn her_match_indexed(
         gsj_obs::LazyCounter::new("gsj_her_candidates_scored_total");
     static MATCHED: gsj_obs::LazyCounter = gsj_obs::LazyCounter::new("gsj_her_matched_total");
     let mut span = gsj_obs::span("her.match");
+    // Fault site DESIGN.md §11: critical — a failed HER match has no
+    // in-stage recovery; the strategy layer above decides whether to
+    // degrade to a different join implementation.
+    gsj_faults::fault_point("her.match", gsj_faults::FaultClass::Critical)?;
     let mut scored = 0u64;
     let id_pos = s.schema().require(&cfg.id_attr)?;
     let _ = g;

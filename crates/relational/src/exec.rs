@@ -412,6 +412,8 @@ pub(crate) fn distinct(rel: Relation) -> Relation {
             kept.push(t);
         }
     }
+    // INVARIANT(allowlist): every kept tuple came out of `rel`, so its
+    // arity matches the unchanged schema; `Relation::new` cannot fail.
     Relation::new(schema, kept).expect("distinct preserves arity")
 }
 

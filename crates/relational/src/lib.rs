@@ -31,7 +31,8 @@ pub use catalog::Database;
 pub use exec::execute;
 pub use expr::{AggFunc, BinOp, CmpOp, Expr};
 pub use physical::{
-    execute_physical, execute_with_stats, lower, ExecContext, OpStats, PhysicalPlan,
+    approx_rel_bytes, execute_physical, execute_with_stats, lower, ExecContext, OpStats,
+    PhysicalPlan,
 };
 pub use plan::{AggSpec, JoinKind, LogicalPlan};
 pub use relation::Relation;

@@ -23,8 +23,20 @@ use crate::expr::Expr;
 use crate::plan::{AggSpec, JoinKind, LogicalPlan};
 use crate::relation::Relation;
 use crate::schema::Schema;
-use gsj_common::{GsjError, Result};
+use gsj_common::{GsjError, QueryGovernor, Result};
 use std::time::Instant;
+
+/// Rough per-value heap cost used for memory-budget accounting: a
+/// `Value` is a 24-byte enum and string payloads small-string-average
+/// around another 8 bytes. Budgets are advisory ceilings, not an
+/// allocator — order of magnitude is what matters.
+const VALUE_BYTES_EST: u64 = 32;
+
+/// Estimated materialized size of a relation, for
+/// [`QueryGovernor::charge_mem`].
+pub fn approx_rel_bytes(rel: &Relation) -> u64 {
+    (rel.len() as u64) * (rel.schema().arity() as u64) * VALUE_BYTES_EST
+}
 
 /// Counters recorded for one physical operator execution.
 #[derive(Debug, Clone)]
@@ -83,12 +95,32 @@ pub struct ExecContext {
     ops: Vec<OpStats>,
     /// Indices of currently open (entered, not yet exited) operators.
     stack: Vec<usize>,
+    /// Governance handle for this execution: deadline / budgets /
+    /// cancellation, checked at every operator boundary. Defaults to
+    /// [`QueryGovernor::unlimited`].
+    gov: QueryGovernor,
 }
 
 impl ExecContext {
     /// An empty context.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty context governed by `gov`: every operator boundary run
+    /// through this context checks the governor before executing and
+    /// charges its output against the governor's budgets after.
+    pub fn with_governor(gov: QueryGovernor) -> Self {
+        ExecContext {
+            gov,
+            ..Self::default()
+        }
+    }
+
+    /// This execution's governance handle (cheap to clone; clones share
+    /// cancellation and budget state).
+    pub fn governor(&self) -> &QueryGovernor {
+        &self.gov
     }
 
     /// The recorded operators (pre-order; parent indexes embedded).
@@ -530,6 +562,38 @@ pub fn execute_physical(
     db: &Database,
     ctx: &mut ExecContext,
 ) -> Result<Relation> {
+    // Governance boundary: every operator (the recursion reaches each
+    // one) checks cancellation / deadline / budgets before running and
+    // charges its output afterwards, so a runaway plan is stopped at
+    // operator granularity rather than discovered at the end.
+    ctx.gov.check(stage_name(plan))?;
+    let out = execute_node(plan, db, ctx)?;
+    ctx.gov.charge_rows(out.len() as u64);
+    ctx.gov.charge_mem(approx_rel_bytes(&out));
+    Ok(out)
+}
+
+/// Static stage name for governance errors — `describe()` allocates,
+/// and the check runs on every operator entry.
+fn stage_name(plan: &PhysicalPlan) -> &'static str {
+    match plan {
+        PhysicalPlan::Scan(_) => "Scan",
+        PhysicalPlan::Values(_) => "Values",
+        PhysicalPlan::Filter { .. } => "Filter",
+        PhysicalPlan::Project { .. } => "Project",
+        PhysicalPlan::Qualify { .. } => "Qualify",
+        PhysicalPlan::HashJoin { .. } => "HashJoin",
+        PhysicalPlan::NestedLoopJoin { .. } => "NestedLoopJoin",
+        PhysicalPlan::Union { .. } => "Union",
+        PhysicalPlan::Difference { .. } => "Difference",
+        PhysicalPlan::Distinct { .. } => "Distinct",
+        PhysicalPlan::Aggregate { .. } => "Aggregate",
+        PhysicalPlan::Sort { .. } => "Sort",
+        PhysicalPlan::Limit { .. } => "Limit",
+    }
+}
+
+fn execute_node(plan: &PhysicalPlan, db: &Database, ctx: &mut ExecContext) -> Result<Relation> {
     let token = ctx.enter();
     match plan {
         PhysicalPlan::Scan(name) => {
@@ -738,6 +802,7 @@ pub fn join_rel(
     label: impl Into<String>,
     ctx: &mut ExecContext,
 ) -> Result<Relation> {
+    ctx.gov.check("Join")?;
     let t0 = Instant::now();
     let schema = concat_schema(l, r, "_tj_", "theta join")?;
     let (l_keys, r_keys) = equi_positions(pred, l.schema(), r.schema());
@@ -766,6 +831,8 @@ pub fn join_rel(
         stats_op.probe_rows = Some(s.probe_rows);
     }
     ctx.record(stats_op);
+    ctx.gov.charge_rows(out.len() as u64);
+    ctx.gov.charge_mem(approx_rel_bytes(&out));
     Ok(out)
 }
 
@@ -776,10 +843,12 @@ pub fn filter_rel(
     label: impl Into<String>,
     ctx: &mut ExecContext,
 ) -> Result<Relation> {
+    ctx.gov.check("Filter")?;
     let t0 = Instant::now();
     let rows_in = rel.len();
     let out = exec::filter(rel, pred)?;
     ctx.record(op(label.into(), rows_in, out.len(), t0));
+    ctx.gov.charge_rows(out.len() as u64);
     Ok(out)
 }
 
@@ -791,9 +860,11 @@ pub fn aggregate_rel(
     label: impl Into<String>,
     ctx: &mut ExecContext,
 ) -> Result<Relation> {
+    ctx.gov.check("Aggregate")?;
     let t0 = Instant::now();
     let out = exec::aggregate(rel, group_by, aggs)?;
     ctx.record(op(label.into(), rel.len(), out.len(), t0));
+    ctx.gov.charge_rows(out.len() as u64);
     Ok(out)
 }
 
@@ -804,9 +875,11 @@ pub fn project_rel(
     label: impl Into<String>,
     ctx: &mut ExecContext,
 ) -> Result<Relation> {
+    ctx.gov.check("Project")?;
     let t0 = Instant::now();
     let out = exec::project(rel, cols)?;
     ctx.record(op(label.into(), rel.len(), out.len(), t0));
+    ctx.gov.charge_rows(out.len() as u64);
     Ok(out)
 }
 
@@ -818,6 +891,7 @@ pub fn sort_rel(
     label: impl Into<String>,
     ctx: &mut ExecContext,
 ) -> Result<Relation> {
+    ctx.gov.check("Sort")?;
     let t0 = Instant::now();
     let rows_in = rel.len();
     let out = exec::sort(rel, by, desc)?;
@@ -832,6 +906,7 @@ pub fn limit_rel(
     label: impl Into<String>,
     ctx: &mut ExecContext,
 ) -> Result<Relation> {
+    ctx.gov.check("Limit")?;
     let t0 = Instant::now();
     let rows_in = rel.len();
     let (schema, mut tuples) = rel.into_parts();
@@ -1068,6 +1143,82 @@ mod tests {
         assert_eq!(ctx.ops()[1].label, "inner");
         assert_eq!(ctx.ops()[1].parent, Some(0));
         assert_eq!(ctx.ops()[0].parent, None);
+    }
+
+    #[test]
+    fn governed_execution_observes_cancel() {
+        let db = db();
+        let plan = lower(
+            &LogicalPlan::scan("customer").natural_join(LogicalPlan::scan("orders")),
+            &db,
+        )
+        .unwrap();
+        let gov = QueryGovernor::unlimited();
+        gov.cancel();
+        let mut ctx = ExecContext::with_governor(gov);
+        let err = execute_physical(&plan, &db, &mut ctx).unwrap_err();
+        assert_eq!(err, GsjError::Cancelled);
+    }
+
+    #[test]
+    fn governed_execution_trips_row_budget() {
+        let db = db();
+        // Scan(4 rows) already exceeds a budget of 3; the join above it
+        // must observe the overrun at its boundary check.
+        let plan = lower(
+            &LogicalPlan::scan("customer").natural_join(LogicalPlan::scan("orders")),
+            &db,
+        )
+        .unwrap();
+        let gov = QueryGovernor::builder().row_budget(3).build();
+        let mut ctx = ExecContext::with_governor(gov);
+        let err = execute_physical(&plan, &db, &mut ctx).unwrap_err();
+        assert!(
+            matches!(err, GsjError::ResourceExhausted(ref m) if m.contains("row budget")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn governed_execution_trips_mem_budget() {
+        let db = db();
+        let plan = lower(&LogicalPlan::scan("customer"), &db).unwrap();
+        // First scan charges ~4*4*32 B; a second run over the same
+        // context must trip a 100 B budget.
+        let gov = QueryGovernor::builder().mem_budget(100).build();
+        let mut ctx = ExecContext::with_governor(gov.clone());
+        assert!(execute_physical(&plan, &db, &mut ctx).is_ok());
+        assert!(gov.mem_charged() > 100);
+        let err = execute_physical(&plan, &db, &mut ctx).unwrap_err();
+        assert!(matches!(err, GsjError::ResourceExhausted(_)), "{err}");
+    }
+
+    #[test]
+    fn governed_helpers_check_and_charge() {
+        let db = db();
+        let customer = db.get("customer").unwrap().clone();
+        let gov = QueryGovernor::builder().row_budget(1000).build();
+        let mut ctx = ExecContext::with_governor(gov.clone());
+        let out = filter_rel(
+            customer,
+            &Expr::col_eq("credit", "good"),
+            "Filter",
+            &mut ctx,
+        )
+        .unwrap();
+        assert_eq!(gov.rows_charged(), out.len() as u64);
+        gov.cancel();
+        let err = sort_rel(out, &["name".to_string()], false, "Sort", &mut ctx).unwrap_err();
+        assert_eq!(err, GsjError::Cancelled);
+    }
+
+    #[test]
+    fn ungoverned_context_is_unrestricted() {
+        let db = db();
+        let plan = lower(&LogicalPlan::scan("customer"), &db).unwrap();
+        let mut ctx = ExecContext::new();
+        assert!(!ctx.governor().is_limited());
+        assert!(execute_physical(&plan, &db, &mut ctx).is_ok());
     }
 
     #[test]

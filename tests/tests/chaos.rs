@@ -1,0 +1,399 @@
+//! Chaos suite (DESIGN.md §11): deterministic fault injection at every
+//! registered site, one site at a time and blanket, asserting the three
+//! governance invariants:
+//!
+//! 1. **No panic escapes** the engine — injected panics are converted to
+//!    typed errors at the fallback chain or the `run_query` boundary.
+//! 2. Every operation returns **correct-or-typed-error**: an `Ok` result
+//!    (possibly via a degraded strategy) or a `GsjError`, never a hang or
+//!    an unwind.
+//! 3. Degradation is **observable**: the `degraded` label in
+//!    `EXPLAIN ANALYZE`, the fallback/retry counters, and per-site
+//!    injection stats all record what happened.
+//!
+//! Every test serializes on [`gsj_faults::exclusive`] because the fault
+//! spec is process-global.
+
+use gsj_common::{GsjError, QueryGovernor, Result};
+use gsj_core::gsql::exec::{GsqlEngine, Strategy};
+use gsj_core::incext::{inc_update_graph, Extraction};
+use gsj_core::join::connectivity_relation;
+use gsj_core::profile::GraphProfile;
+use gsj_core::rext::Rext;
+use gsj_core::typed::TypedConfig;
+use gsj_datagen::queries::workload;
+use gsj_datagen::updates::balanced_updates;
+use gsj_datagen::Collection;
+use gsj_graph::random_walk::{build_corpus_governed, WalkConfig};
+use gsj_graph::traversal::k_hop_set_governed;
+use gsj_graph::update::apply_updates;
+use gsj_her::her_match;
+use gsj_tests::{fast_rext_config, tiny};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// Every fault site the engine registers, by the stage/span label. The
+/// chaos tests drive each one; `record_mode_registers_every_site` fails
+/// if this list and reality drift apart.
+const SITES: &[&str] = &[
+    "graph.khop",
+    "graph.bfs",
+    "graph.random_walk",
+    "her.match",
+    "rext.discover",
+    "rext.extract",
+    "join.enrichment",
+    "join.link",
+    "join.connectivity",
+    "gsql.ejoin",
+    "gsql.ljoin",
+    "gsql.gl_cache",
+    "incext.zone",
+    "incext.her_redo",
+    "incext.re_extract",
+];
+
+struct Fixture {
+    col: Collection,
+    engine: GsqlEngine,
+    rext: Rext,
+    initial: Extraction,
+    /// One enrichment and one link query from the workload.
+    eq: String,
+    lq: String,
+}
+
+/// The fixture is built once and shared: engine construction dominates
+/// test time, and the engine is read-only during the tests. First call
+/// happens under the caller's [`gsj_faults::exclusive`] guard with no
+/// spec installed, so fixture construction itself never faults.
+fn fixture() -> &'static Fixture {
+    static FIXTURE: std::sync::OnceLock<Fixture> = std::sync::OnceLock::new();
+    FIXTURE.get_or_init(build_fixture)
+}
+
+fn build_fixture() -> Fixture {
+    let col = tiny("Celebrity");
+    let rext = Rext::train(&col.graph, fast_rext_config()).unwrap();
+    let arc = Arc::new(rext.clone());
+    let mut engine = GsqlEngine::new(col.db.clone());
+    engine.set_id_attr(&col.spec.rel_name, &col.spec.id_attr);
+    engine.set_her_config(col.her_config());
+    let typed_cfg = TypedConfig {
+        default_keywords: col.spec.reference_keywords(),
+        ..TypedConfig::default()
+    };
+    let profile = GraphProfile::build(
+        &col.graph,
+        &engine.db,
+        vec![col.relation_spec()],
+        &arc,
+        &col.her_config(),
+        Some(&typed_cfg),
+    )
+    .unwrap();
+    engine.add_graph("G", col.graph.clone());
+    engine.set_rext("G", Arc::clone(&arc));
+    engine.set_profile("G", profile);
+    engine.set_k(2);
+
+    let matches = her_match(&col.graph, col.entity_relation(), &col.her_config()).unwrap();
+    let discovery = rext
+        .discover(
+            &col.graph,
+            &matches,
+            Some((col.entity_relation(), &col.spec.id_attr)),
+            &col.spec.reference_keywords(),
+            "h_x",
+        )
+        .unwrap();
+    let dg = rext.extract(&col.graph, &matches, &discovery).unwrap();
+    let initial = Extraction {
+        discovery,
+        matches,
+        dg,
+    };
+    let eq = workload(&col).into_iter().find(|q| !q.link).unwrap().text;
+    let lq = workload(&col).into_iter().find(|q| q.link).unwrap().text;
+    Fixture {
+        col,
+        engine,
+        rext,
+        initial,
+        eq,
+        lq,
+    }
+}
+
+/// Drive every fault site once: the gSQL strategies, direct governed
+/// traversals, and an IncExt data update. Returns per-operation results —
+/// each must be `Ok` or a typed error, and the call itself must not
+/// unwind.
+fn drive_all(f: &Fixture) -> Vec<(&'static str, Result<usize>)> {
+    let gov = QueryGovernor::unlimited();
+    let mut out: Vec<(&'static str, Result<usize>)> = Vec::new();
+    let mut q = |name, r: Result<gsj_relational::Relation>| out.push((name, r.map(|x| x.len())));
+    q("ejoin.baseline", f.engine.run(&f.eq, Strategy::Baseline));
+    q("ejoin.optimized", f.engine.run(&f.eq, Strategy::Optimized));
+    q("ejoin.heuristic", f.engine.run(&f.eq, Strategy::Heuristic));
+    q("ljoin.baseline", f.engine.run(&f.lq, Strategy::Baseline));
+    q("ljoin.optimized", f.engine.run(&f.lq, Strategy::Optimized));
+    let v0 = f.col.graph.vertices().next().unwrap();
+    out.push((
+        "graph.khop",
+        k_hop_set_governed(&f.col.graph, v0, 2, &gov).map(|s| s.len()),
+    ));
+    // Direct g_L materialization: after the first run the engine answers
+    // link joins from the profile cache, so keep this site reachable.
+    out.push((
+        "join.connectivity",
+        connectivity_relation(&f.col.graph, &[v0], &[v0], 2, "g_l", &gov).map(|r| r.len()),
+    ));
+    out.push((
+        "graph.walk",
+        build_corpus_governed(&f.col.graph, &WalkConfig::default(), &gov).map(|c| c.len()),
+    ));
+    let mut g = f.col.graph.clone();
+    let ups = balanced_updates(&g, 0.05, 7);
+    let report = apply_updates(&mut g, &ups);
+    out.push((
+        "incext.update",
+        inc_update_graph(
+            &f.rext,
+            &g,
+            f.col.entity_relation(),
+            &f.col.her_config(),
+            &f.initial,
+            &report,
+        )
+        .map(|e| e.dg.len()),
+    ));
+    out
+}
+
+/// Install `spec`, run `body`, clear the spec again. Callers must hold
+/// [`gsj_faults::exclusive`] for their whole test body (fixture included):
+/// the spec is process-global, and building a fixture while another
+/// test's error spec is live would fault its `unwrap`s.
+fn with_spec<R>(spec: &str, body: impl FnOnce() -> R) -> R {
+    gsj_faults::set_spec(Some(spec)).expect("spec parses");
+    let out = body();
+    gsj_faults::set_spec(None).unwrap();
+    out
+}
+
+fn counter(name: &str) -> u64 {
+    gsj_obs::metrics::Registry::global()
+        .counter(name, &[])
+        .get()
+}
+
+#[test]
+fn record_mode_registers_every_site() {
+    let _guard = gsj_faults::exclusive();
+    let f = fixture();
+    with_spec("all+critical:record", || {
+        let results = drive_all(f);
+        for (name, r) in &results {
+            assert!(r.is_ok(), "{name} failed under record-only spec: {r:?}");
+        }
+        let stats = gsj_faults::sites();
+        for site in SITES {
+            let s = stats.iter().find(|s| s.name == *site);
+            assert!(
+                s.is_some_and(|s| s.hits > 0),
+                "site `{site}` never hit; registered: {:?}",
+                stats.iter().map(|s| s.name).collect::<Vec<_>>()
+            );
+        }
+        assert!(stats.len() >= 10, "need ≥10 distinct sites");
+    });
+}
+
+#[test]
+fn every_site_injects_without_escaping_a_panic() {
+    let _guard = gsj_faults::exclusive();
+    let f = fixture();
+    for site in SITES {
+        with_spec(&format!("{site}:error,p=1"), || {
+            let results = catch_unwind(AssertUnwindSafe(|| drive_all(f)))
+                .unwrap_or_else(|_| panic!("a panic escaped while faulting `{site}`"));
+            // Correct-or-typed-error: results are Ok (possibly degraded)
+            // or a GsjError; being here at all means nothing unwound.
+            let failed: Vec<_> = results.iter().filter(|(_, r)| r.is_err()).collect();
+            let stats = gsj_faults::sites();
+            let s = stats.iter().find(|s| s.name == *site).unwrap();
+            assert!(
+                s.injected > 0,
+                "site `{site}` was configured to fault but never injected \
+                 (ops failed: {failed:?})"
+            );
+        });
+    }
+}
+
+#[test]
+fn recoverable_faults_degrade_and_are_observable() {
+    let _guard = gsj_faults::exclusive();
+    let f = fixture();
+    with_spec("gsql.ejoin:error,p=1", || {
+        let before = counter("gsj_core_gsql_fallback_total");
+        let rel = f.engine.run(&f.eq, Strategy::Optimized);
+        assert!(
+            rel.is_ok(),
+            "fallback chain should absorb the fault: {rel:?}"
+        );
+        assert!(
+            counter("gsj_core_gsql_fallback_total") > before,
+            "degradation must be visible in the fallback counter"
+        );
+        // ... and in EXPLAIN ANALYZE operator labels.
+        let q = f.engine.parse(&f.eq).unwrap();
+        let explained = f.engine.explain_analyze(&q, Strategy::Optimized).unwrap();
+        assert!(
+            explained.contains("[degraded → "),
+            "EXPLAIN ANALYZE lost the degradation label:\n{explained}"
+        );
+    });
+}
+
+#[test]
+fn injected_panic_at_recoverable_site_is_contained() {
+    let _guard = gsj_faults::exclusive();
+    let f = fixture();
+    with_spec("gsql.ejoin:panic,p=1", || {
+        let rel = f.engine.run(&f.eq, Strategy::Optimized);
+        assert!(rel.is_ok(), "panic should degrade, not fail: {rel:?}");
+    });
+    with_spec("gsql.ljoin:panic,p=1", || {
+        let rel = f.engine.run(&f.lq, Strategy::Optimized);
+        assert!(rel.is_ok(), "panic should degrade, not fail: {rel:?}");
+    });
+}
+
+#[test]
+fn critical_fault_fails_with_typed_error() {
+    let _guard = gsj_faults::exclusive();
+    let f = fixture();
+    with_spec("her.match:error,p=1", || {
+        let err = f.engine.run(&f.eq, Strategy::Baseline).unwrap_err();
+        assert!(matches!(err, GsjError::Internal(_)), "{err:?}");
+        assert!(err.to_string().contains("injected fault at her.match"));
+        // The optimized strategy never calls HER at query time, so the
+        // same spec leaves it untouched.
+        assert!(f.engine.run(&f.eq, Strategy::Optimized).is_ok());
+    });
+}
+
+#[test]
+fn injected_panic_at_critical_site_is_caught_at_query_boundary() {
+    let _guard = gsj_faults::exclusive();
+    let f = fixture();
+    with_spec("her.match:panic,p=1", || {
+        let err = f.engine.run(&f.eq, Strategy::Baseline).unwrap_err();
+        assert!(
+            matches!(&err, GsjError::Internal(m) if m.contains("panic")),
+            "expected a typed panic conversion, got {err:?}"
+        );
+    });
+}
+
+#[test]
+fn gl_cache_fault_degrades_to_recompute() {
+    let _guard = gsj_faults::exclusive();
+    let f = fixture();
+    // Warm the cache, then distrust it: the query must recompute and
+    // still answer identically.
+    let warm = f.engine.run(&f.lq, Strategy::Optimized).unwrap();
+    with_spec("gsql.gl_cache:error,p=1", || {
+        let before = counter("gsj_core_gl_cache_misses_total");
+        let rel = f.engine.run(&f.lq, Strategy::Optimized).unwrap();
+        assert_eq!(rel, warm);
+        assert!(counter("gsj_core_gl_cache_misses_total") > before);
+    });
+}
+
+#[test]
+fn incext_retry_absorbs_transient_fault() {
+    let _guard = gsj_faults::exclusive();
+    let f = fixture();
+    // Find a seed whose decision stream faults hit 0 of incext.zone but
+    // passes hit 1 — a genuinely transient failure, deterministically.
+    let site = "incext.zone";
+    let seed = (0u64..10_000)
+        .find(|&seed| {
+            let clause = gsj_faults::FaultClause {
+                target: gsj_faults::FaultTarget::Site(site.into()),
+                action: gsj_faults::FaultAction::Error,
+                p_num: gsj_faults::P_DENOM / 2,
+                after: 0,
+                seed,
+            };
+            gsj_faults::decides(&clause, site, 0) && !gsj_faults::decides(&clause, site, 1)
+        })
+        .expect("some seed gives inject-then-pass");
+    with_spec(&format!("{site}:error,p=0.5,seed={seed}"), || {
+        let before = counter("gsj_core_incext_retry_total");
+        let mut g = f.col.graph.clone();
+        let ups = balanced_updates(&g, 0.05, 7);
+        let report = apply_updates(&mut g, &ups);
+        let r = inc_update_graph(
+            &f.rext,
+            &g,
+            f.col.entity_relation(),
+            &f.col.her_config(),
+            &f.initial,
+            &report,
+        );
+        assert!(r.is_ok(), "retry should absorb the transient fault: {r:?}");
+        assert!(
+            counter("gsj_core_incext_retry_total") > before,
+            "the retry must be visible in the retry counter"
+        );
+    });
+}
+
+#[test]
+fn blanket_chaos_keeps_the_workload_green() {
+    // The CI smoke spec: blanket recoverable faults at 5%. Every workload
+    // query must still answer (possibly degraded).
+    let _guard = gsj_faults::exclusive();
+    let f = fixture();
+    with_spec("all:p=0.05,seed=42", || {
+        for q in workload(&f.col) {
+            let r = f.engine.run(&q.text, Strategy::Optimized);
+            assert!(
+                r.is_ok(),
+                "{} failed under blanket chaos: {:?}",
+                q.name,
+                r.err()
+            );
+        }
+    });
+}
+
+#[test]
+fn random_blanket_chaos_never_breaks_queries() {
+    // Property: for ANY seed and any blanket probability up to 30%, an
+    // optimized query still answers. Drawn with proptest's deterministic
+    // RNG; the fixture is hoisted out of the case loop because building
+    // it is the expensive part.
+    use proptest::strategy::Strategy as Gen;
+    use proptest::test_runner::{Config, TestRng};
+    let _guard = gsj_faults::exclusive();
+    let f = fixture();
+    let cfg = Config::with_cases(6);
+    let mut rng = TestRng::deterministic("random_blanket_chaos_never_breaks_queries");
+    for _case in 0..cfg.cases {
+        let (seed, p) = (0u64..u64::MAX, 0u32..31u32).generate(&mut rng);
+        let spec = format!("all:p=0.{p:02},seed={seed}");
+        let (r1, r2) = with_spec(&spec, || {
+            (
+                f.engine.run(&f.eq, Strategy::Optimized),
+                f.engine.run(&f.lq, Strategy::Optimized),
+            )
+        });
+        assert!(r1.is_ok(), "enrichment under {spec}: {:?}", r1.err());
+        assert!(r2.is_ok(), "link under {spec}: {:?}", r2.err());
+    }
+}

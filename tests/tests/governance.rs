@@ -1,0 +1,183 @@
+//! Execution-governance integration tests: deadlines, budgets and
+//! cooperative cancellation observed end-to-end — through the gSQL
+//! engine's physical operators, the k-hop BFS loops of link joins, and
+//! random-walk corpus generation (DESIGN.md §11).
+
+use gsj_common::{GsjError, QueryGovernor};
+use gsj_core::gsql::exec::{GsqlEngine, Strategy};
+use gsj_core::profile::GraphProfile;
+use gsj_core::rext::Rext;
+use gsj_core::typed::TypedConfig;
+use gsj_datagen::queries::workload;
+use gsj_datagen::Collection;
+use gsj_graph::random_walk::{build_corpus_governed, WalkConfig};
+use gsj_graph::traversal::{k_hop_set, k_hop_set_governed, within_k_hops_governed};
+use gsj_graph::LabeledGraph;
+use gsj_tests::{fast_rext_config, tiny};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+fn engine_for(col: &Collection) -> GsqlEngine {
+    let rext = Arc::new(Rext::train(&col.graph, fast_rext_config()).unwrap());
+    let mut engine = GsqlEngine::new(col.db.clone());
+    engine.set_id_attr(&col.spec.rel_name, &col.spec.id_attr);
+    engine.set_her_config(col.her_config());
+    let typed_cfg = TypedConfig {
+        default_keywords: col.spec.reference_keywords(),
+        ..TypedConfig::default()
+    };
+    let profile = GraphProfile::build(
+        &col.graph,
+        &engine.db,
+        vec![col.relation_spec()],
+        &rext,
+        &col.her_config(),
+        Some(&typed_cfg),
+    )
+    .unwrap();
+    engine.add_graph("G", col.graph.clone());
+    engine.set_rext("G", rext);
+    engine.set_profile("G", profile);
+    engine.set_k(2);
+    engine
+}
+
+/// The Movie collection + engine, built once: profile construction is
+/// the expensive part of these tests and the engine is shared read-only.
+fn movie() -> &'static (Collection, GsqlEngine) {
+    static MOVIE: OnceLock<(Collection, GsqlEngine)> = OnceLock::new();
+    MOVIE.get_or_init(|| {
+        let col = tiny("Movie");
+        let engine = engine_for(&col);
+        (col, engine)
+    })
+}
+
+/// A governor whose deadline is already in the past.
+fn expired() -> QueryGovernor {
+    QueryGovernor::builder()
+        .deadline_at(Instant::now() - Duration::from_millis(1))
+        .build()
+}
+
+/// A long chain so BFS loops take enough strided ticks to notice.
+fn chain(n: usize) -> (LabeledGraph, Vec<gsj_graph::VertexId>) {
+    let mut g = LabeledGraph::new();
+    let vs: Vec<_> = (0..n).map(|i| g.add_vertex(&format!("v{i}"))).collect();
+    for w in vs.windows(2) {
+        g.add_edge(w[0], "e", w[1]);
+    }
+    (g, vs)
+}
+
+#[test]
+fn khop_bfs_observes_expired_deadline() {
+    let (g, vs) = chain(400);
+    let err = k_hop_set_governed(&g, vs[0], 400, &expired()).unwrap_err();
+    assert!(matches!(err, GsjError::DeadlineExceeded(_)), "{err:?}");
+    // And an unlimited governor changes nothing.
+    assert_eq!(
+        k_hop_set_governed(&g, vs[0], 5, &QueryGovernor::unlimited()).unwrap(),
+        k_hop_set(&g, vs[0], 5)
+    );
+}
+
+#[test]
+fn bidirectional_bfs_observes_cancellation() {
+    let (g, vs) = chain(400);
+    let gov = QueryGovernor::unlimited();
+    gov.cancel();
+    let err = within_k_hops_governed(&g, vs[0], vs[399], 399, &gov).unwrap_err();
+    assert_eq!(err, GsjError::Cancelled);
+}
+
+#[test]
+fn random_walk_corpus_observes_expired_deadline() {
+    let (g, _) = chain(300);
+    let cfg = WalkConfig::default();
+    let err = build_corpus_governed(&g, &cfg, &expired()).unwrap_err();
+    assert!(matches!(err, GsjError::DeadlineExceeded(_)), "{err:?}");
+}
+
+#[test]
+fn gsql_query_observes_expired_deadline() {
+    let (col, engine) = movie();
+    let q = &workload(col)[0];
+    let err = engine
+        .run_governed(&q.text, Strategy::Optimized, &expired())
+        .unwrap_err();
+    assert!(matches!(err, GsjError::DeadlineExceeded(_)), "{err:?}");
+}
+
+#[test]
+fn gsql_link_join_observes_deadline_in_bfs_loop() {
+    // A deadline that expires *during* execution: ample for planning, far
+    // too short for the online HER + pairwise-BFS link join. The error
+    // must be the typed governance error, never a panic or a hang.
+    let col = tiny("Celebrity");
+    let engine = engine_for(&col);
+    let q = workload(&col).into_iter().find(|q| q.link).unwrap();
+    let gov = QueryGovernor::builder()
+        .deadline(Duration::from_nanos(1))
+        .build();
+    // Let the deadline lapse so even the first stage check trips.
+    std::thread::sleep(Duration::from_millis(2));
+    let err = engine
+        .run_governed(&q.text, Strategy::Baseline, &gov)
+        .unwrap_err();
+    assert!(matches!(err, GsjError::DeadlineExceeded(_)), "{err:?}");
+}
+
+#[test]
+fn gsql_query_observes_cancellation() {
+    let (col, engine) = movie();
+    let q = &workload(col)[0];
+    let gov = QueryGovernor::unlimited();
+    gov.cancel();
+    let err = engine
+        .run_governed(&q.text, Strategy::Optimized, &gov)
+        .unwrap_err();
+    assert_eq!(err, GsjError::Cancelled);
+}
+
+#[test]
+fn row_budget_exhaustion_is_typed() {
+    let (col, engine) = movie();
+    let q = &workload(col)[0];
+    let gov = QueryGovernor::builder().row_budget(1).build();
+    let err = engine
+        .run_governed(&q.text, Strategy::Optimized, &gov)
+        .unwrap_err();
+    assert!(matches!(err, GsjError::ResourceExhausted(_)), "{err:?}");
+    assert!(err.retryable());
+    assert!(!err.is_governance());
+}
+
+#[test]
+fn unlimited_governor_matches_ungoverned_run() {
+    let (col, engine) = movie();
+    let q = &workload(col)[0];
+    let plain = engine.run(&q.text, Strategy::Optimized).unwrap();
+    let governed = engine
+        .run_governed(&q.text, Strategy::Optimized, &QueryGovernor::unlimited())
+        .unwrap();
+    assert_eq!(plain, governed);
+}
+
+#[test]
+fn generous_budgets_do_not_interfere() {
+    let (col, engine) = movie();
+    let q = &workload(col)[0];
+    let gov = QueryGovernor::builder()
+        .deadline(Duration::from_secs(3600))
+        .row_budget(10_000_000)
+        .mem_budget(1 << 32)
+        .build();
+    let rel = engine
+        .run_governed(&q.text, Strategy::Optimized, &gov)
+        .unwrap();
+    assert_eq!(rel, engine.run(&q.text, Strategy::Optimized).unwrap());
+    // The governed run accounted for the rows it produced.
+    assert!(gov.rows_charged() > 0);
+    assert!(gov.mem_charged() > 0);
+}
