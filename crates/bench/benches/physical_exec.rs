@@ -51,7 +51,7 @@ fn theta_plan() -> LogicalPlan {
 fn bench_exec_paths(c: &mut Criterion) {
     for (plan_name, plan) in [("pipeline", pipeline_plan()), ("theta", theta_plan())] {
         let mut group = c.benchmark_group(format!("physical_exec/{plan_name}"));
-        for &n in &[1_000usize, 10_000] {
+        for &n in &[1_000usize, 10_000, 100_000] {
             let db = join_db(n);
             group.bench_with_input(BenchmarkId::new("logical", n), &db, |b, db| {
                 b.iter(|| std::hint::black_box(execute(&plan, db).unwrap()))

@@ -20,7 +20,7 @@ fn table(name: &str, rows: usize, key_mod: usize) -> Relation {
 
 fn bench_join(c: &mut Criterion) {
     let mut group = c.benchmark_group("natural_join");
-    for &n in &[1_000usize, 10_000, 50_000] {
+    for &n in &[1_000usize, 10_000, 100_000] {
         let l = table("l", n, n / 2);
         let r = table("r", n, n / 2);
         group.bench_with_input(BenchmarkId::from_parameter(n), &(l, r), |b, (l, r)| {

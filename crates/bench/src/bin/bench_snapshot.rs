@@ -1,0 +1,299 @@
+//! Relational-kernel benchmark snapshot: times the hot paths the
+//! columnar refactor targets (`relational_join`, `physical_exec`,
+//! `semantic_join`) at 10k/100k rows and records them as JSON, so the
+//! perf trajectory is committed (`BENCH_relational.json`) and CI can
+//! fail on regressions.
+//!
+//! Usage:
+//!   bench_snapshot [--quick] [--out FILE]          measure, write JSON
+//!   bench_snapshot [--quick] --merge FILE          measure, keep FILE's
+//!                                                  "before" section, update
+//!                                                  "after" + "speedup"
+//!   bench_snapshot --quick --check FILE [--tol F]  measure, compare against
+//!                                                  FILE's "after" section;
+//!                                                  exit 1 on a relative
+//!                                                  regression > F (def 0.25)
+//!
+//! The check normalizes by the median ratio across benches before
+//! applying the tolerance, so a uniformly slower CI machine does not
+//! trip it — only a kernel that regressed *relative to the others* does.
+
+use gsj_common::Value;
+use gsj_graph::VertexId;
+use gsj_her::MatchRelation;
+use gsj_relational::exec::natural_join;
+use gsj_relational::physical::{execute_physical, lower, ExecContext};
+use gsj_relational::{CmpOp, Database, Expr, LogicalPlan, Relation, Schema};
+use std::time::Instant;
+
+/// One measured bench: name -> nanoseconds per iteration (min over runs).
+type Results = Vec<(String, f64)>;
+
+fn table(name: &str, rows: usize, key_mod: usize) -> Relation {
+    let mut r = Relation::empty(Schema::of(name, &["k", name]));
+    for i in 0..rows {
+        r.push_values(vec![
+            Value::Int((i % key_mod) as i64),
+            Value::str(format!("{name}-{i}")),
+        ])
+        .unwrap();
+    }
+    r
+}
+
+fn join_db(n: usize) -> Database {
+    let mut db = Database::new();
+    db.insert(table("l", n, n / 2));
+    db.insert(table("r", n, n / 2));
+    db
+}
+
+fn pipeline_plan() -> LogicalPlan {
+    LogicalPlan::scan("l")
+        .natural_join(LogicalPlan::scan("r"))
+        .select(Expr::cmp(CmpOp::Ge, Expr::col("k"), Expr::lit(2i64)))
+        .project(&["k"])
+}
+
+fn theta_plan() -> LogicalPlan {
+    LogicalPlan::scan("l").qualify("L").theta_join(
+        LogicalPlan::scan("r").qualify("R"),
+        Expr::cmp(CmpOp::Eq, Expr::col("L.k"), Expr::col("R.k")).and(Expr::cmp(
+            CmpOp::Ne,
+            Expr::col("L.l"),
+            Expr::col("R.r"),
+        )),
+    )
+}
+
+/// Synthetic enrichment-join inputs at scale: S(pid, risk), a match
+/// relation pid -> vertex, and an extracted h(D,G)(vid, loc, company).
+fn enrichment_inputs(n: usize) -> (Relation, MatchRelation, Relation) {
+    let mut s = Relation::empty(Schema::of("product", &["pid", "risk"]));
+    let mut m = MatchRelation::new();
+    let mut dg = Relation::empty(Schema::of("h_product", &["vid", "loc", "company"]));
+    for i in 0..n {
+        let pid = Value::str(format!("p{i}"));
+        s.push_values(vec![
+            pid.clone(),
+            Value::str(if i % 3 == 0 { "high" } else { "low" }),
+        ])
+        .unwrap();
+        // ~90% of tuples match a vertex; extraction misses ~10% of those.
+        if i % 10 != 9 {
+            m.push(pid, VertexId(i as u32));
+        }
+        if i % 9 != 8 {
+            dg.push_values(vec![
+                Value::Int(i as i64),
+                Value::str(if i % 2 == 0 { "UK" } else { "US" }),
+                Value::str(format!("company{}", i % 50)),
+            ])
+            .unwrap();
+        }
+    }
+    (s, m, dg)
+}
+
+/// Time `f`: warm up, then take the fastest of `runs` timed runs of
+/// `iters` iterations each. Returns ns/iter.
+fn time<F: FnMut()>(mut f: F, quick: bool) -> f64 {
+    let target_ns: u128 = if quick { 60_000_000 } else { 400_000_000 };
+    // One untimed warmup iteration that also calibrates the batch size.
+    let t0 = Instant::now();
+    f();
+    let once = t0.elapsed().as_nanos().max(1);
+    let iters = ((target_ns / 4) / once).clamp(1, 1_000_000) as u64;
+    let runs = if quick { 3 } else { 5 };
+    let mut best = f64::MAX;
+    for _ in 0..runs {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let per = t0.elapsed().as_nanos() as f64 / iters as f64;
+        best = best.min(per);
+    }
+    best
+}
+
+fn run_benches(quick: bool) -> Results {
+    let mut out: Results = Vec::new();
+    let sizes: &[usize] = &[10_000, 100_000];
+
+    for &n in sizes {
+        let l = table("l", n, n / 2);
+        let r = table("r", n, n / 2);
+        let ns = time(
+            || {
+                std::hint::black_box(natural_join(&l, &r).unwrap());
+            },
+            quick,
+        );
+        out.push((format!("relational_join/natural_join/{n}"), ns));
+        eprintln!("relational_join/natural_join/{n}: {}", human(ns));
+    }
+
+    for (plan_name, plan) in [("pipeline", pipeline_plan()), ("theta", theta_plan())] {
+        for &n in sizes {
+            let db = join_db(n);
+            let lowered = lower(&plan, &db).unwrap();
+            let ns = time(
+                || {
+                    let mut ctx = ExecContext::new();
+                    std::hint::black_box(execute_physical(&lowered, &db, &mut ctx).unwrap());
+                },
+                quick,
+            );
+            out.push((format!("physical_exec/{plan_name}/{n}"), ns));
+            eprintln!("physical_exec/{plan_name}/{n}: {}", human(ns));
+        }
+    }
+
+    for &n in sizes {
+        let (s, m, dg) = enrichment_inputs(n);
+        let ns = time(
+            || {
+                std::hint::black_box(
+                    gsj_core::join::enrichment_join_precomputed(&s, "pid", &m, &dg, None).unwrap(),
+                );
+            },
+            quick,
+        );
+        out.push((format!("semantic_join/enrichment_precomputed/{n}"), ns));
+        eprintln!("semantic_join/enrichment_precomputed/{n}: {}", human(ns));
+    }
+
+    out
+}
+
+fn human(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}µs", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+fn section_json(name: &str, results: &[(String, f64)]) -> String {
+    let body: Vec<String> = results
+        .iter()
+        .map(|(k, v)| format!("    \"{}\": {:.1}", gsj_obs::escape_json(k), v))
+        .collect();
+    format!("  \"{name}\": {{\n{}\n  }}", body.join(",\n"))
+}
+
+/// Read a `{bench: ns}` section out of a snapshot file.
+fn read_section(json: &gsj_obs::Json, section: &str) -> Option<Results> {
+    let obj = json.get(section)?;
+    match obj {
+        gsj_obs::Json::Obj(fields) => Some(
+            fields
+                .iter()
+                .filter_map(|(k, v)| v.as_f64().map(|n| (k.clone(), n)))
+                .collect(),
+        ),
+        _ => None,
+    }
+}
+
+fn write_snapshot(path: &str, before: &Results, after: &Results, quick: bool) {
+    let speedup: Results = before
+        .iter()
+        .filter_map(|(k, b)| {
+            after
+                .iter()
+                .find(|(k2, _)| k2 == k)
+                .map(|(_, a)| (k.clone(), if *a > 0.0 { b / a } else { 0.0 }))
+        })
+        .collect();
+    let doc = format!(
+        "{{\n  \"note\": \"ns/iter; before = row-oriented Vec<Tuple> storage, after = columnar; regenerate with scripts/bench_snapshot.sh\",\n  \"quick\": {quick},\n{},\n{},\n{}\n}}\n",
+        section_json("before", before),
+        section_json("after", after),
+        section_json("speedup", &speedup),
+    );
+    std::fs::write(path, doc).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    eprintln!("wrote {path}");
+}
+
+/// Compare a fresh run against the committed "after" numbers. Ratios are
+/// normalized by their median so absolute machine speed cancels out.
+fn check(fresh: &Results, committed: &Results, tol: f64) -> bool {
+    let mut ratios: Vec<(String, f64)> = Vec::new();
+    for (k, ns) in fresh {
+        if let Some((_, base)) = committed.iter().find(|(k2, _)| k2 == k) {
+            if *base > 0.0 {
+                ratios.push((k.clone(), ns / base));
+            }
+        }
+    }
+    if ratios.is_empty() {
+        eprintln!("check: no overlapping benches; failing");
+        return false;
+    }
+    let mut sorted: Vec<f64> = ratios.iter().map(|(_, r)| *r).collect();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let median = sorted[sorted.len() / 2];
+    let mut ok = true;
+    for (k, r) in &ratios {
+        let normalized = r / median;
+        let status = if normalized > 1.0 + tol {
+            ok = false;
+            "REGRESSION"
+        } else {
+            "ok"
+        };
+        eprintln!("check {k}: ratio {r:.3} (normalized {normalized:.3}) {status}");
+    }
+    ok
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let flag_val = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let out = flag_val("--out").unwrap_or_else(|| "BENCH_relational.json".into());
+    let merge = flag_val("--merge");
+    let check_path = flag_val("--check");
+    let tol: f64 = flag_val("--tol")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25);
+
+    let fresh = run_benches(quick);
+
+    if let Some(path) = check_path {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+        let json = gsj_obs::parse_json(&text).expect("committed snapshot parses");
+        let committed = read_section(&json, "after").expect("snapshot has an `after` section");
+        if !check(&fresh, &committed, tol) {
+            eprintln!(
+                "bench check FAILED (>{:.0}% normalized regression)",
+                tol * 100.0
+            );
+            std::process::exit(1);
+        }
+        eprintln!("bench check passed");
+        return;
+    }
+
+    if let Some(path) = merge {
+        let before = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|text| gsj_obs::parse_json(&text).ok())
+            .and_then(|json| read_section(&json, "before"))
+            .unwrap_or_else(|| fresh.clone());
+        write_snapshot(&path, &before, &fresh, quick);
+        return;
+    }
+
+    write_snapshot(&out, &fresh, &fresh, quick);
+}

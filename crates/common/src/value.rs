@@ -105,7 +105,11 @@ impl Value {
         }
     }
 
-    fn float_bits(f: f64) -> u64 {
+    /// Canonical bit pattern used for float hashing and NaN-safe
+    /// ordering: `-0.0` normalizes to `0.0` and every NaN to one
+    /// canonical NaN, so hashing matches equality. Public so columnar
+    /// storage can hash/compare unboxed cells exactly like `Value`.
+    pub fn canonical_float_bits(f: f64) -> u64 {
         // Normalize -0.0 to 0.0 and all NaNs to one canonical NaN so that
         // hashing matches equality.
         if f == 0.0 {
@@ -115,6 +119,10 @@ impl Value {
         } else {
             f.to_bits()
         }
+    }
+
+    fn float_bits(f: f64) -> u64 {
+        Self::canonical_float_bits(f)
     }
 
     /// Rank used to order values of different types deterministically.

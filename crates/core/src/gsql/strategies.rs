@@ -367,21 +367,20 @@ fn run_ljoin_impl(
                 .ok_or_else(|| GsjError::Config(format!("no profile for graph `{}`", p.graph)))?;
             let m1 = &profile.extraction(&p.lbase)?.matches;
             let m2 = &profile.extraction(&p.rbase)?.matches;
-            // Distinct matched vertices actually present in each side.
+            // Resolve each side's id column to vertices once (reused below
+            // for the pair emission), then the distinct matched vertices.
             let lpos = lrel.schema().require(&lid)?;
             let rpos = rrel.schema().require(&rid)?;
-            let mut lv: Vec<VertexId> = lrel
-                .tuples()
-                .iter()
-                .filter_map(|t| m1.vertex_of(t.get(lpos)))
+            let v1s: Vec<Option<VertexId>> = (0..lrel.len())
+                .map(|i| m1.vertex_of(&lrel.value_at(i, lpos)))
                 .collect();
+            let v2s: Vec<Option<VertexId>> = (0..rrel.len())
+                .map(|i| m2.vertex_of(&rrel.value_at(i, rpos)))
+                .collect();
+            let mut lv: Vec<VertexId> = v1s.iter().copied().flatten().collect();
             lv.sort();
             lv.dedup();
-            let mut rv: Vec<VertexId> = rrel
-                .tuples()
-                .iter()
-                .filter_map(|t| m2.vertex_of(t.get(rpos)))
-                .collect();
+            let mut rv: Vec<VertexId> = v2s.iter().copied().flatten().collect();
             rv.sort();
             rv.dedup();
             let signature = link_signature(&p.graph, &p.lbase, &p.rbase, e.k, &lv, &rv);
@@ -410,30 +409,28 @@ fn run_ljoin_impl(
                     rel
                 }
             };
-            let pairs: FxHashSet<(i64, i64)> = gl
-                .tuples()
-                .iter()
-                .filter_map(|t| Some((t.get(0).as_int()?, t.get(1).as_int()?)))
+            let pairs: FxHashSet<(i64, i64)> = (0..gl.len())
+                .filter_map(|i| Some((gl.value_at(i, 0).as_int()?, gl.value_at(i, 1).as_int()?)))
                 .collect();
-            // Emit tuple pairs whose matched vertices are connected.
+            // Emit tuple pairs whose matched vertices are connected:
+            // resolve each side's id column once, then one columnar gather
+            // per output column instead of a push per pair.
             let mut attrs = lrel.schema().attrs().to_vec();
             attrs.extend(rrel.schema().attrs().iter().cloned());
             let schema = Schema::new(format!("{}_lj_{}", p.lalias, p.ralias), attrs)?;
-            let mut out = Relation::empty(schema);
-            for t1 in lrel.tuples() {
-                let Some(v1) = m1.vertex_of(t1.get(lpos)) else {
-                    continue;
-                };
-                for t2 in rrel.tuples() {
-                    let Some(v2) = m2.vertex_of(t2.get(rpos)) else {
-                        continue;
-                    };
+            let mut li: Vec<u32> = Vec::new();
+            let mut ri: Vec<u32> = Vec::new();
+            for (i, v1) in v1s.iter().enumerate() {
+                let Some(v1) = *v1 else { continue };
+                for (j, v2) in v2s.iter().enumerate() {
+                    let Some(v2) = *v2 else { continue };
                     if pairs.contains(&(v1.0 as i64, v2.0 as i64)) {
-                        out.push(t1.concat(t2))?;
+                        li.push(i as u32);
+                        ri.push(j as u32);
                     }
                 }
             }
-            Ok(out)
+            Relation::gather_concat(lrel, &li, rrel, &ri, None, schema)
         }
         LJoinImpl::Heuristic => {
             let profile = e

@@ -6,11 +6,11 @@
 
 use crate::incext::Extraction;
 use crate::rext::Rext;
-use gsj_common::{QueryGovernor, Result, Value};
+use gsj_common::{QueryGovernor, Result};
 use gsj_graph::LabeledGraph;
 use gsj_her::{her_match, HerConfig, MatchRelation};
 use gsj_relational::exec::natural_join;
-use gsj_relational::{Relation, Schema};
+use gsj_relational::{Column, Relation, Schema};
 
 /// The conceptual-level enrichment join: calls HER and RExt online
 /// (Section IV-A "Baseline"). Returns the joined relation together with
@@ -74,24 +74,24 @@ pub fn enrichment_join_precomputed(
 /// schema of `S ⋈_A G` carries every attribute of `A` (Section II-B), so a
 /// keyword the extraction scheme did not discover still becomes a column —
 /// all nulls — rather than silently disappearing.
+///
+/// This is a pure column re-arrangement: discovered keywords share the
+/// extracted relation's column `Arc`s (zero copy), undiscovered ones get an
+/// untyped all-null column of matching length.
 fn keyword_view(dg: &Relation, keywords: &[String]) -> Result<Relation> {
     let mut attrs: Vec<String> = vec!["vid".into()];
     attrs.extend(keywords.iter().cloned());
-    let positions: Vec<Option<usize>> = keywords.iter().map(|k| dg.schema().position(k)).collect();
-    let mut out = Relation::empty(Schema::new(dg.schema().name().to_string(), attrs)?);
+    let schema = Schema::new(dg.schema().name().to_string(), attrs)?;
     let vid_pos = dg.schema().require("vid")?;
-    for t in dg.tuples() {
-        let mut row = Vec::with_capacity(1 + keywords.len());
-        row.push(t.get(vid_pos).clone());
-        for p in &positions {
-            row.push(match p {
-                Some(p) => t.get(*p).clone(),
-                None => Value::Null,
-            });
-        }
-        out.push_values(row)?;
+    let mut cols = Vec::with_capacity(1 + keywords.len());
+    cols.push(dg.columns()[vid_pos].clone());
+    for k in keywords {
+        cols.push(match dg.schema().position(k) {
+            Some(p) => dg.columns()[p].clone(),
+            None => std::sync::Arc::new(Column::null(dg.len())),
+        });
     }
-    Ok(out)
+    Relation::from_shared_columns(schema, cols, dg.len())
 }
 
 fn join_three_way(

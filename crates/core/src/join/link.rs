@@ -67,17 +67,24 @@ pub fn link_join_with_matches(
         format!("{}_lj_{}", s1.schema().name(), s2.schema().name()),
         attrs,
     )?;
-    let mut out = Relation::empty(schema);
+    // Resolve each side's id column to vertices once, straight off the id
+    // column — the old per-pair `vertex_of` lookup re-resolved the probe
+    // side for every outer row.
+    let resolve = |rel: &Relation, pos: usize, m: &MatchRelation| -> Vec<Option<VertexId>> {
+        (0..rel.len())
+            .map(|i| m.vertex_of(&rel.value_at(i, pos)))
+            .collect()
+    };
+    let v1s = resolve(s1, id1_pos, m1);
+    let v2s = resolve(s2, id2_pos, m2);
     // Memoize per distinct vertex pair — many tuples can share vertices.
     let mut memo: FxHashMap<(VertexId, VertexId), bool> = FxHashMap::default();
-    for t1 in s1.tuples() {
-        let Some(v1) = m1.vertex_of(t1.get(id1_pos)) else {
-            continue;
-        };
-        for t2 in s2.tuples() {
-            let Some(v2) = m2.vertex_of(t2.get(id2_pos)) else {
-                continue;
-            };
+    let mut li: Vec<u32> = Vec::new();
+    let mut ri: Vec<u32> = Vec::new();
+    for (i, v1) in v1s.iter().enumerate() {
+        let Some(v1) = *v1 else { continue };
+        for (j, v2) in v2s.iter().enumerate() {
+            let Some(v2) = *v2 else { continue };
             gov.check_coarse("join.link")?;
             let key = if v1 <= v2 { (v1, v2) } else { (v2, v1) };
             let connected = match memo.get(&key) {
@@ -89,10 +96,13 @@ pub fn link_join_with_matches(
                 }
             };
             if connected {
-                out.push(t1.concat(t2))?;
+                li.push(i as u32);
+                ri.push(j as u32);
             }
         }
     }
+    // One columnar gather per output column instead of a push per pair.
+    let out = Relation::gather_concat(s1, &li, s2, &ri, None, schema)?;
     gov.charge_rows(out.len() as u64);
     span.field("k", k)
         .field("pairs_checked", memo.len())

@@ -1,26 +1,35 @@
 //! The logical-plan interpreter and the shared operator kernels.
 //!
-//! Joins are hash-based: natural joins key on the common attributes, theta
-//! joins mine equi-conjuncts (`left.col = right.col`) from the predicate
-//! and hash on those, falling back to a nested loop only for genuinely
-//! non-equi predicates — the same discipline a production engine applies.
+//! Kernels are vectorized over the columnar storage
+//! ([`crate::column`]): filters evaluate predicate masks over column
+//! slices and gather the surviving rows wholesale, hash joins build and
+//! probe on typed key columns (single-key `Int`/`Str` joins never box a
+//! `Value` on the hot path) and materialize output via column gathers,
+//! and aggregates fold column slices per group. The row-at-a-time path
+//! survives as a fallback for predicates containing arithmetic
+//! ([`Expr::Bin`]), which can raise per-row errors (type mismatch,
+//! division by zero) that a mask evaluation could not order correctly.
 //!
-//! The row-level kernels ([`hash_join_core`], [`nested_loop_core`],
-//! [`aggregate`]) live here and are shared with the physical
+//! Joins are hash-based: natural joins key on the common attributes,
+//! theta joins mine equi-conjuncts (`left.col = right.col`) from the
+//! predicate and hash on those, falling back to a nested loop only for
+//! genuinely non-equi predicates — the same discipline a production
+//! engine applies. The kernels ([`hash_join_core`],
+//! [`nested_loop_core`], [`aggregate`]) are shared with the physical
 //! executor ([`crate::physical`]), which wraps them with per-operator
-//! statistics. Join keys are extracted once, by [`hash_key`], as vectors
-//! of *borrowed* values — the build table maps borrowed keys to row
-//! indices instead of cloning every key `Value` eagerly.
+//! statistics.
 
 use crate::catalog::Database;
+use crate::column::{CellRef, Column};
 use crate::expr::{AggFunc, CmpOp, Expr};
 use crate::plan::{AggSpec, JoinKind, LogicalPlan};
 use crate::relation::Relation;
 use crate::schema::Schema;
 use crate::tuple::Tuple;
-use gsj_common::{FxHashMap, GsjError, Result, Value};
+use gsj_common::{FxHashMap, FxHashSet, GsjError, Result, Value};
+use std::cmp::Ordering;
 
-/// Execute a plan against a database with the row-at-a-time interpreter.
+/// Execute a plan against a database with the interpreter.
 pub fn execute(plan: &LogicalPlan, db: &Database) -> Result<Relation> {
     match plan {
         LogicalPlan::Scan(name) => Ok(db.get(name)?.clone()),
@@ -50,17 +59,13 @@ pub fn execute(plan: &LogicalPlan, db: &Database) -> Result<Relation> {
             aggs,
         } => aggregate(&execute(input, db)?, group_by, aggs),
         LogicalPlan::Sort { input, by, desc } => sort(execute(input, db)?, by, *desc),
-        LogicalPlan::Limit { input, n } => {
-            let rel = execute(input, db)?;
-            let (schema, mut tuples) = rel.into_parts();
-            tuples.truncate(*n);
-            Relation::new(schema, tuples)
-        }
+        LogicalPlan::Limit { input, n } => Ok(execute(input, db)?.head(*n)),
     }
 }
 
 /// The join key of `t` at `keys`, as borrowed values; `None` when any key
-/// cell is NULL (SQL semantics: NULL keys never match).
+/// cell is NULL (SQL semantics: NULL keys never match). Row-oriented
+/// compatibility helper — the vectorized kernels key on column cells.
 #[inline]
 pub fn hash_key<'a>(t: &'a Tuple, keys: &[usize]) -> Option<Vec<&'a Value>> {
     let mut out = Vec::with_capacity(keys.len());
@@ -75,7 +80,8 @@ pub fn hash_key<'a>(t: &'a Tuple, keys: &[usize]) -> Option<Vec<&'a Value>> {
 }
 
 /// Build-side hash index: borrowed key → row indices. No key `Value` is
-/// cloned; the map borrows from `tuples`.
+/// cloned; the map borrows from `tuples`. Row-oriented compatibility
+/// helper — see [`hash_join_core`] for the columnar build/probe.
 pub fn build_row_index<'a>(
     tuples: &'a [Tuple],
     keys: &[usize],
@@ -156,8 +162,112 @@ pub enum HashJoinMode {
     Equi,
 }
 
+/// Build a hash table on `build`'s key columns and stream `probe`
+/// through it, emitting `(build_row, probe_row)` for every match in
+/// probe-major order. NULL keys never match. Single-key joins where
+/// both columns are typed `Int` (resp. `Str`) index the unboxed
+/// payloads directly; everything else keys on borrowed [`CellRef`]s,
+/// whose hash/eq mirror `Value` (so `Int 3` still matches `Float 3.0`
+/// across differently-typed columns).
+fn hash_probe<'a>(
+    build: &'a Relation,
+    probe: &'a Relation,
+    build_keys: &[usize],
+    probe_keys: &[usize],
+    mut emit: impl FnMut(u32, u32),
+) {
+    if build_keys.len() == 1 {
+        match (build.col(build_keys[0]), probe.col(probe_keys[0])) {
+            (
+                Column::Int {
+                    data: bd,
+                    validity: bv,
+                },
+                Column::Int {
+                    data: pd,
+                    validity: pv,
+                },
+            ) => {
+                let mut table: FxHashMap<i64, Vec<u32>> = FxHashMap::default();
+                for (i, &k) in bd.iter().enumerate() {
+                    if bv.get(i) {
+                        table.entry(k).or_default().push(i as u32);
+                    }
+                }
+                for (j, &k) in pd.iter().enumerate() {
+                    if pv.get(j) {
+                        if let Some(rows) = table.get(&k) {
+                            for &bi in rows {
+                                emit(bi, j as u32);
+                            }
+                        }
+                    }
+                }
+                return;
+            }
+            (
+                Column::Str {
+                    data: bd,
+                    validity: bv,
+                },
+                Column::Str {
+                    data: pd,
+                    validity: pv,
+                },
+            ) => {
+                let mut table: FxHashMap<&str, Vec<u32>> = FxHashMap::default();
+                for (i, k) in bd.iter().enumerate() {
+                    if bv.get(i) {
+                        table.entry(k).or_default().push(i as u32);
+                    }
+                }
+                for (j, k) in pd.iter().enumerate() {
+                    if pv.get(j) {
+                        if let Some(rows) = table.get(k.as_ref()) {
+                            for &bi in rows {
+                                emit(bi, j as u32);
+                            }
+                        }
+                    }
+                }
+                return;
+            }
+            _ => {}
+        }
+    }
+    let mut table: FxHashMap<Vec<CellRef<'a>>, Vec<u32>> = FxHashMap::default();
+    'build: for i in 0..build.len() {
+        let mut key = Vec::with_capacity(build_keys.len());
+        for &k in build_keys {
+            let cell = build.col(k).cell(i);
+            if cell.is_null() {
+                continue 'build;
+            }
+            key.push(cell);
+        }
+        table.entry(key).or_default().push(i as u32);
+    }
+    'probe: for j in 0..probe.len() {
+        let mut key = Vec::with_capacity(probe_keys.len());
+        for &k in probe_keys {
+            let cell = probe.col(k).cell(j);
+            if cell.is_null() {
+                continue 'probe;
+            }
+            key.push(cell);
+        }
+        if let Some(rows) = table.get(&key) {
+            for &bi in rows {
+                emit(bi, j as u32);
+            }
+        }
+    }
+}
+
 /// The single hash-join kernel behind [`natural_join`], [`theta_join`],
-/// and the physical `HashJoin` operator.
+/// and the physical `HashJoin` operator. Matching is index-based: the
+/// probe emits `(build, probe)` row-index pairs and the output columns
+/// are gathered wholesale — no per-row tuple assembly.
 pub fn hash_join_core(
     l: &Relation,
     r: &Relation,
@@ -167,6 +277,7 @@ pub fn hash_join_core(
     residual: Option<&Expr>,
     schema: Schema,
 ) -> Result<(Relation, JoinStats)> {
+    gsj_faults::fault_point("relational.hash_join", gsj_faults::FaultClass::Critical)?;
     match mode {
         HashJoinMode::Natural => {
             let r_rest: Vec<usize> = (0..r.schema().arity())
@@ -179,60 +290,48 @@ pub fn hash_join_core(
             } else {
                 (r, l, r_keys, l_keys)
             };
-            let table = build_row_index(build.tuples(), build_keys);
-            let mut out = Vec::new();
-            for probe_t in probe.tuples() {
-                let Some(key) = hash_key(probe_t, probe_keys) else {
-                    continue;
-                };
-                if let Some(matches) = table.get(&key) {
-                    for &bi in matches {
-                        let build_t = &build.tuples()[bi];
-                        let (lt, rt) = if build_left {
-                            (build_t, probe_t)
-                        } else {
-                            (probe_t, build_t)
-                        };
-                        let mut vals: Vec<Value> = lt.values().to_vec();
-                        vals.extend(r_rest.iter().map(|&i| rt.get(i).clone()));
-                        out.push(Tuple::new(vals));
-                    }
+            let mut li: Vec<u32> = Vec::new();
+            let mut ri: Vec<u32> = Vec::new();
+            hash_probe(build, probe, build_keys, probe_keys, |bi, pi| {
+                if build_left {
+                    li.push(bi);
+                    ri.push(pi);
+                } else {
+                    li.push(pi);
+                    ri.push(bi);
                 }
-            }
+            });
             let stats = JoinStats {
                 build_rows: build.len(),
                 probe_rows: probe.len(),
             };
-            Ok((Relation::new(schema, out)?, stats))
+            let out = Relation::gather_concat(l, &li, r, &ri, Some(&r_rest), schema)?;
+            Ok((out, stats))
         }
         HashJoinMode::Equi => {
-            let table = build_row_index(l.tuples(), l_keys);
-            let mut out = Vec::new();
-            for rt in r.tuples() {
-                let Some(key) = hash_key(rt, r_keys) else {
-                    continue;
-                };
-                if let Some(matches) = table.get(&key) {
-                    for &li in matches {
-                        let joined = l.tuples()[li].concat(rt);
-                        match residual {
-                            Some(pred) if !pred.holds(&schema, &joined)? => {}
-                            _ => out.push(joined),
-                        }
-                    }
-                }
-            }
+            let mut li: Vec<u32> = Vec::new();
+            let mut ri: Vec<u32> = Vec::new();
+            hash_probe(l, r, l_keys, r_keys, |bi, pi| {
+                li.push(bi);
+                ri.push(pi);
+            });
+            let joined = Relation::gather_concat(l, &li, r, &ri, None, schema)?;
+            let out = match residual {
+                Some(pred) => filter_inner(joined, pred)?,
+                None => joined,
+            };
             let stats = JoinStats {
                 build_rows: l.len(),
                 probe_rows: r.len(),
             };
-            Ok((Relation::new(schema, out)?, stats))
+            Ok((out, stats))
         }
     }
 }
 
 /// The nested-loop kernel: every pair, filtered by `pred` over the
-/// concatenated schema.
+/// concatenated schema. Genuinely non-equi predicates only — stays
+/// row-at-a-time because `pred` may raise per-row errors.
 pub fn nested_loop_core(
     l: &Relation,
     r: &Relation,
@@ -311,13 +410,16 @@ pub fn natural_join(l: &Relation, r: &Relation) -> Result<Relation> {
 /// Cartesian product; attribute names must stay distinct.
 pub fn product(l: &Relation, r: &Relation) -> Result<Relation> {
     let schema = concat_schema(l, r, "_x_", "product")?;
-    let mut out = Vec::with_capacity(l.len() * r.len());
-    for lt in l.tuples() {
-        for rt in r.tuples() {
-            out.push(lt.concat(rt));
+    let n = l.len() * r.len();
+    let mut li: Vec<u32> = Vec::with_capacity(n);
+    let mut ri: Vec<u32> = Vec::with_capacity(n);
+    for i in 0..l.len() as u32 {
+        for j in 0..r.len() as u32 {
+            li.push(i);
+            ri.push(j);
         }
     }
-    Relation::new(schema, out)
+    Relation::gather_concat(l, &li, r, &ri, None, schema)
 }
 
 /// Theta join. Equi-conjuncts whose two column sides resolve on opposite
@@ -342,19 +444,162 @@ pub fn theta_join(l: &Relation, r: &Relation, pred: &Expr) -> Result<Relation> {
     }
 }
 
-/// σ_pred kernel.
-pub(crate) fn filter(rel: Relation, pred: &Expr) -> Result<Relation> {
-    let (schema, tuples) = rel.into_parts();
-    let mut kept = Vec::new();
-    for t in tuples {
-        if pred.holds(&schema, &t)? {
-            kept.push(t);
-        }
+/// True when `pred` can be evaluated as a column mask: comparisons and
+/// NULL tests over direct column/literal operands, combined with
+/// and/or/not. Arithmetic ([`Expr::Bin`]) is excluded — it can raise
+/// per-row errors whose ordering the row path defines.
+fn mask_vectorizable(pred: &Expr) -> bool {
+    fn operand_ok(e: &Expr) -> bool {
+        matches!(e, Expr::Col(_) | Expr::Lit(_))
     }
-    Relation::new(schema, kept)
+    match pred {
+        Expr::Col(_) | Expr::Lit(_) => true,
+        Expr::Cmp(_, a, b) => operand_ok(a) && operand_ok(b),
+        Expr::And(a, b) | Expr::Or(a, b) => mask_vectorizable(a) && mask_vectorizable(b),
+        Expr::Not(e) => mask_vectorizable(e),
+        Expr::IsNull(e) => operand_ok(e),
+        Expr::Bin(..) => false,
+    }
 }
 
-/// π_cols kernel (bag projection with name resolution).
+/// A comparison operand bound once per batch: a column reference
+/// resolved to its column, or a literal.
+enum Operand<'a> {
+    Col(&'a Column),
+    Lit(&'a Value),
+}
+
+impl<'a> Operand<'a> {
+    fn bind(e: &'a Expr, rel: &'a Relation) -> Result<Operand<'a>> {
+        match e {
+            Expr::Col(name) => {
+                let i = Expr::resolve_column(rel.schema(), name)?;
+                Ok(Operand::Col(rel.col(i)))
+            }
+            Expr::Lit(v) => Ok(Operand::Lit(v)),
+            _ => unreachable!("mask_vectorizable admits only Col/Lit operands"),
+        }
+    }
+
+    #[inline]
+    fn cell(&self, row: usize) -> CellRef<'a> {
+        match self {
+            Operand::Col(c) => c.cell(row),
+            Operand::Lit(v) => CellRef::from_value(v),
+        }
+    }
+}
+
+/// Evaluate a vectorizable predicate as a boolean mask over all rows.
+///
+/// Short-circuit parity with the row path: `And` does not touch (or
+/// even name-resolve) its right branch when the left mask has no true
+/// bit, and `Or` skips the right branch when the left mask is all true
+/// — exactly the cases where the row evaluator would never have
+/// evaluated the right branch for any row.
+fn eval_mask(pred: &Expr, rel: &Relation) -> Result<Vec<bool>> {
+    let n = rel.len();
+    match pred {
+        Expr::Lit(v) => Ok(vec![v.as_bool().unwrap_or(false); n]),
+        Expr::Col(name) => {
+            let i = Expr::resolve_column(rel.schema(), name)?;
+            let c = rel.col(i);
+            Ok((0..n)
+                .map(|r| matches!(c.cell(r), CellRef::Bool(true)))
+                .collect())
+        }
+        Expr::Cmp(op, a, b) => {
+            let (oa, ob) = (Operand::bind(a, rel)?, Operand::bind(b, rel)?);
+            let op = *op;
+            Ok((0..n)
+                .map(|r| {
+                    let (x, y) = (oa.cell(r), ob.cell(r));
+                    if x.is_null() || y.is_null() {
+                        // SQL: NULL comparisons are unknown; a filter
+                        // treats unknown as not satisfied.
+                        return false;
+                    }
+                    match op {
+                        CmpOp::Eq => x == y,
+                        CmpOp::Ne => x != y,
+                        CmpOp::Lt => x < y,
+                        CmpOp::Le => x <= y,
+                        CmpOp::Gt => x > y,
+                        CmpOp::Ge => x >= y,
+                    }
+                })
+                .collect())
+        }
+        Expr::And(a, b) => {
+            let mut m = eval_mask(a, rel)?;
+            if m.iter().any(|&x| x) {
+                for (x, y) in m.iter_mut().zip(eval_mask(b, rel)?) {
+                    *x = *x && y;
+                }
+            }
+            Ok(m)
+        }
+        Expr::Or(a, b) => {
+            let mut m = eval_mask(a, rel)?;
+            if !m.iter().all(|&x| x) {
+                for (x, y) in m.iter_mut().zip(eval_mask(b, rel)?) {
+                    *x = *x || y;
+                }
+            }
+            Ok(m)
+        }
+        Expr::Not(e) => {
+            let mut m = eval_mask(e, rel)?;
+            for x in m.iter_mut() {
+                *x = !*x;
+            }
+            Ok(m)
+        }
+        Expr::IsNull(e) => {
+            let o = Operand::bind(e, rel)?;
+            Ok((0..n).map(|r| o.cell(r).is_null()).collect())
+        }
+        Expr::Bin(..) => unreachable!("Bin is never mask-vectorizable"),
+    }
+}
+
+/// σ_pred kernel.
+pub(crate) fn filter(rel: Relation, pred: &Expr) -> Result<Relation> {
+    gsj_faults::fault_point("relational.filter", gsj_faults::FaultClass::Critical)?;
+    filter_inner(rel, pred)
+}
+
+fn filter_inner(rel: Relation, pred: &Expr) -> Result<Relation> {
+    // The row path never evaluates predicates over zero rows; keep that
+    // (a dangling column name in a pred must not error on empty input).
+    if rel.is_empty() {
+        return Ok(rel);
+    }
+    if mask_vectorizable(pred) {
+        let mask = eval_mask(pred, &rel)?;
+        if mask.iter().all(|&b| b) {
+            return Ok(rel);
+        }
+        let idx: Vec<u32> = mask
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| b.then_some(i as u32))
+            .collect();
+        return Ok(rel.gather(&idx));
+    }
+    // Row fallback for predicates with arithmetic (per-row errors).
+    let mut idx: Vec<u32> = Vec::new();
+    let schema = rel.schema().clone();
+    for (i, t) in rel.tuples().iter().enumerate() {
+        if pred.holds(&schema, t)? {
+            idx.push(i as u32);
+        }
+    }
+    Ok(rel.gather(&idx))
+}
+
+/// π_cols kernel (bag projection with name resolution). Columns are
+/// shared by `Arc` — projection copies no data.
 pub(crate) fn project(rel: &Relation, cols: &[String]) -> Result<Relation> {
     let positions: Vec<usize> = cols
         .iter()
@@ -365,8 +610,11 @@ pub(crate) fn project(rel: &Relation, cols: &[String]) -> Result<Relation> {
         .map(|&i| rel.schema().attrs()[i].clone())
         .collect();
     let schema = Schema::new(rel.schema().name().to_string(), out_attrs)?;
-    let tuples = rel.tuples().iter().map(|t| t.project(&positions)).collect();
-    Relation::new(schema, tuples)
+    let cols = positions
+        .iter()
+        .map(|&i| rel.columns()[i].clone())
+        .collect();
+    Relation::from_shared_columns(schema, cols, rel.len())
 }
 
 /// Bag-union kernel (arity-checked, keeps the left schema).
@@ -378,9 +626,9 @@ pub(crate) fn union(l: Relation, r: Relation) -> Result<Relation> {
             r.schema().arity()
         )));
     }
-    let (schema, mut tuples) = l.into_parts();
-    tuples.extend(r.into_parts().1);
-    Relation::new(schema, tuples)
+    let mut out = l;
+    out.append_rows(&r)?;
+    Ok(out)
 }
 
 /// Bag-difference kernel `l − r`.
@@ -392,55 +640,67 @@ pub(crate) fn difference(l: Relation, r: &Relation) -> Result<Relation> {
             r.schema().arity()
         )));
     }
-    let exclude: std::collections::HashSet<&Tuple> = r.tuples().iter().collect();
-    let kept: Vec<Tuple> = l
-        .tuples()
-        .iter()
-        .filter(|t| !exclude.contains(t))
-        .cloned()
-        .collect();
-    Relation::new(l.schema().clone(), kept)
+    let idx: Vec<u32> = {
+        let mut exclude: FxHashSet<Vec<CellRef>> = FxHashSet::default();
+        for j in 0..r.len() {
+            exclude.insert(r.columns().iter().map(|c| c.cell(j)).collect());
+        }
+        (0..l.len())
+            .filter(|&i| {
+                let row: Vec<CellRef> = l.columns().iter().map(|c| c.cell(i)).collect();
+                !exclude.contains(&row)
+            })
+            .map(|i| i as u32)
+            .collect()
+    };
+    Ok(l.gather(&idx))
 }
 
 /// Duplicate-elimination kernel (first occurrence wins).
 pub(crate) fn distinct(rel: Relation) -> Relation {
-    let (schema, tuples) = rel.into_parts();
-    let mut seen: std::collections::HashSet<Tuple> = std::collections::HashSet::new();
-    let mut kept = Vec::new();
-    for t in tuples {
-        if seen.insert(t.clone()) {
-            kept.push(t);
-        }
+    let idx: Vec<u32> = {
+        let mut seen: FxHashSet<Vec<CellRef>> = FxHashSet::default();
+        (0..rel.len())
+            .filter(|&i| seen.insert(rel.columns().iter().map(|c| c.cell(i)).collect()))
+            .map(|i| i as u32)
+            .collect()
+    };
+    if idx.len() == rel.len() {
+        return rel;
     }
-    // INVARIANT(allowlist): every kept tuple came out of `rel`, so its
-    // arity matches the unchanged schema; `Relation::new` cannot fail.
-    Relation::new(schema, kept).expect("distinct preserves arity")
+    rel.gather(&idx)
 }
 
-/// Stable sort kernel.
+/// Stable sort kernel: sorts row indices on the key cells, then gathers
+/// once — cells never move until the final gather.
 pub(crate) fn sort(rel: Relation, by: &[String], desc: bool) -> Result<Relation> {
     let keys: Vec<usize> = by
         .iter()
         .map(|c| Expr::resolve_column(rel.schema(), c))
         .collect::<Result<_>>()?;
-    let (schema, mut tuples) = rel.into_parts();
-    tuples.sort_by(|a, b| {
+    let mut idx: Vec<u32> = (0..rel.len() as u32).collect();
+    idx.sort_by(|&a, &b| {
         let ord = keys
             .iter()
-            .map(|&i| a.get(i).cmp(b.get(i)))
+            .map(|&k| {
+                rel.col(k)
+                    .cell(a as usize)
+                    .cmp(&rel.col(k).cell(b as usize))
+            })
             .find(|o| !o.is_eq())
-            .unwrap_or(std::cmp::Ordering::Equal);
+            .unwrap_or(Ordering::Equal);
         if desc {
             ord.reverse()
         } else {
             ord
         }
     });
-    Relation::new(schema, tuples)
+    Ok(rel.gather(&idx))
 }
 
-/// Grouping + aggregation kernel. Group keys are borrowed during
-/// hashing and cloned only once per *emitted* row.
+/// Grouping + aggregation kernel. Rows are bucketed into group ids on
+/// borrowed key cells (first-seen group order), then each aggregate
+/// folds its column's slice of every group directly.
 pub fn aggregate(rel: &Relation, group_by: &[String], aggs: &[AggSpec]) -> Result<Relation> {
     let group_pos: Vec<usize> = group_by
         .iter()
@@ -464,57 +724,72 @@ pub fn aggregate(rel: &Relation, group_by: &[String], aggs: &[AggSpec]) -> Resul
     attrs.extend(aggs.iter().map(|a| a.alias.clone()));
     let schema = Schema::new(format!("{}_agg", rel.schema().name()), attrs)?;
 
-    // Group on borrowed keys; `order` keeps first-seen group order.
-    let mut groups: FxHashMap<Vec<&Value>, Vec<&Tuple>> = FxHashMap::default();
-    let mut order: Vec<Vec<&Value>> = Vec::new();
-    for t in rel.tuples() {
-        let key: Vec<&Value> = group_pos.iter().map(|&i| t.get(i)).collect();
-        let entry = groups.entry(key.clone()).or_default();
-        if entry.is_empty() {
-            order.push(key);
-        }
-        entry.push(t);
+    // Group ids on borrowed keys; ids are assigned in first-seen order.
+    let mut groups: FxHashMap<Vec<CellRef>, usize> = FxHashMap::default();
+    let mut group_rows: Vec<Vec<u32>> = Vec::new();
+    for i in 0..rel.len() {
+        let key: Vec<CellRef> = group_pos.iter().map(|&p| rel.col(p).cell(i)).collect();
+        let gid = *groups.entry(key).or_insert_with(|| {
+            group_rows.push(Vec::new());
+            group_rows.len() - 1
+        });
+        group_rows[gid].push(i as u32);
     }
-    if group_by.is_empty() && groups.is_empty() {
+    if group_by.is_empty() && group_rows.is_empty() {
         // Global aggregate over the empty input still yields one row.
-        order.push(Vec::new());
-        groups.insert(Vec::new(), Vec::new());
+        group_rows.push(Vec::new());
     }
 
-    let mut out = Vec::with_capacity(order.len());
-    for key in order {
-        let rows = &groups[&key];
-        let mut vals: Vec<Value> = key.iter().map(|&v| v.clone()).collect();
+    let mut out = Vec::with_capacity(group_rows.len());
+    for rows in &group_rows {
+        let mut vals: Vec<Value> = group_pos
+            .iter()
+            .map(|&p| rel.col(p).value(rows[0] as usize))
+            .collect();
         for (spec, pos) in aggs.iter().zip(&agg_pos) {
-            vals.push(eval_agg(spec.func, *pos, rows));
+            vals.push(eval_agg_col(spec.func, pos.map(|p| rel.col(p)), rows));
         }
         out.push(Tuple::new(vals));
     }
     Relation::new(schema, out)
 }
 
-fn eval_agg(func: AggFunc, pos: Option<usize>, rows: &[&Tuple]) -> Value {
+/// Fold one aggregate over a column's slice of group rows.
+fn eval_agg_col(func: AggFunc, col: Option<&Column>, rows: &[u32]) -> Value {
     match func {
-        AggFunc::Count => match pos {
+        AggFunc::Count => match col {
             None => Value::Int(rows.len() as i64),
-            Some(i) => Value::Int(rows.iter().filter(|t| !t.get(i).is_null()).count() as i64),
+            Some(c) => Value::Int(rows.iter().filter(|&&i| !c.is_null(i as usize)).count() as i64),
         },
         AggFunc::Sum | AggFunc::Avg => {
-            let i = match pos {
-                Some(i) => i,
-                None => return Value::Null,
-            };
-            let nums: Vec<f64> = rows.iter().filter_map(|t| t.get(i).as_f64()).collect();
-            if nums.is_empty() {
+            let Some(c) = col else { return Value::Null };
+            let mut sum = 0.0f64;
+            let mut n = 0usize;
+            let mut all_int = true;
+            for &i in rows {
+                match c.cell(i as usize) {
+                    CellRef::Int(v) => {
+                        sum += v as f64;
+                        n += 1;
+                    }
+                    CellRef::Float(v) => {
+                        sum += v;
+                        n += 1;
+                        all_int = false;
+                    }
+                    CellRef::Null => {}
+                    // Non-numeric cells don't contribute to the sum but
+                    // do demote an integer-typed result (they are not
+                    // `Int | Null`).
+                    _ => all_int = false,
+                }
+            }
+            if n == 0 {
                 return Value::Null;
             }
-            let sum: f64 = nums.iter().sum();
             if func == AggFunc::Avg {
-                return Value::Float(sum / nums.len() as f64);
+                return Value::Float(sum / n as f64);
             }
-            let all_int = rows
-                .iter()
-                .all(|t| matches!(t.get(i), Value::Int(_) | Value::Null));
             if all_int {
                 Value::Int(sum as i64)
             } else {
@@ -522,23 +797,34 @@ fn eval_agg(func: AggFunc, pos: Option<usize>, rows: &[&Tuple]) -> Value {
             }
         }
         AggFunc::Min | AggFunc::Max => {
-            let i = match pos {
-                Some(i) => i,
-                None => return Value::Null,
-            };
-            let mut vals: Vec<&Value> = rows
-                .iter()
-                .map(|t| t.get(i))
-                .filter(|v| !v.is_null())
-                .collect();
-            if vals.is_empty() {
-                return Value::Null;
+            let Some(c) = col else { return Value::Null };
+            // Ties keep the first row for Min and the last for Max —
+            // the order a stable sort of the cells would produce.
+            let mut best: Option<(CellRef<'_>, u32)> = None;
+            for &i in rows {
+                let cell = c.cell(i as usize);
+                if cell.is_null() {
+                    continue;
+                }
+                best = match best {
+                    None => Some((cell, i)),
+                    Some((b, bi)) => {
+                        let replace = if func == AggFunc::Min {
+                            cell.cmp(&b) == Ordering::Less
+                        } else {
+                            cell.cmp(&b) != Ordering::Less
+                        };
+                        if replace {
+                            Some((cell, i))
+                        } else {
+                            Some((b, bi))
+                        }
+                    }
+                };
             }
-            vals.sort();
-            if func == AggFunc::Min {
-                vals[0].clone()
-            } else {
-                vals[vals.len() - 1].clone()
+            match best {
+                None => Value::Null,
+                Some((_, i)) => c.value(i as usize),
             }
         }
     }
@@ -617,6 +903,24 @@ mod tests {
         r.push_values(vec![Value::str("x"), Value::Int(4)]).unwrap();
         let j = natural_join(&l, &r).unwrap();
         assert_eq!(j.len(), 1);
+    }
+
+    #[test]
+    fn typed_int_join_skips_null_keys_and_matches_floats() {
+        // Int fast path: NULL validity slots never match.
+        let mut l = Relation::empty(Schema::of("l", &["k", "a"]));
+        l.push_values(vec![Value::Int(1), Value::str("x")]).unwrap();
+        l.push_values(vec![Value::Null, Value::str("y")]).unwrap();
+        let mut r = Relation::empty(Schema::of("r", &["k", "b"]));
+        r.push_values(vec![Value::Int(1), Value::str("z")]).unwrap();
+        r.push_values(vec![Value::Null, Value::str("w")]).unwrap();
+        assert_eq!(natural_join(&l, &r).unwrap().len(), 1);
+        // Cross-typed keys (Int vs Float) take the general cell path
+        // and still match by numeric value.
+        let mut f = Relation::empty(Schema::of("r", &["k", "b"]));
+        f.push_values(vec![Value::Float(1.0), Value::str("f")])
+            .unwrap();
+        assert_eq!(natural_join(&l, &f).unwrap().len(), 1);
     }
 
     #[test]
@@ -787,5 +1091,54 @@ mod tests {
         let (lk, rk) = equi_positions(&pred, &ls, &rs);
         assert_eq!(lk, vec![0, 1]);
         assert_eq!(rk, vec![0, 1]);
+    }
+
+    #[test]
+    fn vectorized_filter_matches_row_semantics() {
+        let db = db();
+        // Vectorizable: Cmp over Col/Lit with And/Or/Not/IsNull.
+        let pred = Expr::cmp(CmpOp::Ge, Expr::col("bal"), Expr::lit(100i64))
+            .and(Expr::Not(Box::new(Expr::col_eq("credit", "fair"))));
+        let plan = LogicalPlan::scan("customer").select(pred.clone());
+        let fast = execute(&plan, &db).unwrap();
+        assert_eq!(fast.len(), 1); // only cid02
+                                   // Equivalent row-path predicate (Bin forces the fallback).
+        let slow_pred = Expr::cmp(
+            CmpOp::Ge,
+            Expr::Bin(
+                crate::expr::BinOp::Add,
+                Box::new(Expr::col("bal")),
+                Box::new(Expr::lit(0i64)),
+            ),
+            Expr::lit(100i64),
+        )
+        .and(Expr::Not(Box::new(Expr::col_eq("credit", "fair"))));
+        let slow = execute(&LogicalPlan::scan("customer").select(slow_pred), &db).unwrap();
+        assert_eq!(fast.tuples(), slow.tuples());
+    }
+
+    #[test]
+    fn short_circuit_hides_bad_right_branch() {
+        let db = db();
+        // Left of And is all-false, so the dangling column on the right
+        // must never be resolved (row-path parity).
+        let pred = Expr::col_eq("credit", "excellent").and(Expr::col_eq("no_such_col", "x"));
+        let plan = LogicalPlan::scan("customer").select(pred);
+        let r = execute(&plan, &db).unwrap();
+        assert_eq!(r.len(), 0);
+        // With a satisfiable left branch the right branch IS resolved
+        // and must error.
+        let pred = Expr::col_eq("credit", "good").and(Expr::col_eq("no_such_col", "x"));
+        assert!(execute(&LogicalPlan::scan("customer").select(pred), &db).is_err());
+    }
+
+    #[test]
+    fn filter_on_empty_input_skips_evaluation() {
+        let empty = Relation::empty(Schema::of("e", &["a"]));
+        let mut db = Database::new();
+        db.insert(empty);
+        let pred = Expr::col_eq("no_such_col", "x");
+        let r = execute(&LogicalPlan::scan("e").select(pred), &db).unwrap();
+        assert!(r.is_empty());
     }
 }

@@ -8,6 +8,9 @@
 //! - [`schema`] / [`mod@tuple`] / [`relation`]: databases `D = (D1, ..., Dn)`
 //!   of relations over schemas `R(A1, ..., Ak)`, each tuple carrying a
 //!   tuple id (primary key) per Codd's entity reading (Section II-A).
+//! - [`column`]: the columnar storage layer — typed column vectors with
+//!   validity bitmaps behind [`relation::Relation`]; the `Vec<Tuple>`
+//!   row view is a lazy compatibility cache.
 //! - [`expr`]: scalar expressions and predicates with SQL-style
 //!   null-rejecting comparisons.
 //! - [`plan`] / [`exec`]: logical plans (select/project/join/aggregate/
@@ -19,6 +22,7 @@
 //! - [`catalog`]: the named-relation database handed to the executor.
 
 pub mod catalog;
+pub mod column;
 pub mod exec;
 pub mod expr;
 pub mod physical;
@@ -28,6 +32,7 @@ pub mod schema;
 pub mod tuple;
 
 pub use catalog::Database;
+pub use column::{Bitmap, CellRef, Column};
 pub use exec::execute;
 pub use expr::{AggFunc, BinOp, CmpOp, Expr};
 pub use physical::{

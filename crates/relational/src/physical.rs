@@ -4,8 +4,8 @@
 //! tree, making the execution strategy explicit: theta joins with
 //! minable equi-conjuncts become [`PhysicalPlan::HashJoin`] nodes,
 //! everything else a [`PhysicalPlan::NestedLoopJoin`]. [`execute_physical`]
-//! runs the tree through the same row-level kernels as the logical
-//! interpreter (see [`crate::exec`]) while threading an [`ExecContext`]
+//! runs the tree through the same vectorized columnar kernels as the
+//! logical interpreter (see [`crate::exec`]) while threading an [`ExecContext`]
 //! that records per-operator counters — rows in/out, build/probe sizes,
 //! and wall time — for `EXPLAIN ANALYZE`-style reporting.
 //!
@@ -26,16 +26,13 @@ use crate::schema::Schema;
 use gsj_common::{GsjError, QueryGovernor, Result};
 use std::time::Instant;
 
-/// Rough per-value heap cost used for memory-budget accounting: a
-/// `Value` is a 24-byte enum and string payloads small-string-average
-/// around another 8 bytes. Budgets are advisory ceilings, not an
-/// allocator — order of magnitude is what matters.
-const VALUE_BYTES_EST: u64 = 32;
-
-/// Estimated materialized size of a relation, for
-/// [`QueryGovernor::charge_mem`].
+/// Materialized size of a relation, for [`QueryGovernor::charge_mem`]:
+/// the real columnar payload bytes (typed vectors + validity bitmaps +
+/// string payloads), not a per-row estimate. Budgets are advisory
+/// ceilings, not an allocator — but the charge now tracks what the
+/// columns actually hold.
 pub fn approx_rel_bytes(rel: &Relation) -> u64 {
-    (rel.len() as u64) * (rel.schema().arity() as u64) * VALUE_BYTES_EST
+    rel.approx_bytes()
 }
 
 /// Counters recorded for one physical operator execution.
@@ -758,9 +755,7 @@ fn execute_node(plan: &PhysicalPlan, db: &Database, ctx: &mut ExecContext) -> Re
             let rel = execute_physical(input, db, ctx)?;
             let t0 = Instant::now();
             let rows_in = rel.len();
-            let (schema, mut tuples) = rel.into_parts();
-            tuples.truncate(*n);
-            let out = Relation::new(schema, tuples)?;
+            let out = rel.head(*n);
             ctx.exit(token, op(plan.describe(), rows_in, out.len(), t0));
             Ok(out)
         }
@@ -909,9 +904,7 @@ pub fn limit_rel(
     ctx.gov.check("Limit")?;
     let t0 = Instant::now();
     let rows_in = rel.len();
-    let (schema, mut tuples) = rel.into_parts();
-    tuples.truncate(n);
-    let out = Relation::new(schema, tuples)?;
+    let out = rel.head(n);
     ctx.record(op(label.into(), rows_in, out.len(), t0));
     Ok(out)
 }
@@ -1183,8 +1176,9 @@ mod tests {
     fn governed_execution_trips_mem_budget() {
         let db = db();
         let plan = lower(&LogicalPlan::scan("customer"), &db).unwrap();
-        // First scan charges ~4*4*32 B; a second run over the same
-        // context must trip a 100 B budget.
+        // The first scan charges the real columnar bytes of the 4-row
+        // customer table (well over 100 B of string payloads); a second
+        // run over the same context must trip a 100 B budget.
         let gov = QueryGovernor::builder().mem_budget(100).build();
         let mut ctx = ExecContext::with_governor(gov.clone());
         assert!(execute_physical(&plan, &db, &mut ctx).is_ok());

@@ -1,23 +1,68 @@
-//! Relations: a schema plus a bag of tuples.
+//! Relations: a schema plus a bag of tuples, stored columnar.
+//!
+//! Storage is one [`Column`] per attribute (typed vectors + validity
+//! bitmaps, see [`crate::column`]); the row-oriented `Vec<Tuple>` view
+//! that the rest of the engine was written against is kept as a lazy
+//! compatibility cache: [`Relation::tuples`] materializes it on first
+//! use and any mutation invalidates it. Vectorized kernels bypass the
+//! cache entirely and work on the columns.
 
+use crate::column::Column;
 use crate::schema::Schema;
 use crate::tuple::Tuple;
 use gsj_common::{GsjError, Result, Value};
 use std::fmt;
+use std::sync::Arc;
+use std::sync::OnceLock;
 
 /// A relation instance (bag semantics, like SQL).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug)]
 pub struct Relation {
     schema: Schema,
-    tuples: Vec<Tuple>,
+    /// One column per schema attribute. `Arc` so projections, aliasing
+    /// and appended-column joins share payloads instead of cloning.
+    cols: Vec<Arc<Column>>,
+    /// Row count (columns are kept equal-length invariantly; an arity-0
+    /// schema still needs an explicit count).
+    len: usize,
+    /// Lazily materialized row view for `tuples()`/`into_parts()`.
+    row_cache: OnceLock<Vec<Tuple>>,
+}
+
+impl Clone for Relation {
+    fn clone(&self) -> Self {
+        Relation {
+            schema: self.schema.clone(),
+            cols: self.cols.clone(),
+            len: self.len,
+            row_cache: OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        if self.schema != other.schema || self.len != other.len {
+            return false;
+        }
+        self.cols
+            .iter()
+            .zip(&other.cols)
+            .all(|(a, b)| Arc::ptr_eq(a, b) || (0..self.len).all(|i| a.cell(i) == b.cell(i)))
+    }
 }
 
 impl Relation {
     /// An empty relation of the given schema.
     pub fn empty(schema: Schema) -> Self {
+        let cols = (0..schema.arity())
+            .map(|_| Arc::new(Column::new()))
+            .collect();
         Relation {
             schema,
-            tuples: Vec::new(),
+            cols,
+            len: 0,
+            row_cache: OnceLock::new(),
         }
     }
 
@@ -31,7 +76,45 @@ impl Relation {
                 schema.arity()
             )));
         }
-        Ok(Relation { schema, tuples })
+        let arity = schema.arity();
+        let len = tuples.len();
+        let mut builders: Vec<Column> = (0..arity).map(|_| Column::new()).collect();
+        for t in tuples {
+            for (c, v) in builders.iter_mut().zip(t.into_values()) {
+                c.push(v);
+            }
+        }
+        Ok(Relation {
+            schema,
+            cols: builders.into_iter().map(Arc::new).collect(),
+            len,
+            row_cache: OnceLock::new(),
+        })
+    }
+
+    /// Build directly from shared columns — the fast path used by the
+    /// vectorized kernels. All columns must have the same length.
+    pub fn from_shared_columns(schema: Schema, cols: Vec<Arc<Column>>, len: usize) -> Result<Self> {
+        if cols.len() != schema.arity() {
+            return Err(GsjError::Schema(format!(
+                "{} columns do not match schema `{}` arity {}",
+                cols.len(),
+                schema.name(),
+                schema.arity()
+            )));
+        }
+        if let Some(bad) = cols.iter().find(|c| c.len() != len) {
+            return Err(GsjError::Schema(format!(
+                "column length {} does not match relation length {len}",
+                bad.len()
+            )));
+        }
+        Ok(Relation {
+            schema,
+            cols,
+            len,
+            row_cache: OnceLock::new(),
+        })
     }
 
     /// The schema.
@@ -39,19 +122,41 @@ impl Relation {
         &self.schema
     }
 
-    /// The tuples.
+    /// The columns (one per schema attribute, in order).
+    pub fn columns(&self) -> &[Arc<Column>] {
+        &self.cols
+    }
+
+    /// Column `i`.
+    pub fn col(&self, i: usize) -> &Column {
+        &self.cols[i]
+    }
+
+    /// Cell at (`row`, `col`) as an owned value.
+    pub fn value_at(&self, row: usize, col: usize) -> Value {
+        self.cols[col].value(row)
+    }
+
+    /// Row `i` materialized as a tuple (does not populate the cache).
+    pub fn row(&self, i: usize) -> Tuple {
+        Tuple::new(self.cols.iter().map(|c| c.value(i)).collect())
+    }
+
+    /// The tuples, as the classic row view. Materialized lazily on
+    /// first call and cached until the relation is mutated.
     pub fn tuples(&self) -> &[Tuple] {
-        &self.tuples
+        self.row_cache
+            .get_or_init(|| (0..self.len).map(|i| self.row(i)).collect())
     }
 
     /// Number of tuples.
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.len
     }
 
     /// True when no tuples.
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.len == 0
     }
 
     /// Append a tuple, checking arity.
@@ -64,7 +169,11 @@ impl Relation {
                 self.schema.arity()
             )));
         }
-        self.tuples.push(t);
+        self.row_cache.take();
+        for (c, v) in self.cols.iter_mut().zip(t.into_values()) {
+            Arc::make_mut(c).push(v);
+        }
+        self.len += 1;
         Ok(())
     }
 
@@ -73,24 +182,116 @@ impl Relation {
         self.push(Tuple::new(values))
     }
 
-    /// One column's values, by attribute name.
-    pub fn column(&self, attr: &str) -> Result<Vec<Value>> {
-        let i = self.schema.require(attr)?;
-        Ok(self.tuples.iter().map(|t| t.get(i).clone()).collect())
+    /// Append every row of `other` (schemas must have equal arity; the
+    /// caller is responsible for attribute compatibility, as `UNION`'s
+    /// planner already checked it).
+    pub fn append_rows(&mut self, other: &Relation) -> Result<()> {
+        if other.schema.arity() != self.schema.arity() {
+            return Err(GsjError::Schema(format!(
+                "cannot append arity {} rows to arity {} relation",
+                other.schema.arity(),
+                self.schema.arity()
+            )));
+        }
+        if other.is_empty() {
+            return Ok(());
+        }
+        self.row_cache.take();
+        if self.is_empty() {
+            self.cols = other.cols.clone();
+        } else {
+            for (c, o) in self.cols.iter_mut().zip(&other.cols) {
+                Arc::make_mut(c).append(o);
+            }
+        }
+        self.len += other.len;
+        Ok(())
     }
 
-    /// Replace the schema name/alias, qualifying attribute names
-    /// (`SQL: R as T`).
-    pub fn qualified(&self, alias: &str) -> Relation {
+    /// The relation restricted to the given row indices, in order
+    /// (indices may repeat).
+    pub fn gather(&self, idx: &[u32]) -> Relation {
         Relation {
-            schema: self.schema.qualify(alias),
-            tuples: self.tuples.clone(),
+            schema: self.schema.clone(),
+            cols: self.cols.iter().map(|c| Arc::new(c.gather(idx))).collect(),
+            len: idx.len(),
+            row_cache: OnceLock::new(),
         }
     }
 
-    /// Take the tuples out (consuming accessor for the executor).
-    pub fn into_parts(self) -> (Schema, Vec<Tuple>) {
-        (self.schema, self.tuples)
+    /// The first `n` rows (whole relation shared when `n >= len`).
+    pub fn head(&self, n: usize) -> Relation {
+        if n >= self.len {
+            return self.clone();
+        }
+        let idx: Vec<u32> = (0..n as u32).collect();
+        self.gather(&idx)
+    }
+
+    /// Concatenate gathered rows of two relations side by side: row `r`
+    /// of the output is `l[l_idx[r]] ++ r[r_idx[r]]`, keeping only the
+    /// right columns in `r_keep` (all of them when `None`). This is the
+    /// join materialization kernel — columns are gathered wholesale,
+    /// never row by row.
+    pub fn gather_concat(
+        left: &Relation,
+        l_idx: &[u32],
+        right: &Relation,
+        r_idx: &[u32],
+        r_keep: Option<&[usize]>,
+        schema: Schema,
+    ) -> Result<Relation> {
+        debug_assert_eq!(l_idx.len(), r_idx.len());
+        let mut cols: Vec<Arc<Column>> = Vec::with_capacity(schema.arity());
+        for c in &left.cols {
+            cols.push(Arc::new(c.gather(l_idx)));
+        }
+        match r_keep {
+            Some(keep) => {
+                for &j in keep {
+                    cols.push(Arc::new(right.cols[j].gather(r_idx)));
+                }
+            }
+            None => {
+                for c in &right.cols {
+                    cols.push(Arc::new(c.gather(r_idx)));
+                }
+            }
+        }
+        Relation::from_shared_columns(schema, cols, l_idx.len())
+    }
+
+    /// One column's values, by attribute name.
+    pub fn column(&self, attr: &str) -> Result<Vec<Value>> {
+        let i = self.schema.require(attr)?;
+        Ok((0..self.len).map(|r| self.cols[i].value(r)).collect())
+    }
+
+    /// Replace the schema name/alias, qualifying attribute names
+    /// (`SQL: R as T`). Shares the columns — no data is copied.
+    pub fn qualified(&self, alias: &str) -> Relation {
+        Relation {
+            schema: self.schema.qualify(alias),
+            cols: self.cols.clone(),
+            len: self.len,
+            row_cache: OnceLock::new(),
+        }
+    }
+
+    /// Take the tuples out (consuming accessor for row-oriented
+    /// consumers; materializes the row view if nothing cached it yet).
+    pub fn into_parts(mut self) -> (Schema, Vec<Tuple>) {
+        let tuples = match self.row_cache.take() {
+            Some(t) => t,
+            None => (0..self.len).map(|i| self.row(i)).collect(),
+        };
+        (self.schema, tuples)
+    }
+
+    /// Approximate heap bytes held by the column payloads — the real
+    /// number the governor's memory budget charges.
+    pub fn approx_bytes(&self) -> u64 {
+        self.cols.iter().map(|c| c.approx_bytes()).sum()
     }
 
     /// Parse a relation from CSV text (header row = attribute names;
@@ -164,15 +365,16 @@ impl Relation {
                 .join(","),
         );
         out.push('\n');
-        for t in &self.tuples {
-            let row: Vec<String> = t
-                .values()
+        for r in 0..self.len {
+            let row: Vec<String> = self
+                .cols
                 .iter()
-                .map(|v| {
-                    if v.is_null() {
+                .map(|c| {
+                    let cell = c.cell(r);
+                    if cell.is_null() {
                         String::new()
                     } else {
-                        quote(&v.to_string())
+                        quote(&cell.to_value().to_string())
                     }
                 })
                 .collect();
@@ -187,10 +389,8 @@ impl Relation {
     pub fn to_table(&self) -> String {
         let headers: Vec<&str> = self.schema.attrs().iter().map(|s| s.as_str()).collect();
         let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
-        let rows: Vec<Vec<String>> = self
-            .tuples
-            .iter()
-            .map(|t| t.values().iter().map(|v| v.to_string()).collect())
+        let rows: Vec<Vec<String>> = (0..self.len)
+            .map(|r| self.cols.iter().map(|c| c.value(r).to_string()).collect())
             .collect();
         for row in &rows {
             for (w, cell) in widths.iter_mut().zip(row) {
@@ -319,5 +519,59 @@ mod tests {
             vec![Tuple::new(vec![Value::Int(1), Value::Int(2)])],
         );
         assert!(bad.is_err());
+    }
+
+    #[test]
+    fn tuple_view_invalidates_on_push() {
+        let mut r = product();
+        assert_eq!(r.tuples().len(), 2);
+        r.push_values(vec![Value::str("fd3"), Value::str("low")])
+            .unwrap();
+        assert_eq!(r.tuples().len(), 3);
+        assert_eq!(r.tuples()[2].get(0), &Value::str("fd3"));
+    }
+
+    #[test]
+    fn mixed_and_null_columns_round_trip_through_rows() {
+        let mut r = Relation::empty(Schema::of("t", &["a", "b"]));
+        r.push_values(vec![Value::Int(1), Value::Null]).unwrap();
+        r.push_values(vec![Value::str("s"), Value::Null]).unwrap();
+        r.push_values(vec![Value::Null, Value::Null]).unwrap();
+        assert_eq!(r.col(0).repr_name(), "mixed");
+        assert_eq!(r.col(1).repr_name(), "null");
+        let (schema, tuples) = r.clone().into_parts();
+        let back = Relation::new(schema, tuples).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn gather_and_head_share_semantics_with_rows() {
+        let r = product();
+        let g = r.gather(&[1, 0, 1]);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.tuples()[0].get(0), &Value::str("fd2"));
+        assert_eq!(g.tuples()[1].get(0), &Value::str("fd1"));
+        let h = r.head(1);
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.tuples()[0].get(1), &Value::str("medium"));
+    }
+
+    #[test]
+    fn append_rows_merges_columns() {
+        let mut a = product();
+        let b = product();
+        a.append_rows(&b).unwrap();
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.tuples()[3].get(0), &Value::str("fd2"));
+    }
+
+    #[test]
+    fn approx_bytes_reflects_payloads() {
+        let r = product();
+        // Two rows of two string columns: well above zero, far below the
+        // old 32-bytes-per-cell flat estimate × large factor.
+        assert!(r.approx_bytes() > 0);
+        let empty = Relation::empty(Schema::of("e", &["a"]));
+        assert_eq!(empty.approx_bytes(), 0);
     }
 }

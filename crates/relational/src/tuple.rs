@@ -4,12 +4,16 @@ use gsj_common::Value;
 
 /// A tuple: one value per schema attribute.
 ///
-/// Kept as a thin wrapper over `Vec<Value>` so relations stay cache-friendly
-/// and the executor can move tuples without indirection. String cells are
-/// `Arc<str>` (see [`gsj_common::Value`]) so cloning a wide tuple during a
-/// join is cheap.
+/// Kept as a thin wrapper over `Vec<Value>` so row-oriented consumers
+/// stay cache-friendly and the executor can move tuples without
+/// indirection. String cells are `Arc<str>` (see [`gsj_common::Value`])
+/// so cloning a wide tuple during a join is cheap. The cell vector is
+/// private: now that [`crate::relation::Relation`] stores columns and
+/// serves tuples as a compatibility view, direct mutation of a tuple
+/// could silently diverge from the columnar truth — go through
+/// [`Tuple::new`]/[`Tuple::into_values`] instead.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub struct Tuple(pub Vec<Value>);
+pub struct Tuple(Vec<Value>);
 
 impl Tuple {
     /// Build from values.
@@ -31,6 +35,11 @@ impl Tuple {
     /// The raw cells.
     pub fn values(&self) -> &[Value] {
         &self.0
+    }
+
+    /// Take the cells out.
+    pub fn into_values(self) -> Vec<Value> {
+        self.0
     }
 
     /// Project onto the given positions.
@@ -68,5 +77,12 @@ mod tests {
         let c = t.concat(&u);
         assert_eq!(c.arity(), 4);
         assert!(c.get(3).is_null());
+    }
+
+    #[test]
+    fn into_values_round_trips() {
+        let t = Tuple::new(vec![Value::Int(1), Value::Null]);
+        let vs = t.clone().into_values();
+        assert_eq!(Tuple::new(vs), t);
     }
 }

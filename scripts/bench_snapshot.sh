@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Regenerate or check the committed relational bench snapshot
+# (BENCH_relational.json).
+#
+# Usage:
+#   scripts/bench_snapshot.sh                 # full run, merge into snapshot
+#   scripts/bench_snapshot.sh --quick         # fewer iterations (CI smoke)
+#   scripts/bench_snapshot.sh --check         # quick run, fail on >25%
+#                                             # regression vs the snapshot
+#
+# The snapshot keeps the pre-columnar "before" numbers; a merge only
+# refreshes the "after" side and the derived speedups.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SNAPSHOT=BENCH_relational.json
+MODE=merge
+QUICK=()
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK=(--quick) ;;
+    --check) MODE=check ;;
+    *)
+      echo "unknown argument: $arg" >&2
+      exit 2
+      ;;
+  esac
+done
+
+cargo build --release -p gsj-bench --bin bench_snapshot
+
+if [ "$MODE" = check ]; then
+  exec ./target/release/bench_snapshot --quick --check "$SNAPSHOT"
+else
+  exec ./target/release/bench_snapshot "${QUICK[@]}" --merge "$SNAPSHOT"
+fi

@@ -48,6 +48,8 @@ const SITES: &[&str] = &[
     "gsql.ejoin",
     "gsql.ljoin",
     "gsql.gl_cache",
+    "relational.filter",
+    "relational.hash_join",
     "incext.zone",
     "incext.her_redo",
     "incext.re_extract",
@@ -153,6 +155,37 @@ fn drive_all(f: &Fixture) -> Vec<(&'static str, Result<usize>)> {
         "graph.walk",
         build_corpus_governed(&f.col.graph, &WalkConfig::default(), &gov).map(|c| c.len()),
     ));
+    // Direct relational kernel drives: a filter via a Select plan and a
+    // hash natural join, so the `relational.*` sites stay reachable even
+    // when the engine answers queries from profile caches.
+    {
+        use gsj_relational::{CmpOp, Expr, LogicalPlan, Relation, Schema};
+        let mut rel = Relation::empty(Schema::of("chaos_rel", &["id", "w"]));
+        for i in 0..4i64 {
+            rel.push_values(vec![
+                gsj_common::Value::Int(i),
+                gsj_common::Value::Int(i * 10),
+            ])
+            .unwrap();
+        }
+        let db = gsj_relational::Database::new();
+        let plan = LogicalPlan::Select {
+            input: Box::new(LogicalPlan::Values(rel.clone())),
+            pred: Expr::cmp(CmpOp::Ge, Expr::col("w"), Expr::lit(20i64)),
+        };
+        out.push((
+            "relational.filter",
+            gsj_relational::execute(&plan, &db).map(|r| r.len()),
+        ));
+        let mut other = Relation::empty(Schema::of("chaos_other", &["id", "tag"]));
+        other
+            .push_values(vec![gsj_common::Value::Int(2), gsj_common::Value::str("x")])
+            .unwrap();
+        out.push((
+            "relational.hash_join",
+            gsj_relational::exec::natural_join(&rel, &other).map(|r| r.len()),
+        ));
+    }
     let mut g = f.col.graph.clone();
     let ups = balanced_updates(&g, 0.05, 7);
     let report = apply_updates(&mut g, &ups);
