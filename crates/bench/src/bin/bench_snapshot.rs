@@ -13,6 +13,18 @@
 //!                                                  FILE's "after" section;
 //!                                                  exit 1 on a relative
 //!                                                  regression > F (def 0.25)
+//!   bench_snapshot --parallel [--quick] [--out F]  measure the morsel-
+//!                                                  parallel kernels at
+//!                                                  1/2/4/8 workers, write
+//!                                                  per-worker-count sections
+//!                                                  plus speedups and the
+//!                                                  host core count
+//!                                                  (BENCH_parallel.json)
+//!   bench_snapshot --assert-speedup F              CI smoke: 4-worker
+//!                                                  physical_exec must be
+//!                                                  ≥F× over 1-worker; exits
+//!                                                  0 with a notice when the
+//!                                                  host has <4 cores
 //!
 //! The check normalizes by the median ratio across benches before
 //! applying the tolerance, so a uniformly slower CI machine does not
@@ -167,6 +179,100 @@ fn run_benches(quick: bool) -> Results {
     out
 }
 
+/// A deterministic graph at `n` vertices with 8 out-edges each (ring +
+/// strided skips), so a six-hop BFS floods most of the graph and its
+/// frontiers grow far past the parallel engagement threshold.
+fn bench_graph(n: usize) -> gsj_graph::LabeledGraph {
+    let mut g = gsj_graph::LabeledGraph::new();
+    let vs: Vec<gsj_graph::VertexId> = (0..n).map(|i| g.add_vertex(&format!("v{i}"))).collect();
+    for i in 0..n {
+        for stride in [1usize, 3, 17, 97, 331, 1031, 3301, 10037] {
+            g.add_edge(vs[i], "e", vs[(i + stride) % n]);
+        }
+    }
+    g
+}
+
+/// The morsel-parallel kernels, timed at a fixed worker count: the
+/// physical pipeline and natural join at 100k rows, and a k-hop
+/// traversal over a 100k-vertex graph.
+fn run_parallel_benches(workers: usize, quick: bool) -> Results {
+    use gsj_common::pool;
+    let mut out: Results = Vec::new();
+    let n = 100_000;
+
+    let l = table("l", n, n / 2);
+    let r = table("r", n, n / 2);
+    let ns = time(
+        || {
+            pool::with_threads(workers, || {
+                std::hint::black_box(natural_join(&l, &r).unwrap());
+            })
+        },
+        quick,
+    );
+    out.push((format!("relational_join/natural_join/{n}"), ns));
+    eprintln!(
+        "[{workers}w] relational_join/natural_join/{n}: {}",
+        human(ns)
+    );
+
+    let db = join_db(n);
+    let lowered = lower(&pipeline_plan(), &db).unwrap();
+    let ns = time(
+        || {
+            pool::with_threads(workers, || {
+                let mut ctx = ExecContext::new();
+                std::hint::black_box(execute_physical(&lowered, &db, &mut ctx).unwrap());
+            })
+        },
+        quick,
+    );
+    out.push((format!("physical_exec/pipeline/{n}"), ns));
+    eprintln!("[{workers}w] physical_exec/pipeline/{n}: {}", human(ns));
+
+    let g = bench_graph(n);
+    let start = g.vertices().next().unwrap();
+    let ns = time(
+        || {
+            pool::with_threads(workers, || {
+                std::hint::black_box(gsj_graph::traversal::k_hop_set(&g, start, 6));
+            })
+        },
+        quick,
+    );
+    out.push((format!("traversal/k_hop/{n}"), ns));
+    eprintln!("[{workers}w] traversal/k_hop/{n}: {}", human(ns));
+
+    out
+}
+
+fn write_parallel_snapshot(path: &str, runs: &[(usize, Results)], quick: bool) {
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let base = &runs[0].1;
+    let mut sections: Vec<String> = runs
+        .iter()
+        .map(|(w, res)| section_json(&format!("workers_{w}"), res))
+        .collect();
+    for (w, res) in runs.iter().skip(1) {
+        let speedup: Results = base
+            .iter()
+            .filter_map(|(k, b)| {
+                res.iter()
+                    .find(|(k2, _)| k2 == k)
+                    .map(|(_, a)| (k.clone(), if *a > 0.0 { b / a } else { 0.0 }))
+            })
+            .collect();
+        sections.push(section_json(&format!("speedup_{w}_vs_1"), &speedup));
+    }
+    let doc = format!(
+        "{{\n  \"note\": \"ns/iter per worker count; speedups are vs the 1-worker run on the same host; regenerate with scripts/bench_snapshot.sh --parallel\",\n  \"host_cores\": {cores},\n  \"quick\": {quick},\n{}\n}}\n",
+        sections.join(",\n"),
+    );
+    std::fs::write(path, doc).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    eprintln!("wrote {path} (host_cores = {cores})");
+}
+
 fn human(ns: f64) -> String {
     if ns >= 1e9 {
         format!("{:.2}s", ns / 1e9)
@@ -261,12 +367,46 @@ fn main() {
             .position(|a| a == flag)
             .and_then(|i| args.get(i + 1).cloned())
     };
-    let out = flag_val("--out").unwrap_or_else(|| "BENCH_relational.json".into());
     let merge = flag_val("--merge");
     let check_path = flag_val("--check");
     let tol: f64 = flag_val("--tol")
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.25);
+
+    if let Some(f) = flag_val("--assert-speedup") {
+        let need: f64 = f.parse().expect("--assert-speedup takes a float");
+        let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+        if cores < 4 {
+            eprintln!(
+                "assert-speedup: host has {cores} core(s), a 4-worker pool \
+                 cannot speed up; skipping"
+            );
+            return;
+        }
+        let bench = "physical_exec/pipeline/100000";
+        let one = run_parallel_benches(1, true);
+        let four = run_parallel_benches(4, true);
+        let base = one.iter().find(|(k, _)| k == bench).unwrap().1;
+        let par = four.iter().find(|(k, _)| k == bench).unwrap().1;
+        let speedup = base / par;
+        eprintln!("{bench}: 4-worker speedup {speedup:.2}x (need >= {need:.2}x)");
+        if speedup < need {
+            eprintln!("parallel speedup smoke FAILED");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    if args.iter().any(|a| a == "--parallel") {
+        let out = flag_val("--out").unwrap_or_else(|| "BENCH_parallel.json".into());
+        let runs: Vec<(usize, Results)> = [1usize, 2, 4, 8]
+            .iter()
+            .map(|&w| (w, run_parallel_benches(w, quick)))
+            .collect();
+        write_parallel_snapshot(&out, &runs, quick);
+        return;
+    }
+    let out = flag_val("--out").unwrap_or_else(|| "BENCH_relational.json".into());
 
     let fresh = run_benches(quick);
 

@@ -16,12 +16,16 @@
 //! - [`GsjError`]: the workspace error type.
 //! - [`QueryGovernor`]: cooperative deadlines, budgets and cancellation
 //!   threaded through execution (DESIGN.md §11).
+//! - [`pool`]: the morsel-driven worker pool — `GSJ_THREADS` policy,
+//!   deterministic task fan-out, and the [`Mergeable`] trait for
+//!   per-worker partial statistics (DESIGN.md §13).
 //! - [`RetryPolicy`]: bounded exponential backoff with deterministic jitter
 //!   for transient failures.
 
 pub mod error;
 pub mod fxhash;
 pub mod governor;
+pub mod pool;
 pub mod retry;
 pub mod symbol;
 pub mod value;
@@ -29,6 +33,7 @@ pub mod value;
 pub use error::{GsjError, Result};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use governor::{GovernorBuilder, QueryGovernor};
+pub use pool::Mergeable;
 pub use retry::RetryPolicy;
 pub use symbol::{Symbol, SymbolTable};
 pub use value::Value;

@@ -9,7 +9,7 @@ use crate::rext::Rext;
 use gsj_common::{QueryGovernor, Result};
 use gsj_graph::LabeledGraph;
 use gsj_her::{her_match, HerConfig, MatchRelation};
-use gsj_relational::exec::natural_join;
+use gsj_relational::exec::natural_join_governed;
 use gsj_relational::{Column, Relation, Schema};
 
 /// The conceptual-level enrichment join: calls HER and RExt online
@@ -39,7 +39,13 @@ pub fn enrichment_join(
     let discovery = rext.discover(g, &matches, Some((s, id_attr)), keywords, &schema_name)?;
     gov.check("rext.extract")?;
     let dg = rext.extract(g, &matches, &discovery)?;
-    let joined = join_three_way(s, id_attr, &matches, &keyword_view(&dg, keywords)?)?;
+    let joined = join_three_way(
+        s,
+        id_attr,
+        &matches,
+        &keyword_view(&dg, keywords)?,
+        Some(gov),
+    )?;
     gov.charge_rows(joined.len() as u64);
     span.field("rows_in", s.len())
         .field("rows_out", joined.len());
@@ -67,7 +73,7 @@ pub fn enrichment_join_precomputed(
         None => dg.clone(),
         Some(attrs) => keyword_view(dg, attrs)?,
     };
-    join_three_way(s, id_attr, matches, &dg_view)
+    join_three_way(s, id_attr, matches, &dg_view, None)
 }
 
 /// `h` restricted to the requested keywords, in request order. The output
@@ -99,10 +105,11 @@ fn join_three_way(
     id_attr: &str,
     matches: &MatchRelation,
     dg: &Relation,
+    gov: Option<&QueryGovernor>,
 ) -> Result<Relation> {
     let f_rel = matches.to_relation(&format!("f_{}", s.schema().name()), id_attr);
-    let s_f = natural_join(s, &f_rel)?;
-    natural_join(&s_f, dg)
+    let s_f = natural_join_governed(s, &f_rel, gov)?;
+    natural_join_governed(&s_f, dg, gov)
 }
 
 #[cfg(test)]

@@ -2,7 +2,7 @@
 //! `k` hops of each other in `G` (Section II-B), checked by bidirectional
 //! BFS (Section IV-A).
 
-use gsj_common::{FxHashMap, QueryGovernor, Result, Value};
+use gsj_common::{pool, FxHashMap, QueryGovernor, Result, Value};
 use gsj_graph::traversal::within_k_hops_governed;
 use gsj_graph::{LabeledGraph, VertexId};
 use gsj_her::{her_match, HerConfig, MatchRelation};
@@ -77,37 +77,91 @@ pub fn link_join_with_matches(
     };
     let v1s = resolve(s1, id1_pos, m1);
     let v2s = resolve(s2, id2_pos, m2);
-    // Memoize per distinct vertex pair — many tuples can share vertices.
-    let mut memo: FxHashMap<(VertexId, VertexId), bool> = FxHashMap::default();
-    let mut li: Vec<u32> = Vec::new();
-    let mut ri: Vec<u32> = Vec::new();
-    for (i, v1) in v1s.iter().enumerate() {
-        let Some(v1) = *v1 else { continue };
-        for (j, v2) in v2s.iter().enumerate() {
-            let Some(v2) = *v2 else { continue };
-            gov.check_coarse("join.link")?;
-            let key = if v1 <= v2 { (v1, v2) } else { (v2, v1) };
-            let connected = match memo.get(&key) {
-                Some(&c) => c,
-                None => {
-                    let c = within_k_hops_governed(g, v1, v2, k, gov)?;
-                    memo.insert(key, c);
-                    c
+    // Pairwise BFS, memoized per distinct vertex pair and fanned out
+    // over outer-row chunks (DESIGN.md §13). Each worker keeps its own
+    // memo (sharing one would serialize the probes); chunk partials
+    // concatenate in order, so the output is the sequential outer-major
+    // pair order.
+    let scan_chunk = |range: std::ops::Range<usize>| -> Result<(Vec<u32>, Vec<u32>, usize)> {
+        let mut memo: FxHashMap<(VertexId, VertexId), bool> = FxHashMap::default();
+        let mut li: Vec<u32> = Vec::new();
+        let mut ri: Vec<u32> = Vec::new();
+        for i in range {
+            let Some(v1) = v1s[i] else { continue };
+            for (j, v2) in v2s.iter().enumerate() {
+                let Some(v2) = *v2 else { continue };
+                gov.check_coarse("join.link")?;
+                let key = if v1 <= v2 { (v1, v2) } else { (v2, v1) };
+                let connected = match memo.get(&key) {
+                    Some(&c) => c,
+                    None => {
+                        let c = within_k_hops_governed(g, v1, v2, k, gov)?;
+                        memo.insert(key, c);
+                        c
+                    }
+                };
+                if connected {
+                    li.push(i as u32);
+                    ri.push(j as u32);
                 }
-            };
-            if connected {
-                li.push(i as u32);
-                ri.push(j as u32);
             }
         }
-    }
+        Ok((li, ri, memo.len()))
+    };
+    let (li, ri, pairs_checked) = par_pair_scan(v1s.len(), v2s.len(), gov, scan_chunk)?;
     // One columnar gather per output column instead of a push per pair.
     let out = Relation::gather_concat(s1, &li, s2, &ri, None, schema)?;
     gov.charge_rows(out.len() as u64);
     span.field("k", k)
-        .field("pairs_checked", memo.len())
+        .field("pairs_checked", pairs_checked)
         .field("rows_out", out.len());
     Ok(out)
+}
+
+/// Run a governed pair scan over `n_outer × n_inner` candidates,
+/// chunking the outer side across the worker pool when the pair space
+/// is large. Workers pin their nested kernels to one thread so a
+/// parallel pair loop never multiplies into parallel BFS frontiers.
+/// Returns concatenated (left, right) index partials in chunk order
+/// plus the summed per-chunk memo sizes.
+fn par_pair_scan(
+    n_outer: usize,
+    n_inner: usize,
+    gov: &QueryGovernor,
+    scan_chunk: impl Fn(std::ops::Range<usize>) -> Result<(Vec<u32>, Vec<u32>, usize)> + Sync,
+) -> Result<(Vec<u32>, Vec<u32>, usize)> {
+    let pairs = n_outer.saturating_mul(n_inner);
+    let workers = if pool::gsj_threads() > 1 && n_outer > 1 && pairs >= 64.min(pool::morsel_rows())
+    {
+        pool::gsj_threads()
+    } else {
+        1
+    };
+    if workers <= 1 {
+        return scan_chunk(0..n_outer);
+    }
+    let chunk = n_outer.div_ceil(workers * 4).max(1);
+    let mut ranges = Vec::new();
+    let mut s = 0;
+    while s < n_outer {
+        let e = (s + chunk).min(n_outer);
+        ranges.push(s..e);
+        s = e;
+    }
+    let parts = pool::run_tasks(workers, ranges.len(), |i| {
+        gsj_faults::fault_point("pool.worker", gsj_faults::FaultClass::Critical)?;
+        pool::with_threads(1, || scan_chunk(ranges[i].clone()))
+    })?;
+    let mut li = Vec::new();
+    let mut ri = Vec::new();
+    let mut checked = 0;
+    for (l, r, c) in parts {
+        li.extend(l);
+        ri.extend(r);
+        checked += c;
+    }
+    gov.charge_mem(8 * li.len() as u64);
+    Ok((li, ri, checked))
 }
 
 /// Materialize a connectivity relation `g_L(vid1, vid2)` for two vertex
@@ -128,23 +182,33 @@ pub fn connectivity_relation(
         .field("right", right.len())
         .field("k", k);
     let mut rel = Relation::empty(Schema::of(name, &["vid1", "vid2"]));
-    let mut memo: FxHashMap<(VertexId, VertexId), bool> = FxHashMap::default();
-    for &v1 in left {
-        for &v2 in right {
-            gov.check_coarse("join.connectivity")?;
-            let key = if v1 <= v2 { (v1, v2) } else { (v2, v1) };
-            let connected = match memo.get(&key) {
-                Some(&c) => c,
-                None => {
-                    let c = within_k_hops_governed(g, v1, v2, k, gov)?;
-                    memo.insert(key, c);
-                    c
+    let scan_chunk = |range: std::ops::Range<usize>| -> Result<(Vec<u32>, Vec<u32>, usize)> {
+        let mut memo: FxHashMap<(VertexId, VertexId), bool> = FxHashMap::default();
+        let mut li: Vec<u32> = Vec::new();
+        let mut ri: Vec<u32> = Vec::new();
+        for &v1 in &left[range] {
+            for &v2 in right {
+                gov.check_coarse("join.connectivity")?;
+                let key = if v1 <= v2 { (v1, v2) } else { (v2, v1) };
+                let connected = match memo.get(&key) {
+                    Some(&c) => c,
+                    None => {
+                        let c = within_k_hops_governed(g, v1, v2, k, gov)?;
+                        memo.insert(key, c);
+                        c
+                    }
+                };
+                if connected {
+                    li.push(v1.0);
+                    ri.push(v2.0);
                 }
-            };
-            if connected {
-                rel.push_values(vec![Value::Int(v1.0 as i64), Value::Int(v2.0 as i64)])?;
             }
         }
+        Ok((li, ri, memo.len()))
+    };
+    let (li, ri, _) = par_pair_scan(left.len(), right.len(), gov, scan_chunk)?;
+    for (v1, v2) in li.into_iter().zip(ri) {
+        rel.push_values(vec![Value::Int(v1 as i64), Value::Int(v2 as i64)])?;
     }
     gov.charge_rows(rel.len() as u64);
     Ok(rel)

@@ -13,10 +13,9 @@
 //! a zero-cost wrapper that skips both.
 
 use crate::graph::{LabeledGraph, VertexId};
-use gsj_common::{FxHashMap, FxHashSet, QueryGovernor, Result};
+use gsj_common::{pool, FxHashMap, FxHashSet, QueryGovernor, Result};
 use gsj_faults::{fault_point, FaultClass};
 use gsj_obs::LazyCounter;
-use std::collections::VecDeque;
 
 // Aggregate counters, bumped once per call (never inside the BFS loops)
 // so the hot paths stay cheap. See DESIGN.md §10.
@@ -28,8 +27,72 @@ static BFS_HITS: LazyCounter = LazyCounter::new("gsj_graph_bfs_hits_total");
 
 // INVARIANT(allowlist): with `gov: None` the `_impl` traversals perform
 // no governance checks and no fault points — the only fallible paths —
-// so unwrapping in the classic wrappers cannot panic.
+// so unwrapping in the classic wrappers cannot panic. Pool workers
+// spawned for large frontiers follow the same rule: their
+// `pool.worker` fault point is armed only under a governor.
 const UNGOVERNED: &str = "ungoverned traversal is infallible";
+
+/// Frontier size below which a BFS level expands inline: pool fan-out
+/// only pays off once a level scans thousands of adjacency lists.
+const PAR_FRONTIER: usize = 1024;
+
+/// Worker count for one BFS level over `len` frontier vertices. A
+/// lowered [`pool::with_morsel_rows`] override lowers the engagement
+/// threshold with it, so equivalence tests can exercise the parallel
+/// path on small graphs.
+fn frontier_workers(len: usize) -> usize {
+    let w = pool::gsj_threads();
+    if w > 1 && len >= PAR_FRONTIER.min(pool::morsel_rows()) {
+        w
+    } else {
+        1
+    }
+}
+
+/// Expand one BFS level: every neighbor of `frontier` for which
+/// `is_seen` is false, in frontier order (duplicates included — the
+/// caller dedupes as it inserts, which also folds away the races a
+/// frozen `is_seen` view cannot observe). Fans the adjacency scans out
+/// across the worker pool when the frontier is large; partials
+/// concatenate in chunk order, so the result is identical to the inline
+/// scan.
+fn expand_level(
+    g: &LabeledGraph,
+    frontier: &[VertexId],
+    is_seen: &(dyn Fn(&VertexId) -> bool + Sync),
+    gov: Option<&QueryGovernor>,
+    stage: &'static str,
+) -> Result<Vec<VertexId>> {
+    let scan = |chunk: &[VertexId]| -> Result<Vec<VertexId>> {
+        let mut out = Vec::new();
+        for &w in chunk {
+            if let Some(gov) = gov {
+                gov.check_coarse(stage)?;
+            }
+            for (e, _) in g.incident(w) {
+                if !is_seen(&e.to) {
+                    out.push(e.to);
+                }
+            }
+        }
+        Ok(out)
+    };
+    let workers = frontier_workers(frontier.len());
+    if workers <= 1 {
+        return scan(frontier);
+    }
+    // Oversplit (4 chunks per worker) so uneven adjacency lists
+    // rebalance through the shared claim index.
+    let chunk = frontier.len().div_ceil(workers * 4).max(1);
+    let chunks: Vec<&[VertexId]> = frontier.chunks(chunk).collect();
+    let parts = pool::run_tasks(workers, chunks.len(), |i| {
+        if gov.is_some() {
+            fault_point("pool.worker", FaultClass::Critical)?;
+        }
+        scan(chunks[i])
+    })?;
+    Ok(parts.into_iter().flatten().collect())
+}
 
 /// All live vertices within `k` undirected hops of `start` (including
 /// `start` itself at distance 0).
@@ -61,19 +124,17 @@ fn k_hop_set_impl(
     if !g.is_live(start) {
         return Ok(seen);
     }
-    let mut frontier = VecDeque::new();
     seen.insert(start);
-    frontier.push_back((start, 0usize));
-    while let Some((v, d)) = frontier.pop_front() {
-        if let Some(gov) = gov {
-            gov.check_coarse("graph.khop")?;
+    let mut frontier = vec![start];
+    for _ in 0..k {
+        if frontier.is_empty() {
+            break;
         }
-        if d == k {
-            continue;
-        }
-        for (e, _) in g.incident(v) {
-            if seen.insert(e.to) {
-                frontier.push_back((e.to, d + 1));
+        let candidates = expand_level(g, &frontier, &|v| seen.contains(v), gov, "graph.khop")?;
+        frontier.clear();
+        for v in candidates {
+            if seen.insert(v) {
+                frontier.push(v);
             }
         }
     }
@@ -110,20 +171,18 @@ fn k_hop_distances_impl(
     if !g.is_live(start) {
         return Ok(dist);
     }
-    let mut frontier = VecDeque::new();
     dist.insert(start, 0);
-    frontier.push_back((start, 0usize));
-    while let Some((v, d)) = frontier.pop_front() {
-        if let Some(gov) = gov {
-            gov.check_coarse("graph.khop")?;
+    let mut frontier = vec![start];
+    for depth in 1..=k {
+        if frontier.is_empty() {
+            break;
         }
-        if d == k {
-            continue;
-        }
-        for (e, _) in g.incident(v) {
-            if let std::collections::hash_map::Entry::Vacant(slot) = dist.entry(e.to) {
-                slot.insert(d + 1);
-                frontier.push_back((e.to, d + 1));
+        let candidates = expand_level(g, &frontier, &|v| dist.contains_key(v), gov, "graph.khop")?;
+        frontier.clear();
+        for v in candidates {
+            if let std::collections::hash_map::Entry::Vacant(slot) = dist.entry(v) {
+                slot.insert(depth);
+                frontier.push(v);
             }
         }
     }
@@ -192,25 +251,25 @@ fn within_k_hops_impl(
             dv += 1;
             (&mut frontier_v, dv, &mut from_v, &from_u)
         };
+        // The expensive part — scanning every adjacency list in the
+        // frontier — fans out over a frozen view of `mine`; the merge
+        // below replays the sequential skip/hit/insert decisions, so
+        // the verdict is identical to the inline loop's.
+        let candidates = expand_level(g, frontier, &|x| mine.contains_key(x), gov, "graph.bfs")?;
         let mut next = Vec::new();
-        for &w in frontier.iter() {
-            if let Some(gov) = gov {
-                gov.check_coarse("graph.bfs")?;
+        for x in candidates {
+            if mine.contains_key(&x) {
+                continue;
             }
-            for (e, _) in g.incident(w) {
-                if mine.contains_key(&e.to) {
-                    continue;
+            if let Some(&other_d) = theirs.get(&x) {
+                if depth + other_d <= k {
+                    BFS_HITS.inc();
+                    BFS_VISITED.add((mine.len() + theirs.len()) as u64);
+                    return Ok(true);
                 }
-                if let Some(&other_d) = theirs.get(&e.to) {
-                    if depth + other_d <= k {
-                        BFS_HITS.inc();
-                        BFS_VISITED.add((mine.len() + theirs.len()) as u64);
-                        return Ok(true);
-                    }
-                }
-                mine.insert(e.to, depth);
-                next.push(e.to);
             }
+            mine.insert(x, depth);
+            next.push(x);
         }
         *frontier = next;
     }

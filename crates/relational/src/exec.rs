@@ -18,6 +18,17 @@
 //! [`nested_loop_core`], [`aggregate`]) are shared with the physical
 //! executor ([`crate::physical`]), which wraps them with per-operator
 //! statistics.
+//!
+//! Execution is *morsel-driven* (DESIGN.md §13): when more than one
+//! worker is configured (`GSJ_THREADS`, see [`gsj_common::pool`]) and
+//! the input exceeds one morsel, filters, hash-join probes, aggregate
+//! bucketing and nested loops split their input into fixed-size row
+//! ranges and fan them out over scoped worker threads — shared build
+//! table, partitioned probe, per-worker partials merged in morsel order.
+//! Output is row-for-row identical to the sequential path at any worker
+//! count, including which error surfaces (the lowest-indexed failing
+//! morsel contains the globally first failing row). One worker is the
+//! exact legacy whole-relation path.
 
 use crate::catalog::Database;
 use crate::column::{CellRef, Column};
@@ -26,8 +37,10 @@ use crate::plan::{AggSpec, JoinKind, LogicalPlan};
 use crate::relation::Relation;
 use crate::schema::Schema;
 use crate::tuple::Tuple;
-use gsj_common::{FxHashMap, FxHashSet, GsjError, Result, Value};
+use gsj_common::pool::{self, Mergeable};
+use gsj_common::{FxHashMap, FxHashSet, GsjError, QueryGovernor, Result, Value};
 use std::cmp::Ordering;
+use std::ops::Range;
 
 /// Execute a plan against a database with the interpreter.
 pub fn execute(plan: &LogicalPlan, db: &Database) -> Result<Relation> {
@@ -150,6 +163,15 @@ pub struct JoinStats {
     pub probe_rows: usize,
 }
 
+impl Mergeable for JoinStats {
+    fn merge(&mut self, other: Self) {
+        // Probe morsels share one build table and partition the probe
+        // side between them.
+        debug_assert_eq!(self.build_rows, other.build_rows);
+        self.probe_rows += other.probe_rows;
+    }
+}
+
 /// How a hash join combines its inputs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum HashJoinMode {
@@ -162,105 +184,296 @@ pub enum HashJoinMode {
     Equi,
 }
 
-/// Build a hash table on `build`'s key columns and stream `probe`
-/// through it, emitting `(build_row, probe_row)` for every match in
-/// probe-major order. NULL keys never match. Single-key joins where
-/// both columns are typed `Int` (resp. `Str`) index the unboxed
-/// payloads directly; everything else keys on borrowed [`CellRef`]s,
-/// whose hash/eq mirror `Value` (so `Int 3` still matches `Float 3.0`
-/// across differently-typed columns).
-fn hash_probe<'a>(
-    build: &'a Relation,
-    probe: &'a Relation,
-    build_keys: &[usize],
+// ---------------------------------------------------------------------
+// Morsel-driven fan-out (DESIGN.md §13).
+// ---------------------------------------------------------------------
+
+/// Worker count for a kernel over `len` rows: parallel only when more
+/// than one worker is configured *and* the input spans at least two
+/// morsels — small inputs never pay thread-spawn overhead, and one
+/// worker is the exact legacy path.
+fn par_workers(len: usize) -> usize {
+    let w = pool::gsj_threads();
+    if w > 1 && len > pool::morsel_rows() {
+        w
+    } else {
+        1
+    }
+}
+
+/// Parallel kernel invocations (a kernel engaged the worker pool).
+static PAR_KERNELS: gsj_obs::LazyCounter =
+    gsj_obs::LazyCounter::new("gsj_relational_parallel_kernels_total");
+/// Morsels dispatched to pool workers by parallel kernels.
+static PAR_MORSELS: gsj_obs::LazyCounter =
+    gsj_obs::LazyCounter::new("gsj_relational_parallel_morsels_total");
+
+/// Fan `task` out over `ranges` on `workers` threads and fold the
+/// partials in morsel order. Every worker task carries the
+/// `pool.worker` fault point; a panicking task is contained by the
+/// pool's `catch_unwind` and surfaces as [`GsjError::Internal`].
+fn par_morsels<R, F>(workers: usize, ranges: &[Range<usize>], task: F) -> Result<Option<R>>
+where
+    R: Send + Mergeable,
+    F: Fn(Range<usize>) -> Result<R> + Sync,
+{
+    PAR_KERNELS.inc();
+    PAR_MORSELS.add(ranges.len() as u64);
+    let partials = pool::run_tasks(workers, ranges.len(), |i| {
+        gsj_faults::fault_point("pool.worker", gsj_faults::FaultClass::Critical)?;
+        task(ranges[i].clone())
+    })?;
+    let mut iter = partials.into_iter();
+    let Some(mut total) = iter.next() else {
+        return Ok(None);
+    };
+    for p in iter {
+        total.merge(p);
+    }
+    Ok(Some(total))
+}
+
+/// Per-morsel join-probe partial: matched `(left, right)` row-index
+/// pairs plus the morsel's [`JoinStats`] contribution. Morsels cover
+/// increasing probe ranges, so in-order concatenation reproduces the
+/// sequential probe-major emit order exactly.
+struct ProbePartial {
+    li: Vec<u32>,
+    ri: Vec<u32>,
+    stats: JoinStats,
+}
+
+impl Mergeable for ProbePartial {
+    fn merge(&mut self, other: Self) {
+        self.li.extend(other.li);
+        self.ri.extend(other.ri);
+        self.stats.merge(other.stats);
+    }
+}
+
+/// Per-morsel filter partial: surviving global row indices (increasing
+/// within and across morsels).
+struct IdxPartial(Vec<u32>);
+
+impl Mergeable for IdxPartial {
+    fn merge(&mut self, other: Self) {
+        self.0.extend(other.0);
+    }
+}
+
+/// Per-morsel nested-loop partial: joined output tuples in
+/// (left-major, right-minor) order.
+struct RowsPartial(Vec<Tuple>);
+
+impl Mergeable for RowsPartial {
+    fn merge(&mut self, other: Self) {
+        self.0.extend(other.0);
+    }
+}
+
+/// A hash-join build table over borrowed key cells, built once and then
+/// shared (read-only) across probe workers. NULL keys never enter the
+/// table. Single-key joins where both the build and probe columns are
+/// typed `Int` (resp. `Str`) index the unboxed payloads directly;
+/// everything else keys on borrowed [`CellRef`]s, whose hash/eq mirror
+/// `Value` (so `Int 3` still matches `Float 3.0` across
+/// differently-typed columns).
+enum JoinTable<'a> {
+    Int(FxHashMap<i64, Vec<u32>>),
+    Str(FxHashMap<&'a str, Vec<u32>>),
+    Cells(FxHashMap<Vec<CellRef<'a>>, Vec<u32>>),
+}
+
+impl<'a> JoinTable<'a> {
+    /// Build the table on `build`'s key columns. The probe side is
+    /// consulted only to decide whether an unboxed fast path applies.
+    fn build(
+        build: &'a Relation,
+        probe: &'a Relation,
+        build_keys: &[usize],
+        probe_keys: &[usize],
+    ) -> Self {
+        if build_keys.len() == 1 {
+            match (build.col(build_keys[0]), probe.col(probe_keys[0])) {
+                (
+                    Column::Int {
+                        data: bd,
+                        validity: bv,
+                    },
+                    Column::Int { .. },
+                ) => {
+                    let mut table: FxHashMap<i64, Vec<u32>> = FxHashMap::default();
+                    for (i, &k) in bd.iter().enumerate() {
+                        if bv.get(i) {
+                            table.entry(k).or_default().push(i as u32);
+                        }
+                    }
+                    return JoinTable::Int(table);
+                }
+                (
+                    Column::Str {
+                        data: bd,
+                        validity: bv,
+                    },
+                    Column::Str { .. },
+                ) => {
+                    let mut table: FxHashMap<&str, Vec<u32>> = FxHashMap::default();
+                    for (i, k) in bd.iter().enumerate() {
+                        if bv.get(i) {
+                            table.entry(k).or_default().push(i as u32);
+                        }
+                    }
+                    return JoinTable::Str(table);
+                }
+                _ => {}
+            }
+        }
+        let mut table: FxHashMap<Vec<CellRef<'a>>, Vec<u32>> = FxHashMap::default();
+        'build: for i in 0..build.len() {
+            let mut key = Vec::with_capacity(build_keys.len());
+            for &k in build_keys {
+                let cell = build.col(k).cell(i);
+                if cell.is_null() {
+                    continue 'build;
+                }
+                key.push(cell);
+            }
+            table.entry(key).or_default().push(i as u32);
+        }
+        JoinTable::Cells(table)
+    }
+
+    /// Stream probe rows `range` through the table, emitting
+    /// `(build_row, probe_row)` for every match in probe-major order.
+    fn probe_range(
+        &self,
+        probe: &'a Relation,
+        probe_keys: &[usize],
+        range: Range<usize>,
+        mut emit: impl FnMut(u32, u32),
+    ) {
+        match self {
+            JoinTable::Int(table) => {
+                let Column::Int {
+                    data: pd,
+                    validity: pv,
+                } = probe.col(probe_keys[0])
+                else {
+                    unreachable!("Int build table implies a typed-Int probe column")
+                };
+                for j in range {
+                    if pv.get(j) {
+                        if let Some(rows) = table.get(&pd[j]) {
+                            for &bi in rows {
+                                emit(bi, j as u32);
+                            }
+                        }
+                    }
+                }
+            }
+            JoinTable::Str(table) => {
+                let Column::Str {
+                    data: pd,
+                    validity: pv,
+                } = probe.col(probe_keys[0])
+                else {
+                    unreachable!("Str build table implies a typed-Str probe column")
+                };
+                for j in range {
+                    if pv.get(j) {
+                        if let Some(rows) = table.get(pd[j].as_ref()) {
+                            for &bi in rows {
+                                emit(bi, j as u32);
+                            }
+                        }
+                    }
+                }
+            }
+            JoinTable::Cells(table) => {
+                'probe: for j in range {
+                    let mut key = Vec::with_capacity(probe_keys.len());
+                    for &k in probe_keys {
+                        let cell = probe.col(k).cell(j);
+                        if cell.is_null() {
+                            continue 'probe;
+                        }
+                        key.push(cell);
+                    }
+                    if let Some(rows) = table.get(&key) {
+                        for &bi in rows {
+                            emit(bi, j as u32);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Probe the whole probe side against a shared build table, in parallel
+/// when configured. `swap` flips the emitted pair to (probe, build) —
+/// the natural join uses it when the right input was the build side.
+/// Returns the matched (left, right) index vectors plus merged stats.
+fn probe_all(
+    table: &JoinTable<'_>,
+    probe: &Relation,
     probe_keys: &[usize],
-    mut emit: impl FnMut(u32, u32),
-) {
-    if build_keys.len() == 1 {
-        match (build.col(build_keys[0]), probe.col(probe_keys[0])) {
-            (
-                Column::Int {
-                    data: bd,
-                    validity: bv,
-                },
-                Column::Int {
-                    data: pd,
-                    validity: pv,
-                },
-            ) => {
-                let mut table: FxHashMap<i64, Vec<u32>> = FxHashMap::default();
-                for (i, &k) in bd.iter().enumerate() {
-                    if bv.get(i) {
-                        table.entry(k).or_default().push(i as u32);
-                    }
-                }
-                for (j, &k) in pd.iter().enumerate() {
-                    if pv.get(j) {
-                        if let Some(rows) = table.get(&k) {
-                            for &bi in rows {
-                                emit(bi, j as u32);
-                            }
-                        }
-                    }
-                }
-                return;
-            }
-            (
-                Column::Str {
-                    data: bd,
-                    validity: bv,
-                },
-                Column::Str {
-                    data: pd,
-                    validity: pv,
-                },
-            ) => {
-                let mut table: FxHashMap<&str, Vec<u32>> = FxHashMap::default();
-                for (i, k) in bd.iter().enumerate() {
-                    if bv.get(i) {
-                        table.entry(k).or_default().push(i as u32);
-                    }
-                }
-                for (j, k) in pd.iter().enumerate() {
-                    if pv.get(j) {
-                        if let Some(rows) = table.get(k.as_ref()) {
-                            for &bi in rows {
-                                emit(bi, j as u32);
-                            }
-                        }
-                    }
-                }
-                return;
-            }
-            _ => {}
+    build_rows: usize,
+    swap: bool,
+    gov: Option<&QueryGovernor>,
+) -> Result<(Vec<u32>, Vec<u32>, JoinStats)> {
+    let probe_morsel = |range: Range<usize>| -> Result<ProbePartial> {
+        if let Some(gov) = gov {
+            gov.check("relational.parallel_probe")?;
         }
+        let mut li: Vec<u32> = Vec::new();
+        let mut ri: Vec<u32> = Vec::new();
+        let probe_rows = range.len();
+        table.probe_range(probe, probe_keys, range, |bi, pi| {
+            if swap {
+                li.push(pi);
+                ri.push(bi);
+            } else {
+                li.push(bi);
+                ri.push(pi);
+            }
+        });
+        if let Some(gov) = gov {
+            // Memory charging from the worker itself: the partial's
+            // index buffers are this morsel's materialized state.
+            gov.charge_mem(8 * li.len() as u64);
+        }
+        Ok(ProbePartial {
+            li,
+            ri,
+            stats: JoinStats {
+                build_rows,
+                probe_rows,
+            },
+        })
+    };
+    let workers = par_workers(probe.len());
+    let empty = JoinStats {
+        build_rows,
+        probe_rows: probe.len(),
+    };
+    if workers <= 1 {
+        // Legacy path: one whole-relation morsel, no pool, no worker
+        // fault points.
+        if probe.is_empty() {
+            return Ok((Vec::new(), Vec::new(), empty));
+        }
+        let p = probe_morsel(0..probe.len())?;
+        return Ok((p.li, p.ri, p.stats));
     }
-    let mut table: FxHashMap<Vec<CellRef<'a>>, Vec<u32>> = FxHashMap::default();
-    'build: for i in 0..build.len() {
-        let mut key = Vec::with_capacity(build_keys.len());
-        for &k in build_keys {
-            let cell = build.col(k).cell(i);
-            if cell.is_null() {
-                continue 'build;
-            }
-            key.push(cell);
-        }
-        table.entry(key).or_default().push(i as u32);
-    }
-    'probe: for j in 0..probe.len() {
-        let mut key = Vec::with_capacity(probe_keys.len());
-        for &k in probe_keys {
-            let cell = probe.col(k).cell(j);
-            if cell.is_null() {
-                continue 'probe;
-            }
-            key.push(cell);
-        }
-        if let Some(rows) = table.get(&key) {
-            for &bi in rows {
-                emit(bi, j as u32);
-            }
-        }
+    gsj_faults::fault_point(
+        "relational.parallel_probe",
+        gsj_faults::FaultClass::Critical,
+    )?;
+    let ranges = pool::morsel_ranges(probe.len());
+    match par_morsels(workers, &ranges, probe_morsel)? {
+        Some(p) => Ok((p.li, p.ri, p.stats)),
+        None => Ok((Vec::new(), Vec::new(), empty)),
     }
 }
 
@@ -277,6 +490,24 @@ pub fn hash_join_core(
     residual: Option<&Expr>,
     schema: Schema,
 ) -> Result<(Relation, JoinStats)> {
+    hash_join_governed(l, r, l_keys, r_keys, mode, residual, schema, None)
+}
+
+/// [`hash_join_core`] with a governor wired into the probe workers: the
+/// build is sequential (it is the shared table), the probe fans out
+/// over morsels, and every worker runs governance checks and charges
+/// its local match buffers.
+#[allow(clippy::too_many_arguments)]
+pub fn hash_join_governed(
+    l: &Relation,
+    r: &Relation,
+    l_keys: &[usize],
+    r_keys: &[usize],
+    mode: HashJoinMode,
+    residual: Option<&Expr>,
+    schema: Schema,
+    gov: Option<&QueryGovernor>,
+) -> Result<(Relation, JoinStats)> {
     gsj_faults::fault_point("relational.hash_join", gsj_faults::FaultClass::Critical)?;
     match mode {
         HashJoinMode::Natural => {
@@ -290,39 +521,19 @@ pub fn hash_join_core(
             } else {
                 (r, l, r_keys, l_keys)
             };
-            let mut li: Vec<u32> = Vec::new();
-            let mut ri: Vec<u32> = Vec::new();
-            hash_probe(build, probe, build_keys, probe_keys, |bi, pi| {
-                if build_left {
-                    li.push(bi);
-                    ri.push(pi);
-                } else {
-                    li.push(pi);
-                    ri.push(bi);
-                }
-            });
-            let stats = JoinStats {
-                build_rows: build.len(),
-                probe_rows: probe.len(),
-            };
+            let table = JoinTable::build(build, probe, build_keys, probe_keys);
+            let (li, ri, stats) =
+                probe_all(&table, probe, probe_keys, build.len(), !build_left, gov)?;
             let out = Relation::gather_concat(l, &li, r, &ri, Some(&r_rest), schema)?;
             Ok((out, stats))
         }
         HashJoinMode::Equi => {
-            let mut li: Vec<u32> = Vec::new();
-            let mut ri: Vec<u32> = Vec::new();
-            hash_probe(l, r, l_keys, r_keys, |bi, pi| {
-                li.push(bi);
-                ri.push(pi);
-            });
+            let table = JoinTable::build(l, r, l_keys, r_keys);
+            let (li, ri, stats) = probe_all(&table, r, r_keys, l.len(), false, gov)?;
             let joined = Relation::gather_concat(l, &li, r, &ri, None, schema)?;
             let out = match residual {
-                Some(pred) => filter_inner(joined, pred)?,
+                Some(pred) => filter_inner(joined, pred, gov)?,
                 None => joined,
-            };
-            let stats = JoinStats {
-                build_rows: l.len(),
-                probe_rows: r.len(),
             };
             Ok((out, stats))
         }
@@ -338,16 +549,67 @@ pub fn nested_loop_core(
     pred: &Expr,
     schema: Schema,
 ) -> Result<Relation> {
-    let mut out = Vec::new();
-    for lt in l.tuples() {
-        for rt in r.tuples() {
-            let joined = lt.concat(rt);
-            if pred.holds(&schema, &joined)? {
-                out.push(joined);
+    nested_loop_governed(l, r, pred, schema, None)
+}
+
+/// [`nested_loop_core`] with governed, morsel-parallel outer chunks.
+/// Each worker owns a contiguous slice of left rows and scans the full
+/// right side; partials concatenate in chunk order, so the output (and
+/// any per-row predicate error) matches the sequential l-major loop.
+pub fn nested_loop_governed(
+    l: &Relation,
+    r: &Relation,
+    pred: &Expr,
+    schema: Schema,
+    gov: Option<&QueryGovernor>,
+) -> Result<Relation> {
+    // The pair space is l.len() * r.len(); chunk the outer side so each
+    // morsel covers roughly `morsel_rows` pairs.
+    let pairs = l.len().saturating_mul(r.len());
+    let workers = if pool::gsj_threads() > 1 && l.len() > 1 && pairs > pool::morsel_rows() {
+        pool::gsj_threads()
+    } else {
+        1
+    };
+    let scan_chunk = |range: Range<usize>| -> Result<RowsPartial> {
+        if let Some(gov) = gov {
+            gov.check("relational.nested_loop")?;
+        }
+        let mut out = Vec::new();
+        for lt in &l.tuples()[range] {
+            for rt in r.tuples() {
+                let joined = lt.concat(rt);
+                if pred.holds(&schema, &joined)? {
+                    out.push(joined);
+                }
             }
         }
-    }
-    Relation::new(schema, out)
+        if let Some(gov) = gov {
+            gov.charge_mem(out.len() as u64 * 16);
+        }
+        Ok(RowsPartial(out))
+    };
+    let rows = if workers <= 1 {
+        if l.is_empty() {
+            Vec::new()
+        } else {
+            scan_chunk(0..l.len())?.0
+        }
+    } else {
+        let chunk = (pool::morsel_rows() / r.len().max(1)).max(1);
+        let mut ranges = Vec::new();
+        let mut start = 0;
+        while start < l.len() {
+            let end = (start + chunk).min(l.len());
+            ranges.push(start..end);
+            start = end;
+        }
+        match par_morsels(workers, &ranges, scan_chunk)? {
+            Some(p) => p.0,
+            None => Vec::new(),
+        }
+    };
+    Relation::new(schema, rows)
 }
 
 /// The concatenated-output schema of a theta-style join; errors when
@@ -399,11 +661,28 @@ pub(crate) fn natural_join_parts(l: &Relation, r: &Relation) -> Result<Option<Na
 /// Natural hash join on all common attribute names. NULL keys never match
 /// (SQL semantics).
 pub fn natural_join(l: &Relation, r: &Relation) -> Result<Relation> {
+    natural_join_governed(l, r, None)
+}
+
+/// [`natural_join`] with a governor wired into the probe workers.
+pub fn natural_join_governed(
+    l: &Relation,
+    r: &Relation,
+    gov: Option<&QueryGovernor>,
+) -> Result<Relation> {
     match natural_join_parts(l, r)? {
         None => product(l, r),
-        Some((l_keys, r_keys, schema)) => {
-            Ok(hash_join_core(l, r, &l_keys, &r_keys, HashJoinMode::Natural, None, schema)?.0)
-        }
+        Some((l_keys, r_keys, schema)) => Ok(hash_join_governed(
+            l,
+            r,
+            &l_keys,
+            &r_keys,
+            HashJoinMode::Natural,
+            None,
+            schema,
+            gov,
+        )?
+        .0),
     }
 }
 
@@ -490,28 +769,33 @@ impl<'a> Operand<'a> {
     }
 }
 
-/// Evaluate a vectorizable predicate as a boolean mask over all rows.
+/// Evaluate a vectorizable predicate as a boolean mask over the rows in
+/// `range` (a morsel; the sequential path passes the whole relation as
+/// one morsel).
 ///
 /// Short-circuit parity with the row path: `And` does not touch (or
 /// even name-resolve) its right branch when the left mask has no true
-/// bit, and `Or` skips the right branch when the left mask is all true
-/// — exactly the cases where the row evaluator would never have
-/// evaluated the right branch for any row.
-fn eval_mask(pred: &Expr, rel: &Relation) -> Result<Vec<bool>> {
-    let n = rel.len();
+/// bit in this morsel, and `Or` skips the right branch when the left
+/// mask is all true — exactly the cases where the row evaluator would
+/// never have evaluated the right branch for any row in the morsel.
+/// Morsels where the branch *would* have been evaluated still bind it,
+/// so any name-resolution error the sequential whole-relation pass
+/// would raise is raised by some morsel (and the error value is
+/// identical wherever it is raised).
+fn eval_mask(pred: &Expr, rel: &Relation, range: Range<usize>) -> Result<Vec<bool>> {
     match pred {
-        Expr::Lit(v) => Ok(vec![v.as_bool().unwrap_or(false); n]),
+        Expr::Lit(v) => Ok(vec![v.as_bool().unwrap_or(false); range.len()]),
         Expr::Col(name) => {
             let i = Expr::resolve_column(rel.schema(), name)?;
             let c = rel.col(i);
-            Ok((0..n)
+            Ok(range
                 .map(|r| matches!(c.cell(r), CellRef::Bool(true)))
                 .collect())
         }
         Expr::Cmp(op, a, b) => {
             let (oa, ob) = (Operand::bind(a, rel)?, Operand::bind(b, rel)?);
             let op = *op;
-            Ok((0..n)
+            Ok(range
                 .map(|r| {
                     let (x, y) = (oa.cell(r), ob.cell(r));
                     if x.is_null() || y.is_null() {
@@ -531,25 +815,25 @@ fn eval_mask(pred: &Expr, rel: &Relation) -> Result<Vec<bool>> {
                 .collect())
         }
         Expr::And(a, b) => {
-            let mut m = eval_mask(a, rel)?;
+            let mut m = eval_mask(a, rel, range.clone())?;
             if m.iter().any(|&x| x) {
-                for (x, y) in m.iter_mut().zip(eval_mask(b, rel)?) {
+                for (x, y) in m.iter_mut().zip(eval_mask(b, rel, range)?) {
                     *x = *x && y;
                 }
             }
             Ok(m)
         }
         Expr::Or(a, b) => {
-            let mut m = eval_mask(a, rel)?;
+            let mut m = eval_mask(a, rel, range.clone())?;
             if !m.iter().all(|&x| x) {
-                for (x, y) in m.iter_mut().zip(eval_mask(b, rel)?) {
+                for (x, y) in m.iter_mut().zip(eval_mask(b, rel, range)?) {
                     *x = *x || y;
                 }
             }
             Ok(m)
         }
         Expr::Not(e) => {
-            let mut m = eval_mask(e, rel)?;
+            let mut m = eval_mask(e, rel, range)?;
             for x in m.iter_mut() {
                 *x = !*x;
             }
@@ -557,7 +841,7 @@ fn eval_mask(pred: &Expr, rel: &Relation) -> Result<Vec<bool>> {
         }
         Expr::IsNull(e) => {
             let o = Operand::bind(e, rel)?;
-            Ok((0..n).map(|r| o.cell(r).is_null()).collect())
+            Ok(range.map(|r| o.cell(r).is_null()).collect())
         }
         Expr::Bin(..) => unreachable!("Bin is never mask-vectorizable"),
     }
@@ -565,36 +849,87 @@ fn eval_mask(pred: &Expr, rel: &Relation) -> Result<Vec<bool>> {
 
 /// σ_pred kernel.
 pub(crate) fn filter(rel: Relation, pred: &Expr) -> Result<Relation> {
-    gsj_faults::fault_point("relational.filter", gsj_faults::FaultClass::Critical)?;
-    filter_inner(rel, pred)
+    filter_gov(rel, pred, None)
 }
 
-fn filter_inner(rel: Relation, pred: &Expr) -> Result<Relation> {
+/// σ_pred kernel with a governor wired into the morsel workers.
+pub(crate) fn filter_gov(
+    rel: Relation,
+    pred: &Expr,
+    gov: Option<&QueryGovernor>,
+) -> Result<Relation> {
+    gsj_faults::fault_point("relational.filter", gsj_faults::FaultClass::Critical)?;
+    filter_inner(rel, pred, gov)
+}
+
+fn filter_inner(rel: Relation, pred: &Expr, gov: Option<&QueryGovernor>) -> Result<Relation> {
     // The row path never evaluates predicates over zero rows; keep that
     // (a dangling column name in a pred must not error on empty input).
     if rel.is_empty() {
         return Ok(rel);
     }
+    let workers = par_workers(rel.len());
     if mask_vectorizable(pred) {
-        let mask = eval_mask(pred, &rel)?;
-        if mask.iter().all(|&b| b) {
+        let mask_morsel = |range: Range<usize>| -> Result<IdxPartial> {
+            if let Some(gov) = gov {
+                gov.check("relational.filter")?;
+            }
+            let base = range.start;
+            let mask = eval_mask(pred, &rel, range)?;
+            let idx: Vec<u32> = mask
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &b)| b.then_some((base + i) as u32))
+                .collect();
+            if let Some(gov) = gov {
+                gov.charge_mem(4 * idx.len() as u64);
+            }
+            Ok(IdxPartial(idx))
+        };
+        let idx = if workers <= 1 {
+            mask_morsel(0..rel.len())?.0
+        } else {
+            let ranges = pool::morsel_ranges(rel.len());
+            match par_morsels(workers, &ranges, mask_morsel)? {
+                Some(p) => p.0,
+                None => Vec::new(),
+            }
+        };
+        if idx.len() == rel.len() {
             return Ok(rel);
         }
-        let idx: Vec<u32> = mask
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &b)| b.then_some(i as u32))
-            .collect();
         return Ok(rel.gather(&idx));
     }
     // Row fallback for predicates with arithmetic (per-row errors).
-    let mut idx: Vec<u32> = Vec::new();
+    // Morsels fail on their lowest erroring row, and the lowest-index
+    // erroring morsel wins, so the surfaced error is the one the
+    // sequential scan would have hit first.
     let schema = rel.schema().clone();
-    for (i, t) in rel.tuples().iter().enumerate() {
-        if pred.holds(&schema, t)? {
-            idx.push(i as u32);
+    let row_morsel = |range: Range<usize>| -> Result<IdxPartial> {
+        if let Some(gov) = gov {
+            gov.check("relational.filter")?;
         }
-    }
+        let base = range.start;
+        let mut idx: Vec<u32> = Vec::new();
+        for (i, t) in rel.tuples()[range].iter().enumerate() {
+            if pred.holds(&schema, t)? {
+                idx.push((base + i) as u32);
+            }
+        }
+        if let Some(gov) = gov {
+            gov.charge_mem(4 * idx.len() as u64);
+        }
+        Ok(IdxPartial(idx))
+    };
+    let idx = if workers <= 1 {
+        row_morsel(0..rel.len())?.0
+    } else {
+        let ranges = pool::morsel_ranges(rel.len());
+        match par_morsels(workers, &ranges, row_morsel)? {
+            Some(p) => p.0,
+            None => Vec::new(),
+        }
+    };
     Ok(rel.gather(&idx))
 }
 
@@ -698,10 +1033,72 @@ pub(crate) fn sort(rel: Relation, by: &[String], desc: bool) -> Result<Relation>
     Ok(rel.gather(&idx))
 }
 
+/// Per-morsel grouping partial: key→gid map plus per-gid row lists,
+/// gids in first-seen order within the morsel. Merging walks the other
+/// partial's gids in order, so after an in-morsel-order merge the
+/// global gid order is the sequential first-seen order and every row
+/// list is concatenated in increasing row order.
+struct GroupPartial<'a> {
+    map: FxHashMap<Vec<CellRef<'a>>, usize>,
+    keys: Vec<Vec<CellRef<'a>>>,
+    rows: Vec<Vec<u32>>,
+}
+
+impl<'a> GroupPartial<'a> {
+    fn new() -> Self {
+        GroupPartial {
+            map: FxHashMap::default(),
+            keys: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    fn bucket(&mut self, key: Vec<CellRef<'a>>, row: u32) {
+        match self.map.get(&key) {
+            Some(&gid) => self.rows[gid].push(row),
+            None => {
+                let gid = self.rows.len();
+                self.map.insert(key.clone(), gid);
+                self.keys.push(key);
+                self.rows.push(vec![row]);
+            }
+        }
+    }
+}
+
+impl<'a> Mergeable for GroupPartial<'a> {
+    fn merge(&mut self, other: Self) {
+        for (key, rws) in other.keys.into_iter().zip(other.rows) {
+            match self.map.get(&key) {
+                Some(&gid) => self.rows[gid].extend(rws),
+                None => {
+                    let gid = self.rows.len();
+                    self.map.insert(key.clone(), gid);
+                    self.keys.push(key);
+                    self.rows.push(rws);
+                }
+            }
+        }
+    }
+}
+
 /// Grouping + aggregation kernel. Rows are bucketed into group ids on
 /// borrowed key cells (first-seen group order), then each aggregate
 /// folds its column's slice of every group directly.
 pub fn aggregate(rel: &Relation, group_by: &[String], aggs: &[AggSpec]) -> Result<Relation> {
+    aggregate_gov(rel, group_by, aggs, None)
+}
+
+/// [`aggregate`] with governed, morsel-parallel bucketing: each worker
+/// buckets a contiguous morsel, partials merge in morsel order (which
+/// preserves sequential first-seen group order and increasing row
+/// order), then the fold over each group's rows runs once.
+pub fn aggregate_gov(
+    rel: &Relation,
+    group_by: &[String],
+    aggs: &[AggSpec],
+    gov: Option<&QueryGovernor>,
+) -> Result<Relation> {
     let group_pos: Vec<usize> = group_by
         .iter()
         .map(|c| Expr::resolve_column(rel.schema(), c))
@@ -725,16 +1122,32 @@ pub fn aggregate(rel: &Relation, group_by: &[String], aggs: &[AggSpec]) -> Resul
     let schema = Schema::new(format!("{}_agg", rel.schema().name()), attrs)?;
 
     // Group ids on borrowed keys; ids are assigned in first-seen order.
-    let mut groups: FxHashMap<Vec<CellRef>, usize> = FxHashMap::default();
-    let mut group_rows: Vec<Vec<u32>> = Vec::new();
-    for i in 0..rel.len() {
-        let key: Vec<CellRef> = group_pos.iter().map(|&p| rel.col(p).cell(i)).collect();
-        let gid = *groups.entry(key).or_insert_with(|| {
-            group_rows.push(Vec::new());
-            group_rows.len() - 1
-        });
-        group_rows[gid].push(i as u32);
-    }
+    let bucket_morsel = |range: Range<usize>| -> Result<GroupPartial<'_>> {
+        if let Some(gov) = gov {
+            gov.check("relational.aggregate")?;
+        }
+        let mut part = GroupPartial::new();
+        for i in range {
+            let key: Vec<CellRef> = group_pos.iter().map(|&p| rel.col(p).cell(i)).collect();
+            part.bucket(key, i as u32);
+        }
+        if let Some(gov) = gov {
+            gov.charge_mem(part.rows.iter().map(|r| 4 * r.len() as u64).sum());
+        }
+        Ok(part)
+    };
+    let workers = par_workers(rel.len());
+    let merged = if workers <= 1 {
+        if rel.is_empty() {
+            GroupPartial::new()
+        } else {
+            bucket_morsel(0..rel.len())?
+        }
+    } else {
+        let ranges = pool::morsel_ranges(rel.len());
+        par_morsels(workers, &ranges, bucket_morsel)?.unwrap_or_else(GroupPartial::new)
+    };
+    let mut group_rows = merged.rows;
     if group_by.is_empty() && group_rows.is_empty() {
         // Global aggregate over the empty input still yields one row.
         group_rows.push(Vec::new());

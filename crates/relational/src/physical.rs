@@ -16,8 +16,8 @@
 
 use crate::catalog::Database;
 use crate::exec::{
-    self, concat_schema, equi_positions, hash_join_core, natural_join_parts, nested_loop_core,
-    HashJoinMode,
+    self, concat_schema, equi_positions, hash_join_governed, natural_join_parts,
+    nested_loop_governed, HashJoinMode,
 };
 use crate::expr::Expr;
 use crate::plan::{AggSpec, JoinKind, LogicalPlan};
@@ -611,7 +611,8 @@ fn execute_node(plan: &PhysicalPlan, db: &Database, ctx: &mut ExecContext) -> Re
             let rel = execute_physical(input, db, ctx)?;
             let t0 = Instant::now();
             let rows_in = rel.len();
-            let out = exec::filter(rel, pred)?;
+            let gov = ctx.gov.clone();
+            let out = exec::filter_gov(rel, pred, Some(&gov))?;
             ctx.exit(token, op(plan.describe(), rows_in, out.len(), t0));
             Ok(out)
         }
@@ -639,9 +640,10 @@ fn execute_node(plan: &PhysicalPlan, db: &Database, ctx: &mut ExecContext) -> Re
             let l = execute_physical(left, db, ctx)?;
             let r = execute_physical(right, db, ctx)?;
             let t0 = Instant::now();
+            let gov = ctx.gov.clone();
             let (out, stats) = match keys {
                 JoinKeys::Natural => match natural_join_parts(&l, &r)? {
-                    Some((l_keys, r_keys, schema)) => hash_join_core(
+                    Some((l_keys, r_keys, schema)) => hash_join_governed(
                         &l,
                         &r,
                         &l_keys,
@@ -649,6 +651,7 @@ fn execute_node(plan: &PhysicalPlan, db: &Database, ctx: &mut ExecContext) -> Re
                         HashJoinMode::Natural,
                         None,
                         schema,
+                        Some(&gov),
                     )?,
                     None => {
                         return Err(GsjError::Schema(format!(
@@ -671,7 +674,7 @@ fn execute_node(plan: &PhysicalPlan, db: &Database, ctx: &mut ExecContext) -> Re
                         .iter()
                         .map(|c| Expr::resolve_column(r.schema(), c))
                         .collect::<Result<_>>()?;
-                    hash_join_core(
+                    hash_join_governed(
                         &l,
                         &r,
                         &l_keys,
@@ -679,6 +682,7 @@ fn execute_node(plan: &PhysicalPlan, db: &Database, ctx: &mut ExecContext) -> Re
                         HashJoinMode::Equi,
                         residual.as_ref(),
                         schema,
+                        Some(&gov),
                     )?
                 }
             };
@@ -701,7 +705,8 @@ fn execute_node(plan: &PhysicalPlan, db: &Database, ctx: &mut ExecContext) -> Re
                 exec::product(&l, &r)?
             } else {
                 let schema = concat_schema(&l, &r, "_tj_", "theta join")?;
-                nested_loop_core(&l, &r, pred, schema)?
+                let gov = ctx.gov.clone();
+                nested_loop_governed(&l, &r, pred, schema, Some(&gov))?
             };
             ctx.exit(token, op(plan.describe(), l.len() + r.len(), out.len(), t0));
             Ok(out)
@@ -739,7 +744,8 @@ fn execute_node(plan: &PhysicalPlan, db: &Database, ctx: &mut ExecContext) -> Re
         } => {
             let rel = execute_physical(input, db, ctx)?;
             let t0 = Instant::now();
-            let out = exec::aggregate(&rel, group_by, aggs)?;
+            let gov = ctx.gov.clone();
+            let out = exec::aggregate_gov(&rel, group_by, aggs, Some(&gov))?;
             ctx.exit(token, op(plan.describe(), rel.len(), out.len(), t0));
             Ok(out)
         }
@@ -802,14 +808,15 @@ pub fn join_rel(
     let schema = concat_schema(l, r, "_tj_", "theta join")?;
     let (l_keys, r_keys) = equi_positions(pred, l.schema(), r.schema());
     let label = label.into();
+    let gov = ctx.gov.clone();
     let (out, join_stats, label) = if l_keys.is_empty() {
         (
-            nested_loop_core(l, r, pred, schema)?,
+            nested_loop_governed(l, r, pred, schema, Some(&gov))?,
             None,
             format!("NestedLoopJoin({label})"),
         )
     } else {
-        let (out, stats) = hash_join_core(
+        let (out, stats) = hash_join_governed(
             l,
             r,
             &l_keys,
@@ -817,6 +824,7 @@ pub fn join_rel(
             HashJoinMode::Equi,
             Some(pred),
             schema,
+            Some(&gov),
         )?;
         (out, Some(stats), format!("HashJoin({label})"))
     };
@@ -841,7 +849,8 @@ pub fn filter_rel(
     ctx.gov.check("Filter")?;
     let t0 = Instant::now();
     let rows_in = rel.len();
-    let out = exec::filter(rel, pred)?;
+    let gov = ctx.gov.clone();
+    let out = exec::filter_gov(rel, pred, Some(&gov))?;
     ctx.record(op(label.into(), rows_in, out.len(), t0));
     ctx.gov.charge_rows(out.len() as u64);
     Ok(out)
@@ -857,7 +866,8 @@ pub fn aggregate_rel(
 ) -> Result<Relation> {
     ctx.gov.check("Aggregate")?;
     let t0 = Instant::now();
-    let out = exec::aggregate(rel, group_by, aggs)?;
+    let gov = ctx.gov.clone();
+    let out = exec::aggregate_gov(rel, group_by, aggs, Some(&gov))?;
     ctx.record(op(label.into(), rel.len(), out.len(), t0));
     ctx.gov.charge_rows(out.len() as u64);
     Ok(out)

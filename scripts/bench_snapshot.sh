@@ -7,6 +7,11 @@
 #   scripts/bench_snapshot.sh --quick         # fewer iterations (CI smoke)
 #   scripts/bench_snapshot.sh --check         # quick run, fail on >25%
 #                                             # regression vs the snapshot
+#   scripts/bench_snapshot.sh --parallel      # 1/2/4/8-worker runs of the
+#                                             # morsel-parallel kernels into
+#                                             # BENCH_parallel.json (worker
+#                                             # count and host core count are
+#                                             # recorded alongside timings)
 #
 # The snapshot keeps the pre-columnar "before" numbers; a merge only
 # refreshes the "after" side and the derived speedups.
@@ -14,12 +19,14 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SNAPSHOT=BENCH_relational.json
+PARALLEL_SNAPSHOT=BENCH_parallel.json
 MODE=merge
 QUICK=()
 for arg in "$@"; do
   case "$arg" in
     --quick) QUICK=(--quick) ;;
     --check) MODE=check ;;
+    --parallel) MODE=parallel ;;
     *)
       echo "unknown argument: $arg" >&2
       exit 2
@@ -29,8 +36,15 @@ done
 
 cargo build --release -p gsj-bench --bin bench_snapshot
 
-if [ "$MODE" = check ]; then
-  exec ./target/release/bench_snapshot --quick --check "$SNAPSHOT"
-else
-  exec ./target/release/bench_snapshot "${QUICK[@]}" --merge "$SNAPSHOT"
-fi
+case "$MODE" in
+  check)
+    exec ./target/release/bench_snapshot --quick --check "$SNAPSHOT"
+    ;;
+  parallel)
+    exec ./target/release/bench_snapshot --parallel "${QUICK[@]}" \
+      --out "$PARALLEL_SNAPSHOT"
+    ;;
+  *)
+    exec ./target/release/bench_snapshot "${QUICK[@]}" --merge "$SNAPSHOT"
+    ;;
+esac

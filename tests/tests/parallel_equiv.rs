@@ -1,0 +1,188 @@
+//! Property tests: the morsel-driven parallel paths (DESIGN.md §13)
+//! produce results *identical* to the sequential paths — same rows in
+//! the same order — at every worker count. `GSJ_THREADS=1` is the exact
+//! legacy code path, so agreement with it at 2 and 8 workers is the
+//! determinism contract, not merely multiset equality.
+//!
+//! Every case runs under [`pool::with_morsel_rows(2)`] so proptest-sized
+//! inputs cross the parallel-engagement thresholds that normally keep
+//! small relations on the inline path.
+
+use gsj_common::{pool, GsjError, QueryGovernor, Value};
+use gsj_graph::random_walk::{build_corpus, WalkConfig};
+use gsj_graph::traversal::{k_hop_distances, k_hop_set, within_k_hops};
+use gsj_graph::{LabeledGraph, VertexId};
+use gsj_relational::exec::{aggregate, natural_join, natural_join_governed};
+use gsj_relational::plan::AggSpec;
+use gsj_relational::{execute, AggFunc, CmpOp, Database, Expr, LogicalPlan, Relation, Schema};
+use proptest::prelude::*;
+
+/// Run `f` with the pool pinned to `threads` workers and two-row
+/// morsels, so even tiny inputs engage the parallel kernels.
+fn at<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    pool::with_threads(threads, || pool::with_morsel_rows(2, f))
+}
+
+fn relation(name: &str, attrs: &[&str], rows: &[(i64, i64)]) -> Relation {
+    let mut r = Relation::empty(Schema::of(name, attrs));
+    for &(k, a) in rows {
+        let key = if k == 0 { Value::Null } else { Value::Int(k) };
+        r.push_values(vec![key, Value::Int(a)]).unwrap();
+    }
+    r
+}
+
+/// A small random graph: 12 vertices, arbitrary directed edges.
+fn graph(edges: &[(u8, u8)]) -> (LabeledGraph, Vec<VertexId>) {
+    let mut g = LabeledGraph::new();
+    let vs: Vec<VertexId> = (0..12).map(|i| g.add_vertex(&format!("v{i}"))).collect();
+    for &(a, b) in edges {
+        g.add_edge(vs[(a % 12) as usize], "e", vs[(b % 12) as usize]);
+    }
+    (g, vs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Hash natural join: the shared-build / partitioned-probe path
+    /// returns row-for-row what the sequential probe returns.
+    #[test]
+    fn parallel_join_equals_sequential(
+        left in prop::collection::vec((0i64..6, -20i64..20), 0..24),
+        right in prop::collection::vec((0i64..6, -20i64..20), 0..24),
+    ) {
+        let l = relation("l", &["k", "a"], &left);
+        let r = relation("r", &["k", "b"], &right);
+        let seq = at(1, || natural_join(&l, &r)).unwrap();
+        for threads in [2, 8] {
+            let par = at(threads, || natural_join(&l, &r)).unwrap();
+            prop_assert_eq!(&seq, &par, "join diverged at {} workers", threads);
+        }
+    }
+
+    /// Grouped aggregation: per-worker partial buckets merged in morsel
+    /// order preserve first-seen group order and fold results exactly.
+    #[test]
+    fn parallel_aggregate_equals_sequential(
+        rows in prop::collection::vec((0i64..6, -20i64..20), 0..32),
+    ) {
+        let rel = relation("t", &["k", "a"], &rows);
+        let aggs = [
+            AggSpec::count_star("n"),
+            AggSpec::new(AggFunc::Sum, "a", "total"),
+            AggSpec::new(AggFunc::Min, "a", "low"),
+        ];
+        let seq = at(1, || aggregate(&rel, &["k".into()], &aggs)).unwrap();
+        for threads in [2, 8] {
+            let par = at(threads, || aggregate(&rel, &["k".into()], &aggs)).unwrap();
+            prop_assert_eq!(&seq, &par, "aggregate diverged at {} workers", threads);
+        }
+    }
+
+    /// Filter (both the vectorized mask kernel and the row-at-a-time
+    /// fallback) through the logical plan path, morsel-parallel.
+    #[test]
+    fn parallel_filter_equals_sequential(
+        rows in prop::collection::vec((0i64..6, -20i64..20), 0..32),
+        threshold in -20i64..20,
+    ) {
+        use gsj_relational::BinOp;
+        let mut db = Database::new();
+        db.insert(relation("t", &["k", "a"], &rows));
+        let vectorized = LogicalPlan::scan("t")
+            .select(Expr::cmp(CmpOp::Ge, Expr::col("a"), Expr::lit(threshold)));
+        let row_path = LogicalPlan::scan("t").select(Expr::cmp(
+            CmpOp::Ge,
+            Expr::Bin(BinOp::Add, Box::new(Expr::col("a")), Box::new(Expr::lit(0i64))),
+            Expr::lit(threshold),
+        ));
+        for plan in [&vectorized, &row_path] {
+            let seq = at(1, || execute(plan, &db)).unwrap();
+            for threads in [2, 8] {
+                let par = at(threads, || execute(plan, &db)).unwrap();
+                prop_assert_eq!(&seq, &par, "filter diverged at {} workers", threads);
+            }
+        }
+    }
+
+    /// Level-synchronous parallel BFS visits exactly the sequential
+    /// frontier sets, distances, and reachability verdicts.
+    #[test]
+    fn parallel_bfs_equals_sequential(
+        edges in prop::collection::vec((0u8..12, 0u8..12), 0..40),
+        start in 0u8..12,
+        target in 0u8..12,
+        k in 1usize..5,
+    ) {
+        let (g, vs) = graph(&edges);
+        let (s, t) = (vs[start as usize], vs[target as usize]);
+        let seq_set = at(1, || k_hop_set(&g, s, k));
+        let seq_dist = at(1, || k_hop_distances(&g, s, k));
+        let seq_within = at(1, || within_k_hops(&g, s, t, k));
+        for threads in [2, 8] {
+            prop_assert_eq!(&seq_set, &at(threads, || k_hop_set(&g, s, k)));
+            prop_assert_eq!(&seq_dist, &at(threads, || k_hop_distances(&g, s, k)));
+            prop_assert_eq!(seq_within, at(threads, || within_k_hops(&g, s, t, k)));
+        }
+    }
+
+    /// Corpus building is deliberately sequential (one RNG stream feeds
+    /// every walk — DESIGN.md §13), so the worker-count setting must not
+    /// change the corpus: discovery quality is pinned to these exact
+    /// sentences. Guards against a future "parallelize the walks" change
+    /// silently reshuffling the corpus.
+    #[test]
+    fn walk_corpus_is_thread_count_invariant(
+        edges in prop::collection::vec((0u8..12, 0u8..12), 1..40),
+        seed in 0u64..1000,
+    ) {
+        let (g, _) = graph(&edges);
+        let cfg = WalkConfig { walks_per_vertex: 3, max_len: 6, seed };
+        let seq = at(1, || build_corpus(&g, &cfg));
+        for threads in [2, 8] {
+            prop_assert_eq!(&seq, &at(threads, || build_corpus(&g, &cfg)));
+        }
+    }
+}
+
+/// Cancelling the governor from another thread mid-parallel-probe trips
+/// promptly: later morsels observe the flag at their `check` and the
+/// pool surfaces `Cancelled`, rather than running the probe to
+/// completion first.
+#[test]
+fn cross_thread_cancel_trips_parallel_probe() {
+    // 1M probe rows ≈ 245 morsels at the default morsel size, on the
+    // generic multi-key probe path (two join columns) so each morsel
+    // costs real work and the whole probe spans many scheduler quanta —
+    // a runnable canceller thread is guaranteed CPU time mid-probe even
+    // on a single-core host. The canceller waits for the first morsel's
+    // memory charge (the handshake that the probe is genuinely in
+    // flight), then cancels; at most the in-flight morsels can finish,
+    // so hundreds of pending morsels must hit the raised flag.
+    let mut l = Relation::empty(Schema::of("big_l", &["k1", "k2", "a"]));
+    for i in 0..1_000_000i64 {
+        l.push_values(vec![Value::Int(5), Value::Int(i % 89), Value::Int(i)])
+            .unwrap();
+    }
+    let mut r = Relation::empty(Schema::of("big_r", &["k1", "k2", "b"]));
+    for j in 0..89i64 {
+        r.push_values(vec![Value::Int(5), Value::Int(j), Value::Int(j)])
+            .unwrap();
+    }
+    let gov = QueryGovernor::builder().mem_budget(u64::MAX).build();
+    let res = std::thread::scope(|s| {
+        let g2 = gov.clone();
+        s.spawn(move || {
+            while g2.mem_charged() == 0 {
+                std::thread::yield_now();
+            }
+            g2.cancel();
+        });
+        pool::with_threads(2, || natural_join_governed(&l, &r, Some(&gov)))
+    });
+    assert!(
+        matches!(res, Err(GsjError::Cancelled)),
+        "expected the parallel probe to observe the cross-thread cancel, got {res:?}"
+    );
+}

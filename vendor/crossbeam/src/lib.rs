@@ -1,8 +1,11 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
-//! Only `crossbeam::thread::scope` is used by this workspace; since Rust
-//! 1.63 the standard library provides scoped threads, so the vendored
-//! version is a thin adapter that keeps crossbeam's call shape
+//! The workspace uses three pieces (see README.md for the vendoring
+//! policy): `crossbeam::thread::scope` for borrowing worker threads,
+//! [`queue::WorkIndex`] as the atomic work-claiming counter behind the
+//! morsel pool, and a minimal [`channel::bounded`] MPMC channel. Since
+//! Rust 1.63 the standard library provides scoped threads, so the
+//! `thread` module is a thin adapter that keeps crossbeam's call shape
 //! (`scope(|s| ...)` returning `Result`, spawn closures taking the scope
 //! as an argument).
 
@@ -53,8 +56,223 @@ pub mod thread {
     }
 }
 
+pub mod queue {
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+    /// Lock-free work-claiming index over `0..n`: each worker repeatedly
+    /// [`claim`](WorkIndex::claim)s the next unclaimed task index until
+    /// the range is exhausted or the queue is [`abort`](WorkIndex::abort)ed.
+    /// Claims are handed out in strictly increasing order, which is what
+    /// makes deterministic first-error selection possible downstream: by
+    /// the time task `i` is claimed, every task `< i` has already been
+    /// claimed by some worker.
+    #[derive(Debug)]
+    pub struct WorkIndex {
+        next: AtomicUsize,
+        len: usize,
+        aborted: AtomicBool,
+    }
+
+    impl WorkIndex {
+        /// A queue over task indices `0..len`.
+        pub fn new(len: usize) -> Self {
+            WorkIndex {
+                next: AtomicUsize::new(0),
+                len,
+                aborted: AtomicBool::new(false),
+            }
+        }
+
+        /// Claim the next task index, or `None` when the range is
+        /// exhausted or the queue was aborted.
+        pub fn claim(&self) -> Option<usize> {
+            if self.aborted.load(Ordering::Acquire) {
+                return None;
+            }
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            (i < self.len).then_some(i)
+        }
+
+        /// Stop handing out further tasks (workers finish what they
+        /// already claimed). Used to cut short a fan-out whose outcome
+        /// is already decided (an error or a panic in some worker).
+        pub fn abort(&self) {
+            self.aborted.store(true, Ordering::Release);
+        }
+
+        /// Has [`abort`](WorkIndex::abort) been called?
+        pub fn is_aborted(&self) -> bool {
+            self.aborted.load(Ordering::Acquire)
+        }
+
+        /// Total number of tasks in the range.
+        pub fn len(&self) -> usize {
+            self.len
+        }
+
+        /// True when the range is empty.
+        pub fn is_empty(&self) -> bool {
+            self.len == 0
+        }
+    }
+}
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    /// Error returned by [`Sender::send`] when every receiver is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty
+    /// and every sender is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    struct Shared<T> {
+        queue: Mutex<ChannelState<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+        cap: usize,
+    }
+
+    struct ChannelState<T> {
+        items: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// The producing half of a bounded channel.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The consuming half of a bounded channel.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// A minimal bounded MPMC channel (Mutex + Condvar — correctness
+    /// over throughput; the workspace uses it for low-rate task
+    /// hand-off, not per-row streaming). `send` blocks while the buffer
+    /// holds `cap` items; `recv` blocks while it is empty.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(ChannelState {
+                items: VecDeque::with_capacity(cap),
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap: cap.max(1),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Block until there is room, then enqueue `value`. Fails (and
+        /// returns the value) once every receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.shared.queue.lock().unwrap();
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                if state.items.len() < self.shared.cap {
+                    state.items.push_back(value);
+                    self.shared.not_empty.notify_one();
+                    return Ok(());
+                }
+                state = self.shared.not_full.wait(state).unwrap();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until an item arrives. Fails once the buffer is empty
+        /// and every sender has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.shared.queue.lock().unwrap();
+            loop {
+                if let Some(v) = state.items.pop_front() {
+                    self.shared.not_full.notify_one();
+                    return Ok(v);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.shared.not_empty.wait(state).unwrap();
+            }
+        }
+
+        /// Non-blocking receive: `Ok` on an item, `Err(true)` when the
+        /// channel is merely empty, `Err(false)` when it is empty and
+        /// disconnected.
+        pub fn try_recv(&self) -> Result<T, bool> {
+            let mut state = self.shared.queue.lock().unwrap();
+            match state.items.pop_front() {
+                Some(v) => {
+                    self.shared.not_full.notify_one();
+                    Ok(v)
+                }
+                None => Err(state.senders > 0),
+            }
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.queue.lock().unwrap().senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.queue.lock().unwrap().receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.queue.lock().unwrap();
+            state.senders -= 1;
+            if state.senders == 0 {
+                // Wake blocked receivers so they observe disconnection.
+                drop(state);
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.queue.lock().unwrap();
+            state.receivers -= 1;
+            if state.receivers == 0 {
+                drop(state);
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
     #[test]
     fn scoped_parallel_sum() {
         let data: Vec<u64> = (0..100).collect();
@@ -78,5 +296,71 @@ mod tests {
         })
         .unwrap();
         assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn work_index_hands_out_each_task_exactly_once() {
+        let q = crate::queue::WorkIndex::new(1000);
+        let claimed: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        crate::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    while let Some(i) = q.claim() {
+                        claimed[i].fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert!(claimed.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+        assert!(q.claim().is_none(), "exhausted queue yields nothing");
+    }
+
+    #[test]
+    fn work_index_abort_stops_further_claims() {
+        let q = crate::queue::WorkIndex::new(100);
+        assert_eq!(q.claim(), Some(0));
+        assert!(!q.is_aborted());
+        q.abort();
+        assert!(q.is_aborted());
+        assert_eq!(q.claim(), None);
+        assert_eq!(q.len(), 100);
+        assert!(crate::queue::WorkIndex::new(0).is_empty());
+    }
+
+    #[test]
+    fn bounded_channel_round_trips_across_threads() {
+        let (tx, rx) = crate::channel::bounded::<usize>(2);
+        let total: usize = crate::thread::scope(|s| {
+            let tx2 = tx.clone();
+            s.spawn(move |_| {
+                for i in 0..50 {
+                    tx2.send(i).unwrap();
+                }
+            });
+            // Drop the original sender so recv disconnects when the
+            // producer thread finishes.
+            drop(tx);
+            let mut sum = 0;
+            while let Ok(v) = rx.recv() {
+                sum += v;
+            }
+            sum
+        })
+        .unwrap();
+        assert_eq!(total, (0..50).sum());
+    }
+
+    #[test]
+    fn bounded_channel_reports_disconnection() {
+        let (tx, rx) = crate::channel::bounded::<u8>(1);
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.try_recv(), Ok(7));
+        assert_eq!(rx.try_recv(), Err(false), "empty + disconnected");
+        assert_eq!(rx.recv(), Err(crate::channel::RecvError));
+        let (tx, rx) = crate::channel::bounded::<u8>(1);
+        drop(rx);
+        assert_eq!(tx.send(9), Err(crate::channel::SendError(9)));
     }
 }
