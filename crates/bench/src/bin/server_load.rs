@@ -1,0 +1,161 @@
+//! `server_load` — load benchmark for the gSQL server: an in-process
+//! `gsj_server::Server` over a fixture collection, swept at 1/2/4/8
+//! concurrent clients each replaying the collection's query workload
+//! over the wire. Records exact p50/p99/mean round-trip latency
+//! (computed from the sorted sample set, not an approximation) plus
+//! aggregate queries-per-second into `BENCH_server.json`.
+//!
+//! Usage:
+//!   server_load [--quick] [--out FILE]
+//!
+//! `--quick` cuts the rounds-per-client so CI can smoke it; the
+//! committed snapshot is generated without it via
+//! `scripts/bench_snapshot.sh --server`.
+
+use gsj_server::{Client, Server, ServerConfig};
+use std::sync::Arc;
+use std::time::Instant;
+
+const COLLECTION: &str = "Celebrity";
+const CLIENT_COUNTS: &[usize] = &[1, 2, 4, 8];
+
+/// One measured sweep: metric name -> value.
+type Results = Vec<(String, f64)>;
+
+/// Latencies (ns) from one client-count sweep plus its wall time.
+struct Sweep {
+    latencies_ns: Vec<u64>,
+    wall_secs: f64,
+}
+
+fn percentile_ns(sorted: &[u64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)] as f64
+}
+
+/// Run `clients` concurrent clients, each replaying the workload
+/// `rounds` times against the server at `addr`, timing every round trip.
+fn sweep(addr: std::net::SocketAddr, queries: &[String], clients: usize, rounds: usize) -> Sweep {
+    let t0 = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|i| {
+            let queries = queries.to_vec();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                let mut lat = Vec::with_capacity(rounds * queries.len());
+                for round in 0..rounds {
+                    // Stagger the starting query so clients don't run in
+                    // lockstep over the same plan.
+                    for j in 0..queries.len() {
+                        let q = &queries[(i + round + j) % queries.len()];
+                        let t = Instant::now();
+                        c.query(q).unwrap_or_else(|e| panic!("client {i}: {e}"));
+                        lat.push(t.elapsed().as_nanos() as u64);
+                    }
+                }
+                lat
+            })
+        })
+        .collect();
+    let mut latencies_ns = Vec::new();
+    for w in workers {
+        latencies_ns.extend(w.join().expect("load client panicked"));
+    }
+    Sweep {
+        latencies_ns,
+        wall_secs: t0.elapsed().as_secs_f64(),
+    }
+}
+
+fn section(clients: usize, s: &Sweep) -> (String, Results) {
+    let mut sorted = s.latencies_ns.clone();
+    sorted.sort_unstable();
+    let n = sorted.len();
+    let mean = sorted.iter().sum::<u64>() as f64 / n.max(1) as f64;
+    let metrics: Results = vec![
+        ("queries".into(), n as f64),
+        ("p50_us".into(), percentile_ns(&sorted, 50.0) / 1e3),
+        ("p99_us".into(), percentile_ns(&sorted, 99.0) / 1e3),
+        ("mean_us".into(), mean / 1e3),
+        ("qps".into(), n as f64 / s.wall_secs.max(1e-9)),
+    ];
+    (format!("clients_{clients}"), metrics)
+}
+
+fn section_json(name: &str, results: &[(String, f64)]) -> String {
+    let body: Vec<String> = results
+        .iter()
+        .map(|(k, v)| format!("    \"{}\": {:.1}", gsj_obs::escape_json(k), v))
+        .collect();
+    format!("  \"{name}\": {{\n{}\n  }}", body.join(",\n"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_server.json".into());
+    let rounds = if quick { 3 } else { 20 };
+
+    eprintln!("server_load: loading {COLLECTION} (tiny, seed 42)");
+    let col = gsj_datagen::collections::build(COLLECTION, gsj_datagen::Scale::tiny(), 42)
+        .expect("known collection");
+    let queries: Vec<String> = gsj_datagen::queries::workload(&col)
+        .into_iter()
+        .map(|q| q.text)
+        .collect();
+    let engine = Arc::new(gsj_server::engine_for_collection(&col).expect("build engine"));
+    let handle = Server::start(
+        engine,
+        ServerConfig {
+            sessions: 8,
+            queue: 8,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start server");
+    let addr = handle.addr();
+    eprintln!(
+        "server_load: serving on {addr}, {} workload queries",
+        queries.len()
+    );
+
+    // Warm the engine (first-touch caches, lazy metrics) off the clock.
+    sweep(addr, &queries, 1, 1);
+
+    let mut sections: Vec<String> = Vec::new();
+    for &clients in CLIENT_COUNTS {
+        let s = sweep(addr, &queries, clients, rounds);
+        let (name, metrics) = section(clients, &s);
+        let fmt = |key: &str| {
+            metrics
+                .iter()
+                .find(|(k, _)| k == key)
+                .map_or(0.0, |(_, v)| *v)
+        };
+        eprintln!(
+            "[{clients} client(s)] {} queries: p50 {:.0}µs p99 {:.0}µs mean {:.0}µs {:.0} qps",
+            fmt("queries"),
+            fmt("p50_us"),
+            fmt("p99_us"),
+            fmt("mean_us"),
+            fmt("qps"),
+        );
+        sections.push(section_json(&name, &metrics));
+    }
+    handle.shutdown();
+
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let doc = format!(
+        "{{\n  \"note\": \"round-trip latency (µs) and throughput per concurrent-client count over the GSJ/1 wire protocol; p50/p99 are exact order statistics; regenerate with scripts/bench_snapshot.sh --server\",\n  \"collection\": \"{COLLECTION}\",\n  \"host_cores\": {cores},\n  \"quick\": {quick},\n{}\n}}\n",
+        sections.join(",\n"),
+    );
+    std::fs::write(&out, doc).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    eprintln!("wrote {out} (host_cores = {cores})");
+}

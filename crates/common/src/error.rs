@@ -70,6 +70,45 @@ impl GsjError {
     pub fn is_governance(&self) -> bool {
         matches!(self, GsjError::Cancelled | GsjError::DeadlineExceeded(_))
     }
+
+    /// Stable wire code for this variant — what the server protocol puts
+    /// in an error frame's `code` header. Round-trips through
+    /// [`from_wire`](Self::from_wire).
+    pub fn code(&self) -> &'static str {
+        match self {
+            GsjError::Schema(_) => "Schema",
+            GsjError::NotFound(_) => "NotFound",
+            GsjError::Parse(_) => "Parse",
+            GsjError::Unsupported(_) => "Unsupported",
+            GsjError::Eval(_) => "Eval",
+            GsjError::Config(_) => "Config",
+            GsjError::Cancelled => "Cancelled",
+            GsjError::DeadlineExceeded(_) => "DeadlineExceeded",
+            GsjError::ResourceExhausted(_) => "ResourceExhausted",
+            GsjError::Internal(_) => "Internal",
+        }
+    }
+
+    /// Rebuild an error from a wire `(code, message)` pair, so clients
+    /// get back the same typed variant (and `retryable()` /
+    /// `is_governance()` verdicts) the server computed. Unknown codes —
+    /// a newer server talking to an older client — land on `Internal`,
+    /// which is the conservative (retryable, non-governance) bucket.
+    pub fn from_wire(code: &str, message: &str) -> Self {
+        let m = message.to_string();
+        match code {
+            "Schema" => GsjError::Schema(m),
+            "NotFound" => GsjError::NotFound(m),
+            "Parse" => GsjError::Parse(m),
+            "Unsupported" => GsjError::Unsupported(m),
+            "Eval" => GsjError::Eval(m),
+            "Config" => GsjError::Config(m),
+            "Cancelled" => GsjError::Cancelled,
+            "DeadlineExceeded" => GsjError::DeadlineExceeded(m),
+            "ResourceExhausted" => GsjError::ResourceExhausted(m),
+            _ => GsjError::Internal(m),
+        }
+    }
 }
 
 impl fmt::Display for GsjError {
@@ -128,6 +167,45 @@ mod tests {
         ] {
             assert!(!e.retryable(), "{e} must not be retryable");
         }
+    }
+
+    #[test]
+    fn wire_codes_round_trip_every_variant() {
+        let all = [
+            GsjError::Schema("a".into()),
+            GsjError::NotFound("b".into()),
+            GsjError::Parse("c".into()),
+            GsjError::Unsupported("d".into()),
+            GsjError::Eval("e".into()),
+            GsjError::Config("f".into()),
+            GsjError::Cancelled,
+            GsjError::DeadlineExceeded("g".into()),
+            GsjError::ResourceExhausted("h".into()),
+            GsjError::Internal("i".into()),
+        ];
+        for e in all {
+            let back = GsjError::from_wire(
+                e.code(),
+                match &e {
+                    GsjError::Cancelled => "",
+                    GsjError::Schema(m)
+                    | GsjError::NotFound(m)
+                    | GsjError::Parse(m)
+                    | GsjError::Unsupported(m)
+                    | GsjError::Eval(m)
+                    | GsjError::Config(m)
+                    | GsjError::DeadlineExceeded(m)
+                    | GsjError::ResourceExhausted(m)
+                    | GsjError::Internal(m) => m,
+                },
+            );
+            assert_eq!(back, e, "code {} must round-trip", e.code());
+            assert_eq!(back.retryable(), e.retryable());
+            assert_eq!(back.is_governance(), e.is_governance());
+        }
+        // Unknown codes degrade to the conservative bucket.
+        let unknown = GsjError::from_wire("FutureVariant", "msg");
+        assert!(matches!(unknown, GsjError::Internal(_)));
     }
 
     #[test]

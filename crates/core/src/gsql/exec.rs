@@ -46,6 +46,23 @@ pub enum Strategy {
     Heuristic,
 }
 
+impl std::str::FromStr for Strategy {
+    type Err = GsjError;
+
+    /// Parse the wire/CLI spelling (`baseline` / `optimized` /
+    /// `heuristic`, case-insensitive).
+    fn from_str(s: &str) -> Result<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "baseline" => Ok(Strategy::Baseline),
+            "optimized" => Ok(Strategy::Optimized),
+            "heuristic" => Ok(Strategy::Heuristic),
+            other => Err(GsjError::Config(format!(
+                "unknown strategy `{other}` (want baseline | optimized | heuristic)"
+            ))),
+        }
+    }
+}
+
 /// The gSQL query engine: a relational catalog, registered graphs, and the
 /// per-graph extraction machinery.
 pub struct GsqlEngine {
@@ -223,6 +240,18 @@ impl GsqlEngine {
     /// with the pipeline stage spans (HER, RExt, BFS, joins) collected
     /// while the query ran.
     pub fn explain_analyze(&self, q: &Query, strategy: Strategy) -> Result<String> {
+        self.explain_analyze_governed(q, strategy, &QueryGovernor::unlimited())
+    }
+
+    /// [`GsqlEngine::explain_analyze`] under an explicit governor, so a
+    /// served `EXPLAIN ANALYZE` request still honours its deadline,
+    /// budgets and disconnect cancellation.
+    pub fn explain_analyze_governed(
+        &self,
+        q: &Query,
+        strategy: Strategy,
+        gov: &QueryGovernor,
+    ) -> Result<String> {
         use gsj_obs::SpanRecord;
         // Force span collection for this query only, serialized against
         // other exclusive trace regions so drains don't interleave.
@@ -231,7 +260,7 @@ impl GsqlEngine {
         gsj_obs::set_tracing(true);
         let _ = gsj_obs::take_spans(); // discard stale spans
         let watermark = gsj_obs::next_span_id();
-        let result = self.run_query_stats(q, strategy);
+        let result = self.run_query_stats_governed(q, strategy, gov);
         gsj_obs::set_tracing(was);
         let drained = gsj_obs::take_spans();
         let (rel, ctx) = result?;

@@ -24,7 +24,7 @@ pub use export::{
     prometheus_text, spans_json, Json, PromSample, PromSnapshot,
 };
 pub use metrics::{
-    Counter, Gauge, Histogram, Labels, LazyCounter, LazyHistogram, Metric, Registry,
+    Counter, Gauge, Histogram, Labels, LazyCounter, LazyGauge, LazyHistogram, Metric, Registry,
 };
 pub use trace::{
     current_thread_ordinal, dropped_spans, event, exclusive_region, format_ns, next_span_id,

@@ -366,6 +366,43 @@ impl LazyCounter {
     }
 }
 
+/// A lazily registered global gauge, for `static` use at call sites
+/// that track a current level (in-flight sessions, queue depth).
+pub struct LazyGauge {
+    name: &'static str,
+    cell: OnceLock<Arc<Gauge>>,
+}
+
+impl LazyGauge {
+    pub const fn new(name: &'static str) -> Self {
+        LazyGauge {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    fn get(&self) -> &Gauge {
+        self.cell
+            .get_or_init(|| Registry::global().gauge(self.name, &[]))
+    }
+
+    pub fn set(&self, v: i64) {
+        self.get().set(v);
+    }
+
+    pub fn add(&self, n: i64) {
+        self.get().add(n);
+    }
+
+    pub fn record_max(&self, v: i64) {
+        self.get().record_max(v);
+    }
+
+    pub fn value(&self) -> i64 {
+        self.get().get()
+    }
+}
+
 /// A lazily registered global histogram with latency-in-ns buckets.
 pub struct LazyHistogram {
     name: &'static str,
@@ -508,5 +545,16 @@ mod tests {
         assert!(T.value() >= 3);
         let again = Registry::global().counter("gsj_obs_test_lazy_total", &[]);
         assert!(again.get() >= 3);
+    }
+
+    #[test]
+    fn lazy_gauge_registers_globally() {
+        static G: LazyGauge = LazyGauge::new("gsj_obs_test_lazy_gauge");
+        G.set(5);
+        G.add(-2);
+        assert_eq!(G.value(), 3);
+        G.record_max(9);
+        let again = Registry::global().gauge("gsj_obs_test_lazy_gauge", &[]);
+        assert_eq!(again.get(), 9);
     }
 }

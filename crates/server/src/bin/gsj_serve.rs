@@ -1,0 +1,125 @@
+//! `gsj-serve` — load one collection, serve gSQL over GSJ/1.
+//!
+//! ```text
+//! gsj-serve --collection Movie --scale tiny --seed 42 \
+//!           --listen 127.0.0.1:7878 --metrics 127.0.0.1:9187 \
+//!           --sessions 4 --queue 8 --strategy optimized
+//! ```
+//!
+//! Startup does the expensive work once — generate the collection,
+//! train RExt, build the graph profile — then prints
+//! `listening on <addr>` / `metrics on <addr>` (port 0 resolves to the
+//! ephemeral port, which is how the smoke driver finds it) and parks
+//! until a client sends `SHUTDOWN`.
+
+use gsj_core::gsql::exec::Strategy;
+use gsj_datagen::Scale;
+use gsj_server::{load_collection, MetricsServer, Server, ServerConfig, DEFAULT_MAX_FRAME};
+use std::io::Write;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: gsj-serve [--collection NAME] [--scale tiny|small|medium|N] \
+[--seed N] [--listen ADDR] [--metrics ADDR] [--sessions N] [--queue N] \
+[--strategy baseline|optimized|heuristic] [--max-frame BYTES]";
+
+fn parse_scale(s: &str) -> Result<Scale, String> {
+    match s {
+        "tiny" => Ok(Scale::tiny()),
+        "small" => Ok(Scale::small()),
+        "medium" => Ok(Scale::medium()),
+        n => n
+            .parse::<usize>()
+            .map(Scale)
+            .map_err(|_| format!("bad scale `{n}`")),
+    }
+}
+
+fn run() -> Result<(), String> {
+    let mut collection = "Movie".to_string();
+    let mut scale = Scale::tiny();
+    let mut seed = 42u64;
+    let mut listen = "127.0.0.1:0".to_string();
+    let mut metrics_addr = "127.0.0.1:0".to_string();
+    let mut cfg = ServerConfig {
+        max_frame: DEFAULT_MAX_FRAME,
+        ..ServerConfig::default()
+    };
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut val = |name: &str| args.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--collection" => collection = val("--collection")?,
+            "--scale" => scale = parse_scale(&val("--scale")?)?,
+            "--seed" => {
+                seed = val("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
+            }
+            "--listen" => listen = val("--listen")?,
+            "--metrics" => metrics_addr = val("--metrics")?,
+            "--sessions" => {
+                cfg.sessions = val("--sessions")?
+                    .parse()
+                    .map_err(|e| format!("bad --sessions: {e}"))?
+            }
+            "--queue" => {
+                cfg.queue = val("--queue")?
+                    .parse()
+                    .map_err(|e| format!("bad --queue: {e}"))?
+            }
+            "--strategy" => {
+                cfg.default_strategy = val("--strategy")?
+                    .parse::<Strategy>()
+                    .map_err(|e| e.to_string())?
+            }
+            "--max-frame" => {
+                cfg.max_frame = val("--max-frame")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-frame: {e}"))?
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(());
+            }
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+    cfg.addr = listen;
+
+    eprintln!(
+        "gsj-serve: building collection {collection} (scale {}, seed {seed})",
+        scale.0
+    );
+    let (col, engine) = load_collection(&collection, scale, seed)
+        .ok_or(format!("unknown collection `{collection}`"))?
+        .map_err(|e| format!("load {collection}: {e}"))?;
+    eprintln!(
+        "gsj-serve: {} entities loaded, profile built, {} sessions",
+        col.entity_relation().len(),
+        cfg.sessions
+    );
+
+    let handle = Server::start(engine, cfg).map_err(|e| format!("start: {e}"))?;
+    let metrics = MetricsServer::start(&metrics_addr).map_err(|e| format!("metrics: {e}"))?;
+    // The smoke driver parses these two lines to find the ephemeral
+    // ports — keep the format stable.
+    println!("listening on {}", handle.addr());
+    println!("metrics on {}", metrics.addr());
+    let _ = std::io::stdout().flush();
+
+    handle.wait();
+    metrics.shutdown();
+    eprintln!("gsj-serve: drained, bye");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("gsj-serve: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! A blocking GSJ/1 client: one TCP connection, synchronous
+//! request/response. The test suite, the smoke binary and the load
+//! bench all speak to the server through this.
+
+use crate::protocol::{
+    read_frame, write_frame, FrameRead, Request, Response, Verb, DEFAULT_MAX_FRAME,
+};
+use gsj_common::{GsjError, Result};
+use gsj_core::gsql::exec::Strategy;
+use gsj_relational::Relation;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Per-query options, mapped onto request headers. `Default` sends a
+/// bare query: no limits, the server's default strategy, results (not
+/// a plan).
+#[derive(Debug, Clone, Default)]
+pub struct QueryOpts {
+    /// Server-side deadline (`deadline-ms` header).
+    pub deadline: Option<Duration>,
+    /// Row-production budget (`row-budget` header).
+    pub row_budget: Option<u64>,
+    /// Estimated-memory budget in bytes (`mem-budget` header).
+    pub mem_budget: Option<u64>,
+    /// Execution strategy (`strategy` header).
+    pub strategy: Option<Strategy>,
+    /// Ask for the `EXPLAIN ANALYZE` trace instead of result rows.
+    pub explain_analyze: bool,
+}
+
+/// A successful query reply.
+#[derive(Debug, Clone)]
+pub struct QueryReply {
+    /// Result cardinality (absent for `EXPLAIN ANALYZE` replies).
+    pub rows: Option<u64>,
+    /// Server-side execution time in microseconds.
+    pub elapsed_us: u64,
+    /// CSV result rows, or the analyze trace.
+    pub body: String,
+}
+
+/// One blocking connection to a gSJ server.
+pub struct Client {
+    stream: TcpStream,
+    max_frame: usize,
+}
+
+fn io_err(what: &str, e: std::io::Error) -> GsjError {
+    GsjError::Internal(format!("{what}: {e}"))
+}
+
+impl Client {
+    /// Connect. `addr` is anything `ToSocketAddrs` accepts
+    /// (e.g. `"127.0.0.1:7878"` or a `SocketAddr`).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client> {
+        let stream = TcpStream::connect(addr).map_err(|e| io_err("connect", e))?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client {
+            stream,
+            max_frame: DEFAULT_MAX_FRAME,
+        })
+    }
+
+    /// Override the frame cap (must match the server's to make use of it).
+    pub fn set_max_frame(&mut self, max: usize) {
+        self.max_frame = max;
+    }
+
+    /// One request → one response, or a typed error reconstructed from
+    /// the server's error frame.
+    fn round_trip(&mut self, req: &Request) -> Result<Response> {
+        write_frame(&mut self.stream, &req.encode()).map_err(|e| io_err("send", e))?;
+        match read_frame(&mut self.stream, self.max_frame)? {
+            FrameRead::Payload(p) => Response::parse(&p)?.into_result(),
+            FrameRead::Eof => Err(GsjError::Internal(
+                "server closed the connection before responding".into(),
+            )),
+            FrameRead::Oversized(n) => Err(GsjError::ResourceExhausted(format!(
+                "response frame of {n} B exceeds the client's {} B limit",
+                self.max_frame
+            ))),
+            FrameRead::Idle => unreachable!("blocking socket cannot be idle"),
+        }
+    }
+
+    /// Execute gSQL with default options.
+    pub fn query(&mut self, text: &str) -> Result<QueryReply> {
+        self.query_with(text, &QueryOpts::default())
+    }
+
+    /// Execute gSQL with explicit limits / strategy / explain flag.
+    pub fn query_with(&mut self, text: &str, opts: &QueryOpts) -> Result<QueryReply> {
+        let mut req = Request::query(text);
+        if let Some(d) = opts.deadline {
+            req = req.with_header("deadline-ms", d.as_millis());
+        }
+        if let Some(r) = opts.row_budget {
+            req = req.with_header("row-budget", r);
+        }
+        if let Some(m) = opts.mem_budget {
+            req = req.with_header("mem-budget", m);
+        }
+        if let Some(s) = opts.strategy {
+            let name = match s {
+                Strategy::Baseline => "baseline",
+                Strategy::Optimized => "optimized",
+                Strategy::Heuristic => "heuristic",
+            };
+            req = req.with_header("strategy", name);
+        }
+        if opts.explain_analyze {
+            req = req.with_header("explain", "analyze");
+        }
+        let resp = self.round_trip(&req)?;
+        let rows = resp.header("rows").and_then(|v| v.parse().ok());
+        let elapsed_us = resp
+            .header("elapsed-us")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        Ok(QueryReply {
+            rows,
+            elapsed_us,
+            body: resp.body,
+        })
+    }
+
+    /// Execute and materialize the CSV body back into a [`Relation`].
+    pub fn query_relation(&mut self, text: &str, opts: &QueryOpts) -> Result<Relation> {
+        let reply = self.query_with(text, opts)?;
+        Relation::from_csv("result", &reply.body)
+    }
+
+    /// Liveness probe: the token must echo back.
+    pub fn ping(&mut self) -> Result<()> {
+        let resp = self.round_trip(&Request::new(Verb::Ping, "ping"))?;
+        if resp.body == "ping" {
+            Ok(())
+        } else {
+            Err(GsjError::Internal(format!(
+                "ping echoed `{}`, want `ping`",
+                resp.body
+            )))
+        }
+    }
+
+    /// Ask the server to shut down gracefully. The server acknowledges,
+    /// then drains in-flight sessions and stops accepting.
+    pub fn shutdown_server(&mut self) -> Result<()> {
+        self.round_trip(&Request::new(Verb::Shutdown, ""))
+            .map(|_| ())
+    }
+}

@@ -1,0 +1,154 @@
+//! A deliberately tiny embedded HTTP/1.0 endpoint for observability:
+//! `GET /metrics` serves the process-global registry in Prometheus text
+//! exposition format, `GET /healthz` serves a liveness body. One thread,
+//! one request per connection, `Connection: close` — just enough for a
+//! scraper, nothing more. gSQL traffic uses the GSJ/1 protocol, never
+//! this port.
+
+use gsj_common::{GsjError, Result};
+use gsj_obs::{prometheus_text, Registry};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Handle to the metrics endpoint; dropping stops the thread.
+pub struct MetricsHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsHandle {
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(h) = self.thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// The metrics endpoint. [`MetricsServer::start`] binds and serves on a
+/// dedicated thread.
+pub struct MetricsServer;
+
+impl MetricsServer {
+    pub fn start(addr: &str) -> Result<MetricsHandle> {
+        let listener =
+            TcpListener::bind(addr).map_err(|e| GsjError::Config(format!("bind {addr}: {e}")))?;
+        let bound = listener
+            .local_addr()
+            .map_err(|e| GsjError::Internal(format!("local_addr: {e}")))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| GsjError::Internal(format!("set_nonblocking: {e}")))?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = shutdown.clone();
+        let thread = thread::Builder::new()
+            .name("gsj-metrics".into())
+            .spawn(move || {
+                while !flag.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok((stream, _)) => serve_one(stream),
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            thread::sleep(Duration::from_millis(10));
+                        }
+                        Err(_) => thread::sleep(Duration::from_millis(10)),
+                    }
+                }
+            })
+            .map_err(|e| GsjError::Internal(format!("spawn metrics: {e}")))?;
+        Ok(MetricsHandle {
+            addr: bound,
+            shutdown,
+            thread: Some(thread),
+        })
+    }
+}
+
+/// Read one request head, dispatch on the path, write one response.
+fn serve_one(mut stream: TcpStream) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let mut head = Vec::with_capacity(256);
+    let mut buf = [0u8; 256];
+    // Read until the blank line ending the request head (we ignore any
+    // body — GETs don't carry one).
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                head.extend_from_slice(&buf[..n]);
+                if head.windows(4).any(|w| w == b"\r\n\r\n")
+                    || head.windows(2).any(|w| w == b"\n\n")
+                    || head.len() > 8192
+                {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&head);
+    let path = head
+        .lines()
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .unwrap_or("/");
+    let (status, content_type, body) = match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4",
+            prometheus_text(Registry::global()),
+        ),
+        "/healthz" => ("200 OK", "text/plain", "ok\n".to_string()),
+        _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
+    };
+    let _ = write!(
+        stream,
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.flush();
+}
+
+/// Blocking `GET` against a local endpoint, returning the response body.
+/// Shared by tests, the smoke binary and the load bench so they scrape
+/// exactly like an external client would.
+pub fn http_get(addr: SocketAddr, path: &str) -> Result<String> {
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| GsjError::Internal(format!("connect {addr}: {e}")))?;
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    write!(stream, "GET {path} HTTP/1.0\r\nHost: gsj\r\n\r\n")
+        .map_err(|e| GsjError::Internal(format!("send: {e}")))?;
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .map_err(|e| GsjError::Internal(format!("read: {e}")))?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .or_else(|| raw.split_once("\n\n"))
+        .ok_or_else(|| GsjError::Parse("malformed HTTP response (no blank line)".into()))?;
+    let status = head.lines().next().unwrap_or("");
+    if !status.contains("200") {
+        return Err(GsjError::NotFound(format!("{path}: {status}")));
+    }
+    Ok(body.to_string())
+}

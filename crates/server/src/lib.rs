@@ -1,0 +1,70 @@
+//! # gsj-server
+//!
+//! Concurrent gSQL serving over a wire protocol (DESIGN.md §14). The
+//! collection — graph, offline profile, pre-extracted `f`/`h` relations
+//! and the `g_L` link cache — is loaded **once** at startup and shared
+//! immutably behind an `Arc<GsqlEngine>`; queries execute concurrently
+//! across a session worker pool, each under its own
+//! [`gsj_common::QueryGovernor`] built from request headers.
+//!
+//! The crate splits into:
+//!
+//! * [`protocol`] — the GSJ/1 length-prefixed framing and the
+//!   request/response payload grammar.
+//! * [`server`] — the accept thread, admission control (bounded queue,
+//!   shed with `ResourceExhausted`), session workers, per-request
+//!   governance, disconnect cancellation and graceful shutdown.
+//! * [`client`] — a blocking client speaking the same protocol, used by
+//!   the tests, the smoke binary and the load bench.
+//! * [`http`] — a one-thread `GET /metrics` + `GET /healthz` endpoint
+//!   exposing the process-global registry as Prometheus text.
+//! * [`fixture`] — collection loading: the startup recipe that turns a
+//!   generated collection into a ready-to-serve engine.
+//!
+//! Binaries: `gsj-serve` (the server) and `server_smoke` (the CI smoke
+//! driver that exercises a served fixture end-to-end).
+
+pub mod client;
+pub mod fixture;
+pub mod http;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, QueryOpts, QueryReply};
+pub use fixture::{engine_for_collection, load_collection, serving_rext_config};
+pub use http::{http_get, MetricsHandle, MetricsServer};
+pub use protocol::{
+    read_frame, read_frame_with, write_frame, FrameRead, Request, Response, Verb,
+    DEFAULT_MAX_FRAME, MAGIC,
+};
+pub use server::{server_stats, Server, ServerConfig, ServerHandle, ServerStats};
+
+/// The Send + Sync audit, enforced at compile time: everything the
+/// server shares across session workers must be thread-safe. If any
+/// interior type regresses to a non-`Sync` cell, this module stops
+/// compiling — the audit cannot silently rot.
+#[cfg(test)]
+mod send_sync_audit {
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn shared_server_state_is_send_and_sync() {
+        // The engine aggregate: catalog, graphs, RExt schemes, profiles
+        // (whose `g_L` link cache is a parking_lot mutex), HER config.
+        assert_send_sync::<gsj_core::gsql::exec::GsqlEngine>();
+        assert_send_sync::<std::sync::Arc<gsj_core::gsql::exec::GsqlEngine>>();
+        // Its pieces, individually, so a failure names the culprit.
+        assert_send_sync::<gsj_core::profile::GraphProfile>();
+        assert_send_sync::<gsj_core::rext::Rext>();
+        assert_send_sync::<gsj_graph::LabeledGraph>();
+        assert_send_sync::<gsj_relational::Database>();
+        // Relations cross threads both as catalog entries and as the
+        // row-cache-bearing results (`OnceLock` keeps them `Sync`).
+        assert_send_sync::<gsj_relational::Relation>();
+        // The governance handle is cloned into watcher threads.
+        assert_send_sync::<gsj_common::QueryGovernor>();
+        // And the server's own shared handles.
+        assert_send_sync::<crate::server::ServerHandle>();
+        assert_send_sync::<crate::server::ServerConfig>();
+    }
+}

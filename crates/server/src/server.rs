@@ -1,0 +1,557 @@
+//! The session-pool TCP server: admission control, per-request
+//! governance, disconnect cancellation, graceful shutdown.
+//!
+//! # Architecture (DESIGN.md §14)
+//!
+//! ```text
+//!              accept thread                 session workers
+//!   TcpListener ──────────────▶ bounded queue ──────────────▶ handle_conn
+//!   (nonblocking poll,          (cap = queue)   recv() loop    per-request:
+//!    shed when queue full)                                     governor + watcher
+//! ```
+//!
+//! One **accept thread** polls a nonblocking listener; each accepted
+//! connection is pushed onto a bounded queue with `try_send`. A full
+//! queue means the server is saturated: the connection is *shed* — it
+//! receives a single `ResourceExhausted` error frame and is closed —
+//! rather than queued into unbounded memory.
+//!
+//! N **session workers** pull connections off the queue. A connection is
+//! a session: a loop of length-prefixed request frames, each handled
+//! under its own [`QueryGovernor`] built from the request's
+//! `deadline-ms` / `row-budget` / `mem-budget` headers. A watcher thread
+//! `peek`s the socket while the query runs and raises the governor's
+//! cancel flag if the client disconnects, so abandoned queries stop
+//! consuming CPU at the next operator boundary.
+//!
+//! Failure containment: every request is executed under
+//! `catch_unwind`, and the fault sites `server.session` /
+//! `server.accept` (class `Critical`) let the chaos suite inject
+//! errors and panics at both boundaries — a fault in one session must
+//! surface as an error frame on that connection only, never kill a
+//! worker or the listener.
+//!
+//! Graceful shutdown: raising the shutdown flag (via
+//! [`ServerHandle::begin_shutdown`] or a `SHUTDOWN` request) stops the
+//! accept thread, which drops the queue's sender; workers drain what was
+//! already admitted, finish in-flight requests, notice the flag on their
+//! next idle poll, and exit. New connections arriving during shutdown
+//! are refused with `ResourceExhausted`.
+
+use crate::protocol::{
+    read_frame_with, write_frame, FrameRead, Request, Response, Verb, DEFAULT_MAX_FRAME,
+};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use gsj_common::{GsjError, QueryGovernor, Result};
+use gsj_core::gsql::exec::{GsqlEngine, Strategy};
+use gsj_faults::{fault_point, FaultClass};
+use gsj_obs::{LazyCounter, LazyGauge, LazyHistogram};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Sessions currently being handled by workers (admitted, not queued).
+static INFLIGHT: LazyGauge = LazyGauge::new("gsj_server_inflight_sessions");
+/// Connections refused because the accept queue was full.
+static SHED: LazyCounter = LazyCounter::new("gsj_server_admission_shed_total");
+/// Request frames received (any verb, before parsing).
+static REQUESTS: LazyCounter = LazyCounter::new("gsj_server_requests_total");
+/// Requests answered with an error frame.
+static ERRORS: LazyCounter = LazyCounter::new("gsj_server_errors_total");
+/// Queries cancelled because the watcher saw the client disconnect.
+static DISCONNECT_CANCEL: LazyCounter = LazyCounter::new("gsj_server_disconnect_cancel_total");
+/// Wall time per `QUERY` request (execution only, not framing).
+static LATENCY: LazyHistogram = LazyHistogram::new("gsj_server_query_latency_ns");
+
+/// How long an idle session read waits before re-checking the shutdown
+/// flag. Bounds shutdown latency for connected-but-quiet clients.
+const IDLE_POLL: Duration = Duration::from_millis(50);
+/// Accept-loop poll interval while no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+/// Watcher poll interval while a query is executing.
+const WATCH_POLL: Duration = Duration::from_millis(25);
+/// How long admission retries a full queue before shedding. A connection
+/// burst can fill the queue in the microseconds before idle workers wake
+/// and pull; only sustained fullness — every session busy for this long —
+/// is real overload.
+const ADMIT_GRACE: Duration = Duration::from_millis(25);
+
+/// Server tunables. `Default` binds an ephemeral localhost port with a
+/// worker per “a few cores” and a small admission queue.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:0` (port 0 = ephemeral).
+    pub addr: String,
+    /// Session worker threads == max concurrently-served connections.
+    pub sessions: usize,
+    /// Accepted-but-unclaimed connection queue; beyond this, shed.
+    pub queue: usize,
+    /// Per-frame payload cap in bytes.
+    pub max_frame: usize,
+    /// Strategy used when a request has no `strategy` header.
+    pub default_strategy: Strategy,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            sessions: 4,
+            queue: 8,
+            max_frame: DEFAULT_MAX_FRAME,
+            default_strategy: Strategy::Optimized,
+        }
+    }
+}
+
+/// Handle to a running server. Dropping it shuts the server down and
+/// joins every thread; [`ServerHandle::shutdown`] does so explicitly.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Raise the shutdown flag without blocking: stop accepting, let
+    /// in-flight work drain. Idempotent.
+    pub fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+    }
+
+    /// Whether shutdown has been initiated (locally or via a `SHUTDOWN`
+    /// request).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Graceful shutdown: raise the flag, then join the accept thread
+    /// and every session worker (i.e. wait for in-flight requests).
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    /// Block until the server shuts down on its own — i.e. until a
+    /// client sends `SHUTDOWN` (or another thread calls
+    /// [`begin_shutdown`](Self::begin_shutdown)). Used by `gsj-serve`
+    /// to park its main thread.
+    pub fn wait(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    fn stop_and_join(&mut self) {
+        self.begin_shutdown();
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// The gSQL server. Stateless itself — [`Server::start`] wires the
+/// shared engine into the thread structure and returns the handle.
+pub struct Server;
+
+impl Server {
+    /// Bind, spawn the accept thread and `cfg.sessions` workers, and
+    /// return immediately. The engine is shared immutably: the catalog,
+    /// profile and `g_L` link cache are loaded once and served from
+    /// behind the `Arc` (interior caches use their own locks).
+    pub fn start(engine: Arc<GsqlEngine>, cfg: ServerConfig) -> Result<ServerHandle> {
+        let listener = TcpListener::bind(&cfg.addr)
+            .map_err(|e| GsjError::Config(format!("bind {}: {e}", cfg.addr)))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| GsjError::Internal(format!("local_addr: {e}")))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| GsjError::Internal(format!("set_nonblocking: {e}")))?;
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = bounded::<TcpStream>(cfg.queue.max(1));
+
+        let mut workers = Vec::with_capacity(cfg.sessions.max(1));
+        for i in 0..cfg.sessions.max(1) {
+            let rx = rx.clone();
+            let engine = engine.clone();
+            let cfg = cfg.clone();
+            let shutdown = shutdown.clone();
+            let h = thread::Builder::new()
+                .name(format!("gsj-session-{i}"))
+                .spawn(move || session_worker(&rx, &engine, &cfg, &shutdown))
+                .map_err(|e| GsjError::Internal(format!("spawn worker: {e}")))?;
+            workers.push(h);
+        }
+        drop(rx);
+
+        let accept = {
+            let shutdown = shutdown.clone();
+            thread::Builder::new()
+                .name("gsj-accept".into())
+                .spawn(move || accept_loop(&listener, tx, &shutdown))
+                .map_err(|e| GsjError::Internal(format!("spawn accept: {e}")))?
+        };
+
+        Ok(ServerHandle {
+            addr,
+            shutdown,
+            accept: Some(accept),
+            workers,
+        })
+    }
+}
+
+/// Poll the listener until shutdown; admit or shed each connection.
+/// Exiting drops `tx`, which is what releases workers blocked in
+/// `recv()` once the queue drains.
+fn accept_loop(listener: &TcpListener, tx: Sender<TcpStream>, shutdown: &AtomicBool) {
+    while !shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => admit(stream, &tx),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
+            Err(_) => thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+/// Admission control for one fresh connection. Wrapped in
+/// `catch_unwind` so an injected panic at `server.accept` downs this
+/// one connection, never the accept loop.
+fn admit(stream: TcpStream, tx: &Sender<TcpStream>) {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        fault_point("server.accept", FaultClass::Critical)
+    }));
+    match outcome {
+        Ok(Ok(())) => {}
+        Ok(Err(e)) => {
+            refuse(stream, &e);
+            return;
+        }
+        Err(_) => {
+            refuse(
+                stream,
+                &GsjError::Internal("panic in server.accept (contained)".into()),
+            );
+            return;
+        }
+    }
+    let mut pending = stream;
+    let deadline = Instant::now() + ADMIT_GRACE;
+    loop {
+        match tx.try_send(pending) {
+            Ok(()) => return,
+            Err(TrySendError::Full(back)) => {
+                if Instant::now() >= deadline {
+                    SHED.inc();
+                    refuse(
+                        back,
+                        &GsjError::ResourceExhausted(
+                            "server at capacity: all sessions busy and accept queue full".into(),
+                        ),
+                    );
+                    return;
+                }
+                pending = back;
+                thread::sleep(Duration::from_millis(1));
+            }
+            Err(TrySendError::Disconnected(back)) => {
+                refuse(
+                    back,
+                    &GsjError::ResourceExhausted("server is shutting down".into()),
+                );
+                return;
+            }
+        }
+    }
+}
+
+/// Best-effort single error frame + close, for connections that never
+/// reach a session worker.
+fn refuse(mut stream: TcpStream, e: &GsjError) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let _ = write_frame(&mut stream, &Response::failure(e).encode());
+}
+
+/// One worker: pull admitted connections until the queue closes *and*
+/// drains, handling each to completion.
+fn session_worker(
+    rx: &Receiver<TcpStream>,
+    engine: &Arc<GsqlEngine>,
+    cfg: &ServerConfig,
+    shutdown: &AtomicBool,
+) {
+    while let Ok(stream) = rx.recv() {
+        INFLIGHT.add(1);
+        // A panic escaping the per-request guard (e.g. in framing code)
+        // must not take the worker down with it.
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            handle_conn(stream, engine, cfg, shutdown);
+        }));
+        INFLIGHT.add(-1);
+    }
+}
+
+/// What to do with the connection after a request.
+enum After {
+    Continue,
+    Close,
+}
+
+/// Serve one connection: a loop of frames, each answered in order.
+fn handle_conn(
+    mut stream: TcpStream,
+    engine: &Arc<GsqlEngine>,
+    cfg: &ServerConfig,
+    shutdown: &AtomicBool,
+) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    loop {
+        // Re-arm each iteration: the disconnect watcher shares the fd
+        // and sets its own (shorter) timeout while a query runs.
+        let _ = stream.set_read_timeout(Some(IDLE_POLL));
+        let frame = read_frame_with(&mut stream, cfg.max_frame, || {
+            shutdown.load(Ordering::Acquire)
+        });
+        let payload = match frame {
+            Ok(FrameRead::Payload(p)) => p,
+            Ok(FrameRead::Idle) => {
+                if shutdown.load(Ordering::Acquire) {
+                    return; // drain complete: close the idle session
+                }
+                continue;
+            }
+            Ok(FrameRead::Eof) => return,
+            Ok(FrameRead::Oversized(n)) => {
+                // The payload was never read, so the stream cannot be
+                // re-synchronized: report and close.
+                ERRORS.inc();
+                let e = GsjError::ResourceExhausted(format!(
+                    "frame of {n} B exceeds the {} B limit",
+                    cfg.max_frame
+                ));
+                let _ = write_frame(&mut stream, &Response::failure(&e).encode());
+                return;
+            }
+            Err(e) => {
+                // Truncated / corrupt / transport failure: tell the peer
+                // if the pipe still works, then close.
+                ERRORS.inc();
+                let _ = write_frame(&mut stream, &Response::failure(&e).encode());
+                return;
+            }
+        };
+
+        REQUESTS.inc();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            handle_request(&payload, &stream, engine, cfg, shutdown)
+        }));
+        let (resp, after) = outcome.unwrap_or_else(|_| {
+            (
+                Response::failure(&GsjError::Internal(
+                    "panic in server.session (contained)".into(),
+                )),
+                After::Continue,
+            )
+        });
+        if !resp.ok {
+            ERRORS.inc();
+        }
+        if write_frame(&mut stream, &resp.encode()).is_err() {
+            return; // peer gone mid-response
+        }
+        if matches!(after, After::Close) {
+            return;
+        }
+    }
+}
+
+/// Parse and execute one request frame. Never panics out (the caller
+/// holds the `catch_unwind`); every failure becomes an error frame.
+fn handle_request(
+    payload: &str,
+    stream: &TcpStream,
+    engine: &Arc<GsqlEngine>,
+    cfg: &ServerConfig,
+    shutdown: &AtomicBool,
+) -> (Response, After) {
+    if let Err(e) = fault_point("server.session", FaultClass::Critical) {
+        return (Response::failure(&e), After::Continue);
+    }
+    let req = match Request::parse(payload) {
+        Ok(r) => r,
+        Err(e) => return (Response::failure(&e), After::Continue),
+    };
+    match req.verb {
+        Verb::Ping => (Response::success(req.body.clone()), After::Continue),
+        Verb::Shutdown => {
+            shutdown.store(true, Ordering::Release);
+            (Response::success("shutting down"), After::Close)
+        }
+        Verb::Query => match run_query(&req, stream, engine, cfg) {
+            Ok(resp) => (resp, After::Continue),
+            Err(e) => (Response::failure(&e), After::Continue),
+        },
+    }
+}
+
+fn parse_u64_header(req: &Request, name: &str) -> Result<Option<u64>> {
+    match req.header(name) {
+        None => Ok(None),
+        Some(v) => v
+            .parse::<u64>()
+            .map(Some)
+            .map_err(|_| GsjError::Config(format!("header {name}: `{v}` is not a u64"))),
+    }
+}
+
+/// Execute a `QUERY` request under a per-request governor, with a
+/// watcher thread cancelling it if the client disconnects.
+fn run_query(
+    req: &Request,
+    stream: &TcpStream,
+    engine: &Arc<GsqlEngine>,
+    cfg: &ServerConfig,
+) -> Result<Response> {
+    let mut builder = QueryGovernor::builder();
+    if let Some(ms) = parse_u64_header(req, "deadline-ms")? {
+        builder = builder.deadline(Duration::from_millis(ms));
+    }
+    if let Some(rows) = parse_u64_header(req, "row-budget")? {
+        builder = builder.row_budget(rows);
+    }
+    if let Some(bytes) = parse_u64_header(req, "mem-budget")? {
+        builder = builder.mem_budget(bytes);
+    }
+    let gov = builder.build();
+    let strategy = match req.header("strategy") {
+        Some(s) => s.parse::<Strategy>()?,
+        None => cfg.default_strategy,
+    };
+    let explain = req
+        .header("explain")
+        .is_some_and(|v| v.eq_ignore_ascii_case("analyze"));
+
+    let done = Arc::new(AtomicBool::new(false));
+    spawn_disconnect_watcher(stream, gov.clone(), done.clone());
+
+    let start = Instant::now();
+    let result = if explain {
+        engine
+            .parse(&req.body)
+            .and_then(|q| engine.explain_analyze_governed(&q, strategy, &gov))
+            .map(|text| (text, None))
+    } else {
+        engine
+            .run_governed(&req.body, strategy, &gov)
+            .map(|rel| (rel.to_csv(), Some(rel.len())))
+    };
+    let elapsed = start.elapsed();
+
+    // Release the watcher; it exits on its own within one poll interval.
+    // Joining here would add up to WATCH_POLL to every response while the
+    // watcher's in-flight peek runs out its timeout.
+    done.store(true, Ordering::Release);
+    LATENCY.observe_ns(elapsed.as_nanos() as u64);
+
+    let (body, rows) = result?;
+    let mut resp = Response::success(body).with_header("elapsed-us", elapsed.as_micros());
+    if let Some(n) = rows {
+        resp = resp.with_header("rows", n);
+    }
+    Ok(resp)
+}
+
+/// Watch the socket while a query runs. The client is expected to be
+/// silent until the response arrives, so:
+///
+/// * `peek() == 0` (EOF) — the client hung up: cancel the governor so
+///   the query stops at its next check, and count it.
+/// * `peek() > 0` — the client pipelined another frame; it is alive, so
+///   stop watching (the bytes stay queued for the session loop).
+/// * timeout — still connected, still waiting: keep polling `done`.
+///
+/// The watcher is detached: once `done` is raised it terminates within
+/// one `WATCH_POLL` on its own (it re-checks `done` before cancelling,
+/// so a hang-up *after* the query finished is never miscounted). When
+/// the fd cannot be cloned the query simply runs without disconnect
+/// detection.
+fn spawn_disconnect_watcher(stream: &TcpStream, gov: QueryGovernor, done: Arc<AtomicBool>) {
+    let Ok(peek) = stream.try_clone() else {
+        return;
+    };
+    let _ = peek.set_read_timeout(Some(WATCH_POLL));
+    let _ = thread::Builder::new()
+        .name("gsj-watch".into())
+        .spawn(move || {
+            let mut buf = [0u8; 1];
+            while !done.load(Ordering::Acquire) {
+                match peek.peek(&mut buf) {
+                    Ok(0) => {
+                        if !done.load(Ordering::Acquire) {
+                            gov.cancel();
+                            DISCONNECT_CANCEL.inc();
+                        }
+                        return;
+                    }
+                    Ok(_) => return,
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut => {}
+                    Err(_) => {
+                        if !done.load(Ordering::Acquire) {
+                            gov.cancel();
+                            DISCONNECT_CANCEL.inc();
+                        }
+                        return;
+                    }
+                }
+            }
+        });
+}
+
+/// Snapshot of the server-side counters, for tests and the load bench.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerStats {
+    pub requests: u64,
+    pub errors: u64,
+    pub shed: u64,
+    pub disconnect_cancels: u64,
+    pub inflight: i64,
+}
+
+/// Read the process-global server counters. Cumulative across all
+/// servers in the process (they share the metrics registry).
+pub fn server_stats() -> ServerStats {
+    ServerStats {
+        requests: REQUESTS.value(),
+        errors: ERRORS.value(),
+        shed: SHED.value(),
+        disconnect_cancels: DISCONNECT_CANCEL.value(),
+        inflight: INFLIGHT.value(),
+    }
+}

@@ -12,6 +12,11 @@
 #                                             # BENCH_parallel.json (worker
 #                                             # count and host core count are
 #                                             # recorded alongside timings)
+#   scripts/bench_snapshot.sh --server        # 1/2/4/8-client wire-protocol
+#                                             # load sweep against an
+#                                             # in-process gsj-server into
+#                                             # BENCH_server.json (exact
+#                                             # p50/p99 latency + qps)
 #
 # The snapshot keeps the pre-columnar "before" numbers; a merge only
 # refreshes the "after" side and the derived speedups.
@@ -20,6 +25,7 @@ cd "$(dirname "$0")/.."
 
 SNAPSHOT=BENCH_relational.json
 PARALLEL_SNAPSHOT=BENCH_parallel.json
+SERVER_SNAPSHOT=BENCH_server.json
 MODE=merge
 QUICK=()
 for arg in "$@"; do
@@ -27,6 +33,7 @@ for arg in "$@"; do
     --quick) QUICK=(--quick) ;;
     --check) MODE=check ;;
     --parallel) MODE=parallel ;;
+    --server) MODE=server ;;
     *)
       echo "unknown argument: $arg" >&2
       exit 2
@@ -34,17 +41,22 @@ for arg in "$@"; do
   esac
 done
 
-cargo build --release -p gsj-bench --bin bench_snapshot
-
 case "$MODE" in
   check)
+    cargo build --release -p gsj-bench --bin bench_snapshot
     exec ./target/release/bench_snapshot --quick --check "$SNAPSHOT"
     ;;
   parallel)
+    cargo build --release -p gsj-bench --bin bench_snapshot
     exec ./target/release/bench_snapshot --parallel "${QUICK[@]}" \
       --out "$PARALLEL_SNAPSHOT"
     ;;
+  server)
+    cargo build --release -p gsj-bench --bin server_load
+    exec ./target/release/server_load "${QUICK[@]}" --out "$SERVER_SNAPSHOT"
+    ;;
   *)
+    cargo build --release -p gsj-bench --bin bench_snapshot
     exec ./target/release/bench_snapshot "${QUICK[@]}" --merge "$SNAPSHOT"
     ;;
 esac

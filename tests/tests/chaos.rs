@@ -55,11 +55,13 @@ const SITES: &[&str] = &[
     "incext.zone",
     "incext.her_redo",
     "incext.re_extract",
+    "server.accept",
+    "server.session",
 ];
 
 struct Fixture {
     col: Collection,
-    engine: GsqlEngine,
+    engine: Arc<GsqlEngine>,
     rext: Rext,
     initial: Extraction,
     /// One enrichment and one link query from the workload.
@@ -121,12 +123,33 @@ fn build_fixture() -> Fixture {
     let lq = workload(&col).into_iter().find(|q| q.link).unwrap().text;
     Fixture {
         col,
-        engine,
+        engine: Arc::new(engine),
         rext,
         initial,
         eq,
         lq,
     }
+}
+
+/// Start a loopback server over the fixture engine and run one query
+/// through the full wire path, driving the `server.accept` and
+/// `server.session` fault sites.
+fn serve_one(f: &Fixture) -> Result<usize> {
+    let handle = gsj_server::Server::start(
+        Arc::clone(&f.engine),
+        gsj_server::ServerConfig {
+            sessions: 1,
+            queue: 2,
+            ..gsj_server::ServerConfig::default()
+        },
+    )?;
+    let result = (|| {
+        let mut c = gsj_server::Client::connect(handle.addr())?;
+        let reply = c.query(&f.eq)?;
+        Ok(reply.rows.unwrap_or(0) as usize)
+    })();
+    handle.shutdown();
+    result
 }
 
 /// Drive every fault site once: the gSQL strategies, direct governed
@@ -216,6 +239,9 @@ fn drive_all(f: &Fixture) -> Vec<(&'static str, Result<usize>)> {
         )
         .map(|e| e.dg.len()),
     ));
+    // One query over the wire so the server's admission and session
+    // fault sites are driven alongside the engine's.
+    out.push(("server.roundtrip", serve_one(f)));
     out
 }
 
@@ -439,6 +465,92 @@ fn incext_retry_absorbs_transient_fault() {
             "the retry must be visible in the retry counter"
         );
     });
+}
+
+#[test]
+fn server_session_fault_is_an_error_frame_not_a_dead_server() {
+    let _guard = gsj_faults::exclusive();
+    let f = fixture();
+    let handle = gsj_server::Server::start(
+        Arc::clone(&f.engine),
+        gsj_server::ServerConfig {
+            sessions: 2,
+            queue: 2,
+            ..gsj_server::ServerConfig::default()
+        },
+    )
+    .unwrap();
+    with_spec("server.session:error,p=1", || {
+        let mut c = gsj_server::Client::connect(handle.addr()).unwrap();
+        let err = c.query(&f.eq).unwrap_err();
+        assert!(
+            matches!(&err, GsjError::Internal(m) if m.contains("injected fault at server.session")),
+            "expected the injected session fault as an error frame, got {err:?}"
+        );
+        // The session survives its own fault: the same connection gets a
+        // fresh error frame for the next request, not a dead socket.
+        let again = c.query(&f.eq).unwrap_err();
+        assert!(matches!(again, GsjError::Internal(_)), "{again:?}");
+    });
+    // Spec cleared: the very same server serves cleanly — the fault
+    // never took down a worker or the listener.
+    let mut c = gsj_server::Client::connect(handle.addr()).unwrap();
+    assert!(c.query(&f.eq).is_ok());
+    handle.shutdown();
+}
+
+#[test]
+fn server_session_panic_is_contained_to_the_request() {
+    let _guard = gsj_faults::exclusive();
+    let f = fixture();
+    let handle = gsj_server::Server::start(
+        Arc::clone(&f.engine),
+        gsj_server::ServerConfig {
+            sessions: 2,
+            queue: 2,
+            ..gsj_server::ServerConfig::default()
+        },
+    )
+    .unwrap();
+    with_spec("server.session:panic,p=1", || {
+        let mut c = gsj_server::Client::connect(handle.addr()).unwrap();
+        let err = c.query(&f.eq).unwrap_err();
+        assert!(
+            matches!(&err, GsjError::Internal(m) if m.contains("panic")),
+            "expected a contained-panic error frame, got {err:?}"
+        );
+    });
+    let mut sibling = gsj_server::Client::connect(handle.addr()).unwrap();
+    assert!(
+        sibling.query(&f.eq).is_ok(),
+        "a panicking request must not take sibling sessions down"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn server_accept_fault_refuses_one_connection_not_the_listener() {
+    let _guard = gsj_faults::exclusive();
+    let f = fixture();
+    let handle =
+        gsj_server::Server::start(Arc::clone(&f.engine), gsj_server::ServerConfig::default())
+            .unwrap();
+    for spec in ["server.accept:error,p=1", "server.accept:panic,p=1"] {
+        with_spec(spec, || {
+            let mut c = gsj_server::Client::connect(handle.addr()).unwrap();
+            let err = c.query(&f.eq).unwrap_err();
+            assert!(
+                matches!(&err, GsjError::Internal(m)
+                    if m.contains("server.accept") || m.contains("panic")),
+                "under {spec}: expected an admission refusal frame, got {err:?}"
+            );
+        });
+        // The accept loop survived: the next connection is admitted and
+        // served once the spec is gone.
+        let mut c = gsj_server::Client::connect(handle.addr()).unwrap();
+        assert!(c.query(&f.eq).is_ok(), "listener died under {spec}");
+    }
+    handle.shutdown();
 }
 
 #[test]

@@ -125,6 +125,14 @@ pub mod channel {
     #[derive(Debug, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
 
+    /// Error returned by [`Sender::try_send`]: the channel was full, or
+    /// every receiver was gone. Carries the rejected value back.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        Full(T),
+        Disconnected(T),
+    }
+
     /// Error returned by [`Receiver::recv`] when the channel is empty
     /// and every sender is gone.
     #[derive(Debug, PartialEq, Eq)]
@@ -192,6 +200,23 @@ pub mod channel {
                 }
                 state = self.shared.not_full.wait(state).unwrap();
             }
+        }
+
+        /// Non-blocking send: enqueue `value` if there is room right
+        /// now, otherwise hand it straight back. This is what bounded
+        /// admission queues shed with — the caller turns `Full` into a
+        /// typed rejection instead of stalling the producer.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut state = self.shared.queue.lock().unwrap();
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if state.items.len() >= self.shared.cap {
+                return Err(TrySendError::Full(value));
+            }
+            state.items.push_back(value);
+            self.shared.not_empty.notify_one();
+            Ok(())
         }
     }
 
@@ -349,6 +374,18 @@ mod tests {
         })
         .unwrap();
         assert_eq!(total, (0..50).sum());
+    }
+
+    #[test]
+    fn try_send_rejects_when_full_and_when_disconnected() {
+        use crate::channel::TrySendError;
+        let (tx, rx) = crate::channel::bounded::<u8>(1);
+        assert_eq!(tx.try_send(1), Ok(()));
+        assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert_eq!(tx.try_send(3), Ok(()));
+        drop(rx);
+        assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
     }
 
     #[test]
